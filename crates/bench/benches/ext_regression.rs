@@ -1,0 +1,109 @@
+//! Extension experiment: classification vs regression-based selection.
+//!
+//! The paper classifies shapes into shipped kernels; its related work
+//! (Bergstra et al. 2012) instead *predicts performance* with boosted
+//! regression trees and selects the argmax. This bench runs both under
+//! the Table I protocol.
+
+use autokernel_bench::{
+    banner, paper_dataset, print_table, save_result, standard_split, MODEL_SEED,
+};
+use autokernel_core::evaluate::{achievable_score, selection_score};
+use autokernel_core::regression::{RegressionParams, RegressionSelector};
+use autokernel_core::select::Selector;
+use autokernel_core::{PruneMethod, SelectorKind};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct ExtRegression {
+    budgets: Vec<usize>,
+    ceilings: Vec<f64>,
+    classifier: Vec<f64>,
+    regression: Vec<f64>,
+}
+
+fn main() {
+    banner(
+        "Extension — decision-tree classification vs boosted-tree regression selection",
+        "related work (Bergstra 2012): regress performance, select the argmax",
+    );
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let budgets = vec![5usize, 6, 8, 15];
+
+    let mut ceilings = Vec::new();
+    let mut clf_scores = Vec::new();
+    let mut reg_scores = Vec::new();
+    for &b in &budgets {
+        let configs = PruneMethod::DecisionTree
+            .select(&ds, &split.train, b, MODEL_SEED)
+            .unwrap();
+        ceilings.push(achievable_score(&ds, &split.test, &configs));
+
+        let clf = Selector::train(
+            SelectorKind::DecisionTree,
+            &ds,
+            &split.train,
+            &configs,
+            MODEL_SEED,
+        )
+        .unwrap();
+        let chosen = clf.select_rows(&ds, &split.test).unwrap();
+        clf_scores.push(selection_score(&ds, &split.test, &chosen));
+
+        let reg =
+            RegressionSelector::train(&ds, &split.train, &configs, RegressionParams::default())
+                .unwrap();
+        let chosen = reg.select_rows(&ds, &split.test).unwrap();
+        reg_scores.push(selection_score(&ds, &split.test, &chosen));
+    }
+
+    let rows: Vec<Vec<String>> = budgets
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            vec![
+                b.to_string(),
+                format!("{:.2}", ceilings[i] * 100.0),
+                format!("{:.2}", clf_scores[i] * 100.0),
+                format!("{:.2}", reg_scores[i] * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "budget".into(),
+            "ceiling".into(),
+            "classifier".into(),
+            "regression".into(),
+        ],
+        &rows,
+    );
+
+    let mut summary = BTreeMap::new();
+    summary.insert(
+        "classifier_mean",
+        clf_scores.iter().sum::<f64>() / budgets.len() as f64,
+    );
+    summary.insert(
+        "regression_mean",
+        reg_scores.iter().sum::<f64>() / budgets.len() as f64,
+    );
+    println!(
+        "\nmeans: classifier {:.2}%, regression {:.2}%",
+        summary["classifier_mean"] * 100.0,
+        summary["regression_mean"] * 100.0
+    );
+    println!("(regression needs one model per kernel and ~100x the selection latency;\n the paper's single-tree classifier remains the deployment choice)");
+
+    save_result(
+        "ext_regression",
+        &ExtRegression {
+            budgets,
+            ceilings,
+            classifier: clf_scores,
+            regression: reg_scores,
+        },
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 2: how many times each configuration achieves optimal
+//! performance across the dataset.
+//!
+//! Paper observations reproduced: one configuration is best in 32 cases
+//! (more than 3× the runner-up), yet 58 distinct configurations are best
+//! for at least one size — the long tail that makes pruning hard.
+
+use autokernel_bench::{banner, paper_dataset, print_table, save_result};
+use autokernel_gemm::KernelConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2 {
+    distinct_optima: usize,
+    counts: Vec<(String, usize)>,
+}
+
+fn main() {
+    banner(
+        "Figure 2 — optimal-configuration counts",
+        "best config wins 32/170 (>3x runner-up); 58 distinct configs optimal at least once",
+    );
+    let ds = paper_dataset();
+    let counts = ds.optimal_counts();
+
+    let mut nonzero: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(j, &c)| (j, c))
+        .collect();
+    nonzero.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    let rows: Vec<Vec<String>> = nonzero
+        .iter()
+        .take(20)
+        .map(|&(j, c)| {
+            vec![
+                KernelConfig::from_index(j).unwrap().to_string(),
+                c.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["config".into(), "times optimal".into()], &rows);
+
+    let top = nonzero[0].1;
+    let runner = nonzero.get(1).map(|&(_, c)| c).unwrap_or(0);
+    println!(
+        "\ndistinct configurations optimal at least once: {} (paper: 58)",
+        nonzero.len()
+    );
+    println!("dominant configuration wins:                   {top}/170 (paper: 32)");
+    println!(
+        "dominance ratio over runner-up:                {:.2}x (paper: >3x)",
+        top as f64 / runner.max(1) as f64
+    );
+
+    save_result(
+        "fig2_optimal_counts",
+        &Fig2 {
+            distinct_optima: nonzero.len(),
+            counts: nonzero
+                .iter()
+                .map(|&(j, c)| (KernelConfig::from_index(j).unwrap().to_string(), c))
+                .collect(),
+        },
+    );
+}

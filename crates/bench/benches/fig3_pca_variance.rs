@@ -1,0 +1,76 @@
+//! Figure 3: fraction of dataset variance explained by each PCA
+//! component, used to pick the 4..15 kernel-budget range.
+//!
+//! Paper observations: 4 components account for over 80 % of the
+//! variance, 8 for 90 %, 15 for 95 %.
+
+use autokernel_bench::{banner, paper_dataset, print_table, save_result};
+use autokernel_mlkit::Pca;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig3 {
+    ratios: Vec<f64>,
+    cumulative: Vec<f64>,
+    components_for_80: usize,
+    components_for_90: usize,
+    components_for_95: usize,
+}
+
+fn main() {
+    banner(
+        "Figure 3 — PCA explained variance of the performance matrix",
+        ">80% in 4 components, 90% in 8, 95% in 15",
+    );
+    let ds = paper_dataset();
+    let norm = ds.normalized_matrix();
+
+    let mut pca = Pca::new(30);
+    pca.fit(&norm).expect("pca fits");
+    let ratios = pca.explained_variance_ratio().expect("fitted").to_vec();
+    let cumulative: Vec<f64> = ratios
+        .iter()
+        .scan(0.0, |acc, &r| {
+            *acc += r;
+            Some(*acc)
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = (0..20.min(ratios.len()))
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                format!("{:.4}", ratios[i]),
+                format!("{:.4}", cumulative[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        &["component".into(), "ratio".into(), "cumulative".into()],
+        &rows,
+    );
+
+    let need = |threshold: f64| {
+        cumulative
+            .iter()
+            .position(|&c| c >= threshold)
+            .map(|p| p + 1)
+            .unwrap_or(usize::MAX)
+    };
+    let (n80, n90, n95) = (need(0.80), need(0.90), need(0.95));
+    println!("\ncomponents for 80% variance: {n80} (paper: 4)");
+    println!("components for 90% variance: {n90} (paper: 8)");
+    println!("components for 95% variance: {n95} (paper: 15)");
+    println!("=> kernel-budget sweep range used downstream: 4..=15 (as in the paper)");
+
+    save_result(
+        "fig3_pca_variance",
+        &Fig3 {
+            ratios,
+            cumulative,
+            components_for_80: n80,
+            components_for_90: n90,
+            components_for_95: n95,
+        },
+    );
+}

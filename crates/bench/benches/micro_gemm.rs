@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the real (host-executed) GEMM kernels:
+//! the tiled kernel family vs. the reference, across tile shapes.
+//!
+//! These wall-clock numbers are about the *implementation* (the CPU
+//! kernels backing the simulator), not the paper's GPU results — they
+//! confirm the kernel family is a real, runnable GEMM, and show the
+//! same tiling trade-offs in miniature.
+
+use autokernel_gemm::config::{KernelConfig, WorkGroup};
+use autokernel_gemm::reference::{parallel_reference_gemm, test_matrices};
+use autokernel_gemm::{GemmShape, TiledGemmKernel};
+use autokernel_sycl_sim::{Buffer, DeviceType, Platform, Queue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let shape = GemmShape::new(256, 256, 256);
+    let (a, b) = test_matrices(shape, 99);
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+
+    let mut group = c.benchmark_group("gemm_256");
+    group.throughput(Throughput::Elements(shape.flops() as u64));
+
+    group.bench_function("reference_parallel", |bench| {
+        let mut out = vec![0.0f32; shape.m * shape.n];
+        bench.iter(|| {
+            parallel_reference_gemm(shape, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        });
+    });
+
+    for (tr, tc, ad) in [
+        (1usize, 1usize, 1usize),
+        (2, 2, 2),
+        (4, 4, 4),
+        (8, 8, 8),
+        (4, 8, 2),
+    ] {
+        let cfg = KernelConfig::new(tr, tc, ad, WorkGroup { rows: 16, cols: 16 }).unwrap();
+        let ka = Buffer::from_vec(a.clone());
+        let kb = Buffer::from_vec(b.clone());
+        let kc = Buffer::from_vec(vec![0.0f32; shape.m * shape.n]);
+        let kernel = TiledGemmKernel::new(cfg, shape, ka, kb, kc).unwrap();
+        let queue = Queue::new(device.clone());
+        let range = kernel.preferred_range().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("tiled", format!("T{tr}x{tc}A{ad}")),
+            &cfg,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(queue.submit(&kernel, range).unwrap());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pricing(c: &mut Criterion) {
+    // How fast the timing-only path prices a launch — this is what the
+    // 170x640 dataset collection is made of.
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    let queue = Queue::timing_only(device);
+    let shape = GemmShape::new(784, 1152, 128);
+    let configs = KernelConfig::all();
+
+    c.bench_function("price_full_config_space_one_shape", |bench| {
+        bench.iter(|| {
+            let mut total = 0.0f64;
+            for cfg in &configs {
+                let range = autokernel_gemm::model::launch_range(cfg, &shape).unwrap();
+                let profile = autokernel_gemm::model::profile(cfg, &shape, queue.device());
+                let (_, d) = queue.price(
+                    &profile,
+                    &range,
+                    autokernel_gemm::model::noise_seed(cfg, &shape),
+                );
+                total += d;
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels, bench_pricing
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the mlkit estimators on the actual
+//! study workload: the 170×640 normalised performance matrix and the
+//! 136-sample training split.
+
+use autokernel_bench::{paper_dataset, standard_split, MODEL_SEED};
+use autokernel_core::PruneMethod;
+use autokernel_mlkit::tree::{DecisionTreeRegressor, TreeParams};
+use autokernel_mlkit::{Hdbscan, KMeans, Pca};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let x = ds.normalized_matrix();
+    let xtrain = ds.normalized_matrix_of(&split.train);
+    let features = ds.features_of(&split.train);
+
+    c.bench_function("pca_fit_170x640", |b| {
+        b.iter(|| {
+            let mut pca = Pca::new(15);
+            pca.fit(black_box(&x)).unwrap();
+            black_box(pca.explained_variance_ratio().unwrap().len())
+        });
+    });
+
+    c.bench_function("kmeans_k8_136x640", |b| {
+        b.iter(|| {
+            let mut km = KMeans::new(8, MODEL_SEED).with_n_init(3);
+            km.fit(black_box(&xtrain)).unwrap();
+            black_box(km.inertia().unwrap())
+        });
+    });
+
+    c.bench_function("hdbscan_mcs5_136x640", |b| {
+        b.iter(|| {
+            let mut h = Hdbscan::new(5);
+            h.fit(black_box(&xtrain)).unwrap();
+            black_box(h.n_clusters().unwrap())
+        });
+    });
+
+    c.bench_function("tree_regressor_8leaves_136x640", |b| {
+        b.iter(|| {
+            let mut reg = DecisionTreeRegressor::new(TreeParams {
+                max_leaf_nodes: Some(8),
+                min_samples_leaf: 2,
+                ..TreeParams::default()
+            });
+            reg.fit(black_box(&features), black_box(&xtrain)).unwrap();
+            black_box(reg.tree().unwrap().n_leaves())
+        });
+    });
+
+    c.bench_function("full_prune_decision_tree_budget8", |b| {
+        b.iter(|| {
+            black_box(
+                PruneMethod::DecisionTree
+                    .select(&ds, &split.train, 8, MODEL_SEED)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+
+    c.bench_function("dataset_collection_170x640", |b| {
+        b.iter(|| {
+            let ds = autokernel_bench::paper_dataset();
+            black_box(ds.n_shapes())
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of runtime selection latency — the
+//! paper's Section IV argument: "there is little to be gained by
+//! choosing a complex process to achieve slightly better performance if
+//! this leads to significantly more time being spent in that selection
+//! process."
+//!
+//! Compares the cost of one selection decision across classifier
+//! families, plus the compiled (nested-`if`) decision tree a library
+//! would actually ship.
+
+use autokernel_bench::{paper_dataset, standard_split, MODEL_SEED};
+use autokernel_core::codegen::CompiledTree;
+use autokernel_core::select::Selector;
+use autokernel_core::{PruneMethod, SelectorKind};
+use autokernel_gemm::GemmShape;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_selection_latency(c: &mut Criterion) {
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let configs = PruneMethod::DecisionTree
+        .select(&ds, &split.train, 8, MODEL_SEED)
+        .unwrap();
+
+    let probe = GemmShape::new(3136, 576, 192);
+    let mut group = c.benchmark_group("selection_latency");
+
+    for kind in SelectorKind::all() {
+        let sel = Selector::train(kind, &ds, &split.train, &configs, MODEL_SEED).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("estimator", kind.name()),
+            &kind,
+            |bench, _| {
+                bench.iter(|| black_box(sel.select_shape(black_box(&probe)).unwrap()));
+            },
+        );
+    }
+
+    // The deployed artefact: the flattened nested-if tree.
+    let tree = Selector::train(
+        SelectorKind::DecisionTree,
+        &ds,
+        &split.train,
+        &configs,
+        MODEL_SEED,
+    )
+    .unwrap();
+    let compiled = CompiledTree::from_selector(&tree).unwrap();
+    group.bench_function("compiled_nested_ifs", |bench| {
+        bench.iter(|| black_box(compiled.select(black_box(&probe))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_selection_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Table I: geometric-mean performance of six runtime classifiers,
+//! selecting among decision-tree-pruned configuration sets of size
+//! 5, 6, 8 and 15, as a percentage of the absolute optimum.
+//!
+//! Paper observations reproduced: ceilings of 92.99/94.98/95.37/96.61 %
+//! for the four budgets; no classifier reaches its ceiling (the paper's
+//! models stay below 89 %); the decision tree matches or beats the other
+//! classifiers except at 15 configurations; the radial SVM collapses to
+//! ~55 %.
+
+use autokernel_bench::{
+    banner, paper_dataset, print_table, save_result, standard_split, MODEL_SEED,
+};
+use autokernel_core::evaluate::{achievable_score, selection_score};
+use autokernel_core::select::Selector;
+use autokernel_core::{PruneMethod, SelectorKind};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Table1 {
+    budgets: Vec<usize>,
+    ceilings: Vec<f64>,
+    /// classifier -> score per budget (fraction of absolute optimum).
+    rows: BTreeMap<String, Vec<f64>>,
+}
+
+fn main() {
+    banner(
+        "Table I — classifier performance on decision-tree-pruned config sets",
+        "ceilings 92.99/94.98/95.37/96.61%; no model reaches its ceiling; radial SVM ~55%",
+    );
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let budgets = vec![5usize, 6, 8, 15];
+
+    let mut ceilings = Vec::new();
+    let mut config_sets = Vec::new();
+    for &b in &budgets {
+        let configs = PruneMethod::DecisionTree
+            .select(&ds, &split.train, b, MODEL_SEED)
+            .expect("pruning succeeds");
+        ceilings.push(achievable_score(&ds, &split.test, &configs));
+        config_sets.push(configs);
+    }
+
+    let mut rows: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for kind in SelectorKind::all() {
+        let mut scores = Vec::new();
+        for configs in &config_sets {
+            let sel = Selector::train(kind, &ds, &split.train, configs, MODEL_SEED)
+                .expect("training succeeds");
+            let chosen = sel
+                .select_rows(&ds, &split.test)
+                .expect("selection succeeds");
+            scores.push(selection_score(&ds, &split.test, &chosen));
+        }
+        rows.insert(kind.name().to_string(), scores);
+    }
+
+    let mut headers = vec!["classifier".to_string()];
+    headers.extend(budgets.iter().map(|b| b.to_string()));
+    let mut printable = vec![{
+        let mut r = vec!["(ceiling)".to_string()];
+        r.extend(ceilings.iter().map(|c| format!("{:.2}", c * 100.0)));
+        r
+    }];
+    for kind in SelectorKind::all() {
+        let mut r = vec![kind.name().to_string()];
+        r.extend(
+            rows[kind.name()]
+                .iter()
+                .map(|s| format!("{:.2}", s * 100.0)),
+        );
+        printable.push(r);
+    }
+    print_table(&headers, &printable);
+
+    println!();
+    let dt_avg: f64 = rows["DecisionTree"].iter().sum::<f64>() / budgets.len() as f64;
+    let rbf_avg: f64 = rows["RadialSVM"].iter().sum::<f64>() / budgets.len() as f64;
+    let knn3_avg: f64 = rows["3NearestNeighbors"].iter().sum::<f64>() / budgets.len() as f64;
+    println!("decision-tree average:  {:.2}% of optimum", dt_avg * 100.0);
+    println!(
+        "radial-SVM average:     {:.2}% (paper: collapses to ~55%)",
+        rbf_avg * 100.0
+    );
+    println!(
+        "3-NN average:           {:.2}% (paper: trails the tree)",
+        knn3_avg * 100.0
+    );
+    println!(
+        "radial SVM is the worst classifier: {}",
+        rows.iter().all(|(k, v)| {
+            k == "RadialSVM" || v.iter().sum::<f64>() >= rows["RadialSVM"].iter().sum::<f64>()
+        })
+    );
+
+    save_result(
+        "table1_classifiers",
+        &Table1 {
+            budgets,
+            ceilings,
+            rows,
+        },
+    );
+}

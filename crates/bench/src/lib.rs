@@ -1,0 +1,100 @@
+//! Shared plumbing for the benchmark harness: dataset assembly, the
+//! paper's canonical split, table formatting and result persistence.
+//!
+//! Each `benches/*.rs` target regenerates one figure or table of the
+//! paper (see DESIGN.md §4 for the index) and appends its numbers to
+//! `bench_results/` so EXPERIMENTS.md can cite them.
+
+use autokernel_core::PerformanceDataset;
+use autokernel_mlkit::model_selection::{train_test_split, TrainTestSplit};
+use autokernel_sycl_sim::DeviceSpec;
+use std::path::PathBuf;
+
+/// The split seed every figure/table target shares, so their numbers are
+/// mutually consistent (136 train / 34 test, as in the paper).
+pub const SPLIT_SEED: u64 = 42;
+
+/// Master seed for clustering restarts / ensembles in the harness.
+pub const MODEL_SEED: u64 = 7;
+
+/// Collect the full 170-shape paper dataset on the R9 Nano model.
+pub fn paper_dataset() -> PerformanceDataset {
+    PerformanceDataset::collect_paper_dataset(&DeviceSpec::amd_r9_nano())
+        .expect("paper dataset collects")
+}
+
+/// Collect the paper dataset on an arbitrary device.
+pub fn paper_dataset_on(device: &DeviceSpec) -> PerformanceDataset {
+    PerformanceDataset::collect_paper_dataset(device).expect("paper dataset collects")
+}
+
+/// The canonical 136/34 split of a 170-row dataset.
+pub fn standard_split(ds: &PerformanceDataset) -> TrainTestSplit {
+    train_test_split(ds.n_shapes(), 0.2, SPLIT_SEED)
+}
+
+/// Print a banner for a figure/table target.
+pub fn banner(title: &str, paper_claim: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("paper: {paper_claim}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Directory where bench targets drop their JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("bench_results dir creates");
+    dir
+}
+
+/// Persist a serialisable result under `bench_results/<name>.json`.
+pub fn save_result<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("result serialises");
+    std::fs::write(&path, json).expect("result writes");
+    println!("\n[saved {}]", path.display());
+}
+
+/// Render a simple aligned table: a header row and data rows.
+pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..ncols {
+            let cell = cells.get(c).map(String::as_str).unwrap_or("");
+            s.push_str(&format!("{cell:>width$}  ", width = widths[c]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers);
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_split_is_136_34() {
+        let ds = paper_dataset();
+        let split = standard_split(&ds);
+        assert_eq!(split.train.len(), 136);
+        assert_eq!(split.test.len(), 34);
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        assert!(results_dir().is_dir());
+    }
+}

@@ -1,0 +1,150 @@
+//! The baseline the paper's introduction argues against: *dynamic*
+//! trial-run autotuning, as traditionally done inside machine-learning
+//! frameworks — the first time an input size appears, every candidate
+//! kernel is timed and the winner cached for subsequent runs.
+//!
+//! This is optimal in steady state but pays a large exploration cost
+//! whenever the workload keeps changing (the "research" scenario of the
+//! paper), which is exactly what the examples demonstrate against the
+//! ML selector.
+
+use autokernel_gemm::{model, GemmShape, KernelConfig};
+use autokernel_sycl_sim::{DeviceSpec, Queue};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of one autotuner lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutotuneDecision {
+    /// Chosen configuration index.
+    pub config: usize,
+    /// Simulated seconds spent on trial runs for this call (0 on a
+    /// cache hit).
+    pub trial_cost_s: f64,
+    /// Whether the decision came from the cache.
+    pub cache_hit: bool,
+}
+
+/// First-use trial-run autotuner over a candidate configuration set.
+pub struct DynamicAutotuner {
+    queue: Queue,
+    candidates: Vec<usize>,
+    cache: HashMap<GemmShape, usize>,
+}
+
+impl DynamicAutotuner {
+    /// Create an autotuner timing `candidates` (configuration indices)
+    /// on `device`. An empty candidate list defaults to the full space.
+    pub fn new(device: &DeviceSpec, candidates: Vec<usize>) -> Self {
+        let candidates = if candidates.is_empty() {
+            (0..KernelConfig::count()).collect()
+        } else {
+            candidates
+        };
+        DynamicAutotuner {
+            queue: Queue::timing_only(Arc::new(device.clone())),
+            candidates,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Decide a configuration for `shape`, running trials on first use.
+    pub fn decide(&mut self, shape: GemmShape) -> AutotuneDecision {
+        if let Some(&config) = self.cache.get(&shape) {
+            return AutotuneDecision {
+                config,
+                trial_cost_s: 0.0,
+                cache_hit: true,
+            };
+        }
+        let mut best = (self.candidates[0], f64::INFINITY);
+        let mut total = 0.0;
+        for &cfg_idx in &self.candidates {
+            let cfg = KernelConfig::from_index(cfg_idx).expect("valid candidate index");
+            let range = model::launch_range(&cfg, &shape).expect("launchable");
+            let profile = model::profile(&cfg, &shape, self.queue.device());
+            let (_, duration) = self
+                .queue
+                .price(&profile, &range, model::noise_seed(&cfg, &shape));
+            total += duration;
+            if duration < best.1 {
+                best = (cfg_idx, duration);
+            }
+        }
+        self.cache.insert(shape, best.0);
+        AutotuneDecision {
+            config: best.0,
+            trial_cost_s: total,
+            cache_hit: false,
+        }
+    }
+
+    /// Simulated execution time of `config` on `shape` (used to account
+    /// for the production run after the decision).
+    pub fn run_cost(&self, shape: GemmShape, config: usize) -> f64 {
+        let cfg = KernelConfig::from_index(config).expect("valid config index");
+        let range = model::launch_range(&cfg, &shape).expect("launchable");
+        let profile = model::profile(&cfg, &shape, self.queue.device());
+        let (_, duration) = self
+            .queue
+            .price(&profile, &range, model::noise_seed(&cfg, &shape));
+        duration
+    }
+
+    /// Number of shapes tuned so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The candidate set being trialled.
+    pub fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_use_pays_trials_second_use_is_free() {
+        let mut at = DynamicAutotuner::new(&DeviceSpec::amd_r9_nano(), vec![0, 100, 616]);
+        let shape = GemmShape::new(256, 256, 256);
+        let d1 = at.decide(shape);
+        assert!(!d1.cache_hit);
+        assert!(d1.trial_cost_s > 0.0);
+        let d2 = at.decide(shape);
+        assert!(d2.cache_hit);
+        assert_eq!(d2.trial_cost_s, 0.0);
+        assert_eq!(d1.config, d2.config);
+        assert_eq!(at.cache_len(), 1);
+    }
+
+    #[test]
+    fn picks_the_fastest_candidate() {
+        let candidates = vec![3, 616, 42, 500];
+        let mut at = DynamicAutotuner::new(&DeviceSpec::amd_r9_nano(), candidates.clone());
+        let shape = GemmShape::new(512, 512, 512);
+        let d = at.decide(shape);
+        let chosen_cost = at.run_cost(shape, d.config);
+        for &c in &candidates {
+            assert!(chosen_cost <= at.run_cost(shape, c) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn trial_cost_is_sum_of_candidate_runs() {
+        let candidates = vec![10, 20, 30];
+        let mut at = DynamicAutotuner::new(&DeviceSpec::amd_r9_nano(), candidates.clone());
+        let shape = GemmShape::new(128, 64, 32);
+        let d = at.decide(shape);
+        let expect: f64 = candidates.iter().map(|&c| at.run_cost(shape, c)).sum();
+        assert!((d.trial_cost_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_defaults_to_full_space() {
+        let at = DynamicAutotuner::new(&DeviceSpec::amd_r9_nano(), vec![]);
+        assert_eq!(at.candidates().len(), KernelConfig::count());
+    }
+}

@@ -1,0 +1,309 @@
+//! Deployment of a trained decision-tree selector as plain Rust source —
+//! the paper's argument that "decision trees can be implemented as a
+//! series of nested if statements", making them the natural choice for
+//! low-latency compute libraries.
+//!
+//! Two artefacts are produced from a [`crate::select::Selector`] holding
+//! a tree:
+//!
+//! - [`CompiledTree`], a flat branch table semantically identical to the
+//!   nested `if`s the source emitter writes (tests prove equivalence with
+//!   the estimator), and
+//! - [`emit_rust_source`], the human-readable Rust module a library
+//!   would vendor.
+
+use crate::select::{FeatureSpace, Selector};
+use crate::{CoreError, Result};
+use autokernel_gemm::{GemmShape, KernelConfig};
+use autokernel_mlkit::tree::Node;
+use serde::{Deserialize, Serialize};
+
+/// One node of the flattened selector, mirroring the generated code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompiledNode {
+    /// `if features[feature] <= threshold { goto left } else { goto right }`
+    Branch {
+        /// Feature tested (0 = log₂ m, 1 = log₂ k, 2 = log₂ n).
+        feature: usize,
+        /// Threshold in *standardised* feature space.
+        threshold: f64,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+    /// Return this kernel-configuration index.
+    Return(usize),
+}
+
+/// A flattened decision procedure, plus the feature representation
+/// (space and standardisation constants) baked in at export time.
+///
+/// Serialisable: a library can persist the trained selector next to its
+/// kernel binaries and load it at startup ([`CompiledTree::to_json`] /
+/// [`CompiledTree::from_json`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTree {
+    nodes: Vec<CompiledNode>,
+    space: FeatureSpace,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl CompiledTree {
+    /// Flatten a trained decision-tree selector.
+    ///
+    /// Fails if `selector` is not a decision tree.
+    pub fn from_selector(selector: &Selector) -> Result<CompiledTree> {
+        let tree = selector
+            .as_tree()
+            .ok_or_else(|| CoreError::Dataset("selector is not a decision tree".into()))?;
+        let fitted = tree.tree()?;
+        let classes = tree.classes();
+        let nodes = fitted
+            .nodes()
+            .iter()
+            .map(|n| match n {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => CompiledNode::Branch {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+                Node::Leaf { value, .. } => {
+                    let mut best = 0;
+                    for (i, &v) in value.iter().enumerate() {
+                        if v > value[best] {
+                            best = i;
+                        }
+                    }
+                    CompiledNode::Return(classes[best])
+                }
+            })
+            .collect();
+        let (means, stds) = match selector.scaler() {
+            Some(s) => (s.means().to_vec(), s.stds().to_vec()),
+            None => (vec![0.0; 3], vec![1.0; 3]),
+        };
+        Ok(CompiledTree {
+            nodes,
+            space: selector.feature_space(),
+            means,
+            stds,
+        })
+    }
+
+    /// Execute the compiled decision procedure for a shape.
+    pub fn select(&self, shape: &GemmShape) -> usize {
+        let raw = match self.space {
+            FeatureSpace::RawSizes => shape.features(),
+            FeatureSpace::ScaledLog => shape.log_features(),
+        };
+        let f: Vec<f64> = raw
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        let mut id = 0usize;
+        loop {
+            match &self.nodes[id] {
+                CompiledNode::Return(cfg) => return *cfg,
+                CompiledNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if f[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of branch nodes (the depth/size cost of the shipped code).
+    pub fn n_branches(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, CompiledNode::Branch { .. }))
+            .count()
+    }
+
+    /// Number of return leaves.
+    pub fn n_returns(&self) -> usize {
+        self.nodes.len() - self.n_branches()
+    }
+
+    /// Serialise for persistence alongside the compiled kernels.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("compiled tree serialises")
+    }
+
+    /// Load a tree persisted with [`CompiledTree::to_json`].
+    pub fn from_json(s: &str) -> Result<CompiledTree> {
+        serde_json::from_str(s).map_err(|e| CoreError::Dataset(e.to_string()))
+    }
+}
+
+/// Emit the compiled tree as a self-contained Rust module: a
+/// `select_kernel(m, k, n) -> usize` function of nested `if`s returning
+/// a [`KernelConfig`] index, plus the config table as documentation.
+pub fn emit_rust_source(tree: &CompiledTree, shipped: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str("// Generated by autokernel: runtime kernel selection as nested ifs.\n");
+    out.push_str("// Shipped kernel configurations:\n");
+    for &cfg in shipped {
+        if let Some(c) = KernelConfig::from_index(cfg) {
+            out.push_str(&format!("//   {cfg}: {c}\n"));
+        }
+    }
+    out.push_str("\n/// Select a kernel-configuration index for a GEMM of shape (m, k, n).\n");
+    out.push_str("pub fn select_kernel(m: usize, k: usize, n: usize) -> usize {\n");
+    out.push_str("    let f = [\n");
+    for (i, dim) in ["m", "k", "n"].iter().enumerate() {
+        let expr = match tree.space {
+            FeatureSpace::RawSizes => format!("{dim} as f64"),
+            FeatureSpace::ScaledLog => format!("({dim} as f64).log2()"),
+        };
+        out.push_str(&format!(
+            "        (({expr}) - {mean:?}) / {std:?},\n",
+            mean = tree.means[i],
+            std = tree.stds[i],
+        ));
+    }
+    out.push_str("    ];\n");
+    emit_node(tree, 0, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn emit_node(tree: &CompiledTree, id: usize, depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    match &tree.nodes[id] {
+        CompiledNode::Return(cfg) => {
+            out.push_str(&format!("{pad}{cfg}\n"));
+        }
+        CompiledNode::Branch {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            out.push_str(&format!("{pad}if f[{feature}] <= {threshold:?} {{\n"));
+            emit_node(tree, *left, depth + 1, out);
+            out.push_str(&format!("{pad}}} else {{\n"));
+            emit_node(tree, *right, depth + 1, out);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PerformanceDataset;
+    use crate::prune::PruneMethod;
+    use crate::select::SelectorKind;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn trained() -> (PerformanceDataset, Selector, Vec<usize>) {
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        let ds = PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::TopN.select(&ds, &train, 4, 0).unwrap();
+        let sel = Selector::train(SelectorKind::DecisionTree, &ds, &train, &configs, 0).unwrap();
+        (ds, sel, configs)
+    }
+
+    #[test]
+    fn compiled_tree_matches_estimator_on_training_shapes() {
+        let (ds, sel, _) = trained();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        for shape in &ds.shapes {
+            assert_eq!(compiled.select(shape), sel.select_shape(shape).unwrap());
+        }
+    }
+
+    #[test]
+    fn compiled_tree_matches_estimator_on_unseen_shapes() {
+        let (_, sel, _) = trained();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        for (m, k, n) in [(100, 100, 100), (7, 3000, 11), (50000, 27, 64), (1, 1, 1)] {
+            let shape = GemmShape::new(m, k, n);
+            assert_eq!(compiled.select(&shape), sel.select_shape(&shape).unwrap());
+        }
+    }
+
+    #[test]
+    fn generated_source_is_wellformed() {
+        let (_, sel, configs) = trained();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        let src = emit_rust_source(&compiled, &configs);
+        assert!(src.contains("pub fn select_kernel"));
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+        // Every return value appears in the source.
+        for &cfg in &configs {
+            // At least the shipped-config comment block mentions it.
+            assert!(
+                src.contains(&format!("//   {cfg}:")),
+                "missing {cfg} in:\n{src}"
+            );
+        }
+        // Structure counts agree.
+        assert_eq!(src.matches("if f[").count(), compiled.n_branches());
+    }
+
+    #[test]
+    fn returns_are_shipped_configs() {
+        let (_, sel, configs) = trained();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        for node in &compiled.nodes {
+            if let CompiledNode::Return(cfg) = node {
+                assert!(configs.contains(cfg));
+            }
+        }
+        assert!(compiled.n_returns() >= 1);
+    }
+
+    #[test]
+    fn json_persistence_roundtrip_preserves_decisions() {
+        let (ds, sel, _) = trained();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        let loaded = CompiledTree::from_json(&compiled.to_json()).unwrap();
+        assert_eq!(loaded.n_branches(), compiled.n_branches());
+        for shape in &ds.shapes {
+            assert_eq!(loaded.select(shape), compiled.select(shape));
+        }
+        assert!(CompiledTree::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn non_tree_selector_rejected() {
+        let (ds, _, configs) = trained();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let knn =
+            Selector::train(SelectorKind::OneNearestNeighbor, &ds, &train, &configs, 0).unwrap();
+        assert!(CompiledTree::from_selector(&knn).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! The performance dataset: every kernel configuration benchmarked on
+//! every GEMM shape, normalised per shape (Section II of the paper).
+
+use crate::{CoreError, Result};
+use autokernel_gemm::{model, GemmShape, KernelConfig};
+use autokernel_mlkit::Matrix;
+use autokernel_sycl_sim::{DeviceSpec, Queue};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One benchmarked (shape, configuration) grid with per-shape
+/// normalisation, the object every later stage consumes.
+///
+/// Rows are shapes, columns are configurations (in
+/// [`KernelConfig::all`] order). `normalized[(i, j)] = t_best(i) / t(i, j)`
+/// — 1.0 marks the best configuration for that shape, smaller is worse.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerformanceDataset {
+    /// The device the dataset was collected on.
+    pub device: DeviceSpec,
+    /// The benchmarked shapes.
+    pub shapes: Vec<GemmShape>,
+    /// Network tag per shape (same length as `shapes`), e.g. "VGG16".
+    pub networks: Vec<String>,
+    /// Raw simulated runtimes in seconds, `shapes.len() × 640`.
+    raw_seconds: Vec<Vec<f64>>,
+}
+
+impl PerformanceDataset {
+    /// Benchmark every configuration on every shape on `device`.
+    ///
+    /// Uses the timing-only path (the device model prices each launch
+    /// without materialising operand buffers), parallelised over shapes.
+    pub fn collect(device: &DeviceSpec, shapes: &[(GemmShape, String)]) -> Result<Self> {
+        if shapes.is_empty() {
+            return Err(CoreError::Dataset("no shapes to benchmark".into()));
+        }
+        let configs = KernelConfig::all();
+        let dev = Arc::new(device.clone());
+        let raw_seconds: Vec<Vec<f64>> = shapes
+            .par_iter()
+            .map(|(shape, _)| {
+                let queue = Queue::timing_only(dev.clone());
+                configs
+                    .iter()
+                    .map(|cfg| {
+                        let range =
+                            model::launch_range(cfg, shape).expect("all configs are launchable");
+                        let profile = model::profile(cfg, shape, &dev);
+                        let (_, duration) =
+                            queue.price(&profile, &range, model::noise_seed(cfg, shape));
+                        duration
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Ok(PerformanceDataset {
+            device: device.clone(),
+            shapes: shapes.iter().map(|(s, _)| *s).collect(),
+            networks: shapes.iter().map(|(_, n)| n.clone()).collect(),
+            raw_seconds,
+        })
+    }
+
+    /// Convenience: collect the paper's 170-shape dataset on `device`.
+    pub fn collect_paper_dataset(device: &DeviceSpec) -> Result<Self> {
+        let tagged: Vec<(GemmShape, String)> = autokernel_workloads::paper_dataset()
+            .into_iter()
+            .flat_map(|net| {
+                net.shapes
+                    .into_iter()
+                    .map(move |s| (s, net.network.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Self::collect(device, &tagged)
+    }
+
+    /// Number of shapes (rows).
+    pub fn n_shapes(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of configurations (columns, always 640).
+    pub fn n_configs(&self) -> usize {
+        KernelConfig::count()
+    }
+
+    /// Raw simulated runtime of configuration `config` on shape `shape`.
+    pub fn raw_seconds(&self, shape: usize, config: usize) -> f64 {
+        self.raw_seconds[shape][config]
+    }
+
+    /// Normalised performance of `config` on `shape`:
+    /// `best_time / time`, in (0, 1].
+    pub fn normalized(&self, shape: usize, config: usize) -> f64 {
+        let row = &self.raw_seconds[shape];
+        let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+        best / row[config]
+    }
+
+    /// The full normalised matrix (`n_shapes × 640`).
+    pub fn normalized_matrix(&self) -> Matrix {
+        let cols = self.n_configs();
+        let mut m = Matrix::zeros(self.n_shapes(), cols);
+        for (i, row) in self.raw_seconds.iter().enumerate() {
+            let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+            for (j, &t) in row.iter().enumerate() {
+                m[(i, j)] = best / t;
+            }
+        }
+        m
+    }
+
+    /// Normalised matrix restricted to a subset of shape rows.
+    pub fn normalized_matrix_of(&self, rows: &[usize]) -> Matrix {
+        let cols = self.n_configs();
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (out_i, &i) in rows.iter().enumerate() {
+            let row = &self.raw_seconds[i];
+            let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+            for (j, &t) in row.iter().enumerate() {
+                m[(out_i, j)] = best / t;
+            }
+        }
+        m
+    }
+
+    /// Index of the best configuration for a shape row.
+    pub fn best_config(&self, shape: usize) -> usize {
+        let row = &self.raw_seconds[shape];
+        let mut best = 0;
+        for (j, &t) in row.iter().enumerate() {
+            if t < row[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Best configuration for `shape` *among* a restricted set; returns
+    /// the position within `allowed` as well as the config index.
+    pub fn best_config_among(&self, shape: usize, allowed: &[usize]) -> Option<(usize, usize)> {
+        let row = &self.raw_seconds[shape];
+        allowed
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| row[a].partial_cmp(&row[b]).unwrap())
+            .map(|(pos, &cfg)| (pos, cfg))
+    }
+
+    /// How many shapes each configuration is optimal for (Figure 2).
+    /// Returned dense over all 640 configurations.
+    pub fn optimal_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_configs()];
+        for i in 0..self.n_shapes() {
+            counts[self.best_config(i)] += 1;
+        }
+        counts
+    }
+
+    /// Number of distinct configurations that are optimal for at least
+    /// one shape (the "long tail" of Figure 2).
+    pub fn distinct_optima(&self) -> usize {
+        self.optimal_counts().iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Mean normalised performance of each configuration across shapes,
+    /// the ordering used to sort Figure 1's x-axis.
+    pub fn mean_performance(&self) -> Vec<f64> {
+        let m = self.normalized_matrix();
+        let mut means = vec![0.0; self.n_configs()];
+        for i in 0..m.rows() {
+            for (mean, &v) in means.iter_mut().zip(m.row(i)) {
+                *mean += v;
+            }
+        }
+        let n = self.n_shapes() as f64;
+        means.iter_mut().for_each(|v| *v /= n);
+        means
+    }
+
+    /// GFLOP/s attained by `config` on `shape` (what the paper's
+    /// benchmark records alongside runtime).
+    pub fn gflops(&self, shape: usize, config: usize) -> f64 {
+        self.shapes[shape].flops() / self.raw_seconds(shape, config) / 1e9
+    }
+
+    /// Log-scaled feature matrix of the given shape rows (`len × 3`),
+    /// the classifier input representation.
+    pub fn features_of(&self, rows: &[usize]) -> Matrix {
+        let data: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|&i| self.shapes[i].log_features().to_vec())
+            .collect();
+        Matrix::from_rows(&data).expect("feature rows are rectangular")
+    }
+
+    /// Raw (unscaled) feature matrix of the given shape rows (`len × 3`).
+    pub fn raw_features_of(&self, rows: &[usize]) -> Matrix {
+        let data: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|&i| self.shapes[i].features().to_vec())
+            .collect();
+        Matrix::from_rows(&data).expect("feature rows are rectangular")
+    }
+
+    /// Serialise to pretty JSON (the released-dataset analogue).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialises")
+    }
+
+    /// Load a dataset serialised with [`PerformanceDataset::to_json`].
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| CoreError::Dataset(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> PerformanceDataset {
+        let shapes = vec![
+            (GemmShape::new(64, 64, 64), "T".to_string()),
+            (GemmShape::new(1, 4096, 1000), "T".to_string()),
+            (GemmShape::new(12544, 27, 64), "T".to_string()),
+            (GemmShape::new(196, 2304, 256), "T".to_string()),
+        ];
+        PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap()
+    }
+
+    #[test]
+    fn dims_and_normalisation_bounds() {
+        let ds = small_dataset();
+        assert_eq!(ds.n_shapes(), 4);
+        assert_eq!(ds.n_configs(), 640);
+        let m = ds.normalized_matrix();
+        for i in 0..m.rows() {
+            let mut saw_one = false;
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                assert!(v > 0.0 && v <= 1.0, "normalised value {v} out of range");
+                if (v - 1.0).abs() < 1e-12 {
+                    saw_one = true;
+                }
+            }
+            assert!(saw_one, "each row must contain its best config at 1.0");
+        }
+    }
+
+    #[test]
+    fn best_config_is_argmax_of_normalized() {
+        let ds = small_dataset();
+        for i in 0..ds.n_shapes() {
+            let best = ds.best_config(i);
+            assert!((ds.normalized(i, best) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_config_among_restricted() {
+        let ds = small_dataset();
+        let allowed = vec![3, 100, 307];
+        let (pos, cfg) = ds.best_config_among(0, &allowed).unwrap();
+        assert_eq!(allowed[pos], cfg);
+        // The restricted best can't beat the global best.
+        assert!(ds.normalized(0, cfg) <= 1.0);
+        assert!(ds.best_config_among(0, &[]).is_none());
+    }
+
+    #[test]
+    fn optimal_counts_sum_to_shape_count() {
+        let ds = small_dataset();
+        let counts = ds.optimal_counts();
+        assert_eq!(counts.iter().sum::<usize>(), ds.n_shapes());
+        assert!(ds.distinct_optima() >= 1);
+    }
+
+    #[test]
+    fn deterministic_collection() {
+        let a = small_dataset();
+        let b = small_dataset();
+        for i in 0..a.n_shapes() {
+            for j in 0..a.n_configs() {
+                assert_eq!(a.raw_seconds(i, j), b.raw_seconds(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = small_dataset();
+        let back = PerformanceDataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.shapes, ds.shapes);
+        let (a, b) = (back.raw_seconds(2, 300), ds.raw_seconds(2, 300));
+        assert!((a - b).abs() <= a.abs() * 1e-14, "{a} vs {b}"); // 1 ULP via serde_json
+    }
+
+    #[test]
+    fn gflops_positive_and_bounded_by_peak() {
+        let ds = small_dataset();
+        let peak = ds.device.peak_flops / 1e9;
+        for i in 0..ds.n_shapes() {
+            for j in [0usize, 639, ds.best_config(i)] {
+                let g = ds.gflops(i, j);
+                assert!(g > 0.0 && g <= peak * 1.05, "gflops {g} vs peak {peak}");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_rejects_empty() {
+        assert!(PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &[]).is_err());
+    }
+
+    #[test]
+    fn features_are_logs() {
+        let ds = small_dataset();
+        let f = ds.features_of(&[0]);
+        assert_eq!(f.row(0), &[6.0, 6.0, 6.0]);
+        let rf = ds.raw_features_of(&[0]);
+        assert_eq!(rf.row(0), &[64.0, 64.0, 64.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Scoring of pruned configuration sets and runtime selectors
+//! (the metrics behind Figure 4 and Table I).
+
+use crate::dataset::PerformanceDataset;
+use autokernel_mlkit::metrics::geometric_mean;
+
+/// Geometric mean over `rows` of the best *achievable* normalised
+/// performance given a restricted configuration set — the Figure 4
+/// metric. 1.0 means the restricted set contains the optimum for every
+/// shape.
+pub fn achievable_score(ds: &PerformanceDataset, rows: &[usize], configs: &[usize]) -> f64 {
+    if configs.is_empty() || rows.is_empty() {
+        return 0.0;
+    }
+    let per_shape: Vec<f64> = rows
+        .iter()
+        .map(|&i| {
+            configs
+                .iter()
+                .map(|&c| ds.normalized(i, c))
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    geometric_mean(&per_shape)
+}
+
+/// Geometric mean over `rows` of the normalised performance of the
+/// *chosen* configuration per shape — the Table I metric.
+///
+/// `chosen[i]` is the configuration index selected for `rows[i]`.
+pub fn selection_score(ds: &PerformanceDataset, rows: &[usize], chosen: &[usize]) -> f64 {
+    debug_assert_eq!(rows.len(), chosen.len());
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let per_shape: Vec<f64> = rows
+        .iter()
+        .zip(chosen)
+        .map(|(&i, &c)| ds.normalized(i, c))
+        .collect();
+    geometric_mean(&per_shape)
+}
+
+/// Fraction of `rows` whose chosen configuration is the best available
+/// within `configs` (classifier top-1 accuracy against the restricted
+/// oracle).
+pub fn oracle_accuracy(
+    ds: &PerformanceDataset,
+    rows: &[usize],
+    configs: &[usize],
+    chosen: &[usize],
+) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let hits = rows
+        .iter()
+        .zip(chosen)
+        .filter(|&(&i, &c)| {
+            ds.best_config_among(i, configs)
+                .map(|(_, best)| best == c)
+                .unwrap_or(false)
+        })
+        .count();
+    hits as f64 / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autokernel_gemm::GemmShape;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn ds() -> PerformanceDataset {
+        let shapes = vec![
+            (GemmShape::new(64, 64, 64), "T".into()),
+            (GemmShape::new(512, 512, 512), "T".into()),
+            (GemmShape::new(1, 1024, 1000), "T".into()),
+        ];
+        PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap()
+    }
+
+    #[test]
+    fn full_set_achieves_one() {
+        let ds = ds();
+        let all: Vec<usize> = (0..ds.n_configs()).collect();
+        let rows: Vec<usize> = (0..ds.n_shapes()).collect();
+        let s = achievable_score(&ds, &rows, &all);
+        assert!((s - 1.0).abs() < 1e-12, "score {s}");
+    }
+
+    #[test]
+    fn achievable_grows_with_set_size() {
+        let ds = ds();
+        let rows: Vec<usize> = (0..ds.n_shapes()).collect();
+        let small = achievable_score(&ds, &rows, &[0]);
+        let bigger = achievable_score(&ds, &rows, &[0, ds.best_config(0)]);
+        assert!(bigger >= small);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let ds = ds();
+        assert_eq!(achievable_score(&ds, &[0], &[]), 0.0);
+        assert_eq!(achievable_score(&ds, &[], &[0]), 0.0);
+        assert_eq!(selection_score(&ds, &[], &[]), 0.0);
+        assert_eq!(oracle_accuracy(&ds, &[], &[0], &[]), 0.0);
+    }
+
+    #[test]
+    fn selection_score_bounded_by_achievable() {
+        let ds = ds();
+        let rows: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = vec![100, 300, ds.best_config(1)];
+        let chosen = vec![100; rows.len()];
+        let sel = selection_score(&ds, &rows, &chosen);
+        let ach = achievable_score(&ds, &rows, &configs);
+        assert!(sel <= ach + 1e-12);
+    }
+
+    #[test]
+    fn oracle_accuracy_one_when_choosing_restricted_best() {
+        let ds = ds();
+        let rows: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = vec![5, 200, 616];
+        let chosen: Vec<usize> = rows
+            .iter()
+            .map(|&i| ds.best_config_among(i, &configs).unwrap().1)
+            .collect();
+        assert_eq!(oracle_accuracy(&ds, &rows, &configs, &chosen), 1.0);
+        assert!(
+            (selection_score(&ds, &rows, &chosen) - achievable_score(&ds, &rows, &configs)).abs()
+                < 1e-12
+        );
+    }
+}

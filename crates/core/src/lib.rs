@@ -1,0 +1,85 @@
+//! # autokernel-core
+//!
+//! The paper's contribution: machine-learning driven pruning of a kernel
+//! configuration space and cheap runtime selection among the survivors.
+//!
+//! The pipeline, mirroring Sections II-IV of the paper:
+//!
+//! 1. [`dataset`] — benchmark every [`autokernel_gemm::KernelConfig`]
+//!    (640) on every dataset GEMM shape, normalising each shape's
+//!    timings to its best configuration (Figure 1 / Figure 2 data).
+//! 2. [`prune`] — five strategies that shrink 640 configurations to a
+//!    small shipped set: top-N by optimal count, k-means, PCA + k-means,
+//!    HDBSCAN and a leaf-bounded decision-tree regression (Figure 4).
+//! 3. [`select`] — six runtime classifiers mapping a GEMM shape to one of
+//!    the shipped configurations (Table I).
+//! 4. [`codegen`] — deployment: exporting the decision tree as nested
+//!    `if` statements of plain Rust, the paper's argument for trees in
+//!    low-latency libraries.
+//! 5. [`pipeline`] — the end-to-end [`pipeline::TuningPipeline`], plus
+//!    [`autotune`], the trial-run dynamic autotuner machine-learning
+//!    frameworks traditionally use, as the baseline the introduction
+//!    argues against.
+//!
+//! Extensions beyond the paper: [`regression`] implements the related
+//! work's predictive-auto-tuning alternative (per-kernel boosted-tree
+//! performance models, argmax selection), and [`crossval`] adds k-fold
+//! evaluation for the tiny-dataset regime the paper worries about.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod codegen;
+pub mod crossval;
+pub mod dataset;
+pub mod evaluate;
+pub mod libsize;
+pub mod pipeline;
+pub mod prune;
+pub mod regression;
+pub mod report;
+pub mod select;
+
+pub use dataset::PerformanceDataset;
+pub use pipeline::{PipelineConfig, TuningPipeline};
+pub use prune::PruneMethod;
+pub use regression::{RegressionParams, RegressionSelector};
+pub use select::{Selector, SelectorKind};
+
+/// Errors from the selection pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying ML estimator failure.
+    Ml(autokernel_mlkit::MlError),
+    /// Underlying simulator failure.
+    Sim(autokernel_sycl_sim::SimError),
+    /// Dataset construction or indexing problem.
+    Dataset(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Dataset(s) => write!(f, "dataset error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<autokernel_mlkit::MlError> for CoreError {
+    fn from(e: autokernel_mlkit::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<autokernel_sycl_sim::SimError> for CoreError {
+    fn from(e: autokernel_sycl_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

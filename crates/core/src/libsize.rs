@@ -1,0 +1,143 @@
+//! Library-size and build-time modelling — the cost the whole study
+//! exists to control: "Supporting many different kernel instantiations
+//! in these libraries adds complexity and a cost in terms of library
+//! size and build times."
+//!
+//! A SYCL library carries one intermediate-representation blob per
+//! *compile-time* kernel instantiation (tile parameters); work-group
+//! shape is a runtime argument and costs nothing. The model below uses
+//! representative per-instantiation constants so pruning decisions can
+//! be expressed in bytes and seconds, not just counts.
+
+use autokernel_gemm::KernelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-instantiation cost constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LibrarySizeModel {
+    /// Bytes of embedded IR + host stubs per compile-time kernel.
+    pub bytes_per_kernel: usize,
+    /// Fixed library overhead in bytes (runtime, headers, dispatch).
+    pub base_bytes: usize,
+    /// Device-compiler seconds per compile-time kernel.
+    pub build_seconds_per_kernel: f64,
+}
+
+impl Default for LibrarySizeModel {
+    /// Representative constants for a SPIR-V-carrying SYCL library:
+    /// ~48 KiB of IR + stubs per GEMM instantiation, 640 KiB of fixed
+    /// overhead, ~2.5 s of device compilation per instantiation.
+    fn default() -> Self {
+        LibrarySizeModel {
+            bytes_per_kernel: 48 * 1024,
+            base_bytes: 640 * 1024,
+            build_seconds_per_kernel: 2.5,
+        }
+    }
+}
+
+/// The distinct compile-time tile variants among a set of configuration
+/// indices (work-group shape deduplicated away).
+pub fn compile_time_variants(configs: &[usize]) -> BTreeSet<(usize, usize, usize)> {
+    configs
+        .iter()
+        .filter_map(|&i| KernelConfig::from_index(i))
+        .map(|c| (c.tile_rows, c.tile_cols, c.acc_depth))
+        .collect()
+}
+
+/// A size/build comparison between shipping everything and shipping a
+/// pruned set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Compile-time variants in the full space (64).
+    pub full_variants: usize,
+    /// Compile-time variants actually shipped.
+    pub shipped_variants: usize,
+    /// Library bytes when shipping everything.
+    pub full_bytes: usize,
+    /// Library bytes when shipping the pruned set.
+    pub shipped_bytes: usize,
+    /// Build seconds when shipping everything.
+    pub full_build_s: f64,
+    /// Build seconds when shipping the pruned set.
+    pub shipped_build_s: f64,
+}
+
+impl SizeReport {
+    /// Size reduction factor of the kernel section (>= 1).
+    pub fn kernel_section_shrink(&self) -> f64 {
+        let full = self.full_variants.max(1) as f64;
+        full / self.shipped_variants.max(1) as f64
+    }
+}
+
+impl LibrarySizeModel {
+    /// Bytes for a library shipping `variants` compile-time kernels.
+    pub fn library_bytes(&self, variants: usize) -> usize {
+        self.base_bytes + variants * self.bytes_per_kernel
+    }
+
+    /// Build seconds for `variants` compile-time kernels.
+    pub fn build_seconds(&self, variants: usize) -> f64 {
+        variants as f64 * self.build_seconds_per_kernel
+    }
+
+    /// Compare the full space against a shipped configuration set.
+    pub fn report(&self, shipped_configs: &[usize]) -> SizeReport {
+        let full = KernelConfig::compile_time_variants().len();
+        let shipped = compile_time_variants(shipped_configs).len();
+        SizeReport {
+            full_variants: full,
+            shipped_variants: shipped,
+            full_bytes: self.library_bytes(full),
+            shipped_bytes: self.library_bytes(shipped),
+            full_build_s: self.build_seconds(full),
+            shipped_build_s: self.build_seconds(shipped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_deduplicate_work_groups() {
+        // Configs 0..9 are tile (1,1,1) with the ten work-group shapes:
+        // one compile-time variant.
+        let configs: Vec<usize> = (0..10).collect();
+        assert_eq!(compile_time_variants(&configs).len(), 1);
+        // Adding config 10 ((1,1,2) x first wg) adds a second variant.
+        let mut more = configs;
+        more.push(10);
+        assert_eq!(compile_time_variants(&more).len(), 2);
+    }
+
+    #[test]
+    fn report_shrinks_with_pruning() {
+        let model = LibrarySizeModel::default();
+        let shipped = vec![0usize, 10, 640 - 1];
+        let report = model.report(&shipped);
+        assert_eq!(report.full_variants, 64);
+        assert_eq!(report.shipped_variants, 3);
+        assert!(report.shipped_bytes < report.full_bytes);
+        assert!(report.shipped_build_s < report.full_build_s);
+        assert!((report.kernel_section_shrink() - 64.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_and_build_are_affine_in_variants() {
+        let model = LibrarySizeModel::default();
+        let d = model.library_bytes(10) - model.library_bytes(9);
+        assert_eq!(d, model.bytes_per_kernel);
+        assert_eq!(model.library_bytes(0), model.base_bytes);
+        assert_eq!(model.build_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn invalid_indices_are_ignored() {
+        assert!(compile_time_variants(&[99999]).is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! The end-to-end tuning pipeline: collect → split → prune → train →
+//! evaluate → deploy, tying Sections II-IV together behind one call.
+
+use crate::codegen::{emit_rust_source, CompiledTree};
+use crate::dataset::PerformanceDataset;
+use crate::evaluate;
+use crate::prune::PruneMethod;
+use crate::select::{Selector, SelectorKind};
+use crate::Result;
+use autokernel_gemm::{GemmShape, KernelConfig};
+use autokernel_mlkit::model_selection::train_test_split;
+use autokernel_sycl_sim::DeviceSpec;
+
+/// Pipeline hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Maximum number of shipped kernel configurations.
+    pub budget: usize,
+    /// Pruning strategy (Figure 4 winner by default).
+    pub prune: PruneMethod,
+    /// Runtime classifier (the paper's deployment recommendation).
+    pub selector: SelectorKind,
+    /// Held-out fraction for evaluation (the paper uses 0.2 → 136/34).
+    pub test_fraction: f64,
+    /// Master seed: split, clustering restarts and ensembles derive
+    /// from it.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            budget: 6,
+            prune: PruneMethod::DecisionTree,
+            selector: SelectorKind::DecisionTree,
+            test_fraction: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// A fully-trained kernel-selection pipeline.
+///
+/// ```
+/// use autokernel_core::{PipelineConfig, TuningPipeline};
+/// use autokernel_gemm::GemmShape;
+/// use autokernel_sycl_sim::DeviceSpec;
+///
+/// let shapes: Vec<_> = [(64, 64, 64), (512, 512, 512), (1, 4096, 1000),
+///     (12544, 27, 64), (196, 2304, 256), (49, 960, 160), (784, 1152, 128),
+///     (32, 4096, 4096), (2, 2048, 1000), (1024, 1024, 1024)]
+///     .iter()
+///     .map(|&(m, k, n)| (GemmShape::new(m, k, n), "demo".to_string()))
+///     .collect();
+/// let pipeline = TuningPipeline::run(
+///     &DeviceSpec::amd_r9_nano(), &shapes, PipelineConfig::default(),
+/// ).unwrap();
+/// assert!(!pipeline.shipped_configs().is_empty());
+/// let chosen = pipeline.select(&GemmShape::new(300, 300, 300)).unwrap();
+/// assert!(pipeline.shipped_kernel_configs().contains(&chosen));
+/// ```
+pub struct TuningPipeline {
+    dataset: PerformanceDataset,
+    train_rows: Vec<usize>,
+    test_rows: Vec<usize>,
+    shipped: Vec<usize>,
+    selector: Selector,
+    config: PipelineConfig,
+}
+
+impl TuningPipeline {
+    /// Run the pipeline on an already-collected dataset.
+    pub fn from_dataset(dataset: PerformanceDataset, config: PipelineConfig) -> Result<Self> {
+        let split = train_test_split(dataset.n_shapes(), config.test_fraction, config.seed);
+        let shipped = config
+            .prune
+            .select(&dataset, &split.train, config.budget, config.seed)?;
+        let selector = Selector::train(
+            config.selector,
+            &dataset,
+            &split.train,
+            &shipped,
+            config.seed,
+        )?;
+        Ok(TuningPipeline {
+            dataset,
+            train_rows: split.train,
+            test_rows: split.test,
+            shipped,
+            selector,
+            config,
+        })
+    }
+
+    /// Collect the dataset for `shapes` on `device`, then run.
+    pub fn run(
+        device: &DeviceSpec,
+        shapes: &[(GemmShape, String)],
+        config: PipelineConfig,
+    ) -> Result<Self> {
+        let dataset = PerformanceDataset::collect(device, shapes)?;
+        Self::from_dataset(dataset, config)
+    }
+
+    /// The shipped configuration indices.
+    pub fn shipped_configs(&self) -> &[usize] {
+        &self.shipped
+    }
+
+    /// The shipped configurations, decoded.
+    pub fn shipped_kernel_configs(&self) -> Vec<KernelConfig> {
+        self.shipped
+            .iter()
+            .filter_map(|&i| KernelConfig::from_index(i))
+            .collect()
+    }
+
+    /// Select a configuration for an arbitrary shape.
+    pub fn select(&self, shape: &GemmShape) -> Result<KernelConfig> {
+        let idx = self.selector.select_shape(shape)?;
+        Ok(KernelConfig::from_index(idx).expect("selector returns valid indices"))
+    }
+
+    /// Best geometric-mean performance *achievable* with the shipped set
+    /// on the held-out rows (the Figure 4 number).
+    pub fn achievable_ceiling(&self) -> f64 {
+        evaluate::achievable_score(&self.dataset, &self.test_rows, &self.shipped)
+    }
+
+    /// Geometric-mean performance of the selector's choices on the
+    /// held-out rows (the Table I number).
+    pub fn test_score(&self) -> Result<f64> {
+        let chosen = self.selector.select_rows(&self.dataset, &self.test_rows)?;
+        Ok(evaluate::selection_score(
+            &self.dataset,
+            &self.test_rows,
+            &chosen,
+        ))
+    }
+
+    /// Selector score on the training rows (overfitting diagnostic).
+    pub fn train_score(&self) -> Result<f64> {
+        let chosen = self.selector.select_rows(&self.dataset, &self.train_rows)?;
+        Ok(evaluate::selection_score(
+            &self.dataset,
+            &self.train_rows,
+            &chosen,
+        ))
+    }
+
+    /// Export the selector as Rust source (decision trees only).
+    pub fn export_rust(&self) -> Result<String> {
+        let compiled = CompiledTree::from_selector(&self.selector)?;
+        Ok(emit_rust_source(&compiled, &self.shipped))
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &PerformanceDataset {
+        &self.dataset
+    }
+
+    /// Training / held-out row indices.
+    pub fn split(&self) -> (&[usize], &[usize]) {
+        (&self.train_rows, &self.test_rows)
+    }
+
+    /// The trained selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<(GemmShape, String)> {
+        [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+            (1024, 1024, 1024),
+            (25088, 576, 128),
+            (8, 25088, 4096),
+            (128, 128, 1000),
+            (3136, 576, 192),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect()
+    }
+
+    #[test]
+    fn end_to_end_defaults() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(!p.shipped_configs().is_empty());
+        assert!(p.shipped_configs().len() <= 6);
+        let ceiling = p.achievable_ceiling();
+        assert!(ceiling > 0.0 && ceiling <= 1.0);
+        let score = p.test_score().unwrap();
+        assert!(
+            score > 0.0 && score <= ceiling + 1e-12,
+            "score {score} ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn select_returns_shipped_kernels() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        let cfg = p.select(&GemmShape::new(300, 300, 300)).unwrap();
+        assert!(p.shipped_kernel_configs().contains(&cfg));
+    }
+
+    #[test]
+    fn export_rust_for_tree_selector() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        let src = p.export_rust().unwrap();
+        assert!(src.contains("pub fn select_kernel"));
+    }
+
+    #[test]
+    fn non_tree_selector_cannot_export() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig {
+                selector: SelectorKind::LinearSvm,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(p.export_rust().is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PipelineConfig::default();
+        let a = TuningPipeline::run(&DeviceSpec::amd_r9_nano(), &shapes(), cfg.clone()).unwrap();
+        let b = TuningPipeline::run(&DeviceSpec::amd_r9_nano(), &shapes(), cfg).unwrap();
+        assert_eq!(a.shipped_configs(), b.shipped_configs());
+        assert_eq!(a.test_score().unwrap(), b.test_score().unwrap());
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig {
+                test_fraction: 0.25,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let (train, test) = p.split();
+        assert_eq!(train.len() + test.len(), 16);
+        assert_eq!(test.len(), 4);
+    }
+}

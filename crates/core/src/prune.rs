@@ -1,0 +1,346 @@
+//! Configuration pruning: shrinking 640 configurations to a small
+//! shipped set (Section III of the paper).
+//!
+//! Every clustering strategy operates on the *rows* of the normalised
+//! performance matrix — one 640-dimensional performance vector per GEMM
+//! shape — finds a set of representative rows/vectors, and ships the
+//! best configuration of each representative. The naive baseline skips
+//! clustering and ships the configurations that are most often optimal.
+
+use crate::dataset::PerformanceDataset;
+use crate::Result;
+use autokernel_mlkit::tree::{DecisionTreeRegressor, TreeParams};
+use autokernel_mlkit::{metrics, Hdbscan, KMeans, Matrix, Pca};
+use serde::{Deserialize, Serialize};
+
+/// The five pruning strategies compared in Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruneMethod {
+    /// Ship the N configurations with the highest optimal counts.
+    TopN,
+    /// k-means over raw 640-dim performance vectors.
+    KMeans,
+    /// PCA to a low-dimensional space, then k-means there.
+    PcaKMeans,
+    /// HDBSCAN density clustering; cluster medoids are representatives.
+    Hdbscan,
+    /// Multi-output decision-tree regression with bounded leaf count;
+    /// leaf mean-vectors are the representatives.
+    DecisionTree,
+}
+
+impl PruneMethod {
+    /// All methods in the order the paper discusses them.
+    pub fn all() -> [PruneMethod; 5] {
+        [
+            PruneMethod::TopN,
+            PruneMethod::KMeans,
+            PruneMethod::PcaKMeans,
+            PruneMethod::Hdbscan,
+            PruneMethod::DecisionTree,
+        ]
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruneMethod::TopN => "top-N by optimal count",
+            PruneMethod::KMeans => "k-means",
+            PruneMethod::PcaKMeans => "PCA + k-means",
+            PruneMethod::Hdbscan => "HDBSCAN",
+            PruneMethod::DecisionTree => "decision tree",
+        }
+    }
+
+    /// Select at most `budget` configuration indices using the rows in
+    /// `train` of `ds`. The returned set is deduplicated and sorted;
+    /// it may be smaller than `budget` when clusters share a best
+    /// configuration.
+    pub fn select(
+        &self,
+        ds: &PerformanceDataset,
+        train: &[usize],
+        budget: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>> {
+        let mut configs = match self {
+            PruneMethod::TopN => top_n(ds, train, budget),
+            PruneMethod::KMeans => kmeans_select(ds, train, budget, seed)?,
+            PruneMethod::PcaKMeans => pca_kmeans_select(ds, train, budget, seed)?,
+            PruneMethod::Hdbscan => hdbscan_select(ds, train, budget)?,
+            PruneMethod::DecisionTree => tree_select(ds, train, budget)?,
+        };
+        configs.sort_unstable();
+        configs.dedup();
+        configs.truncate(budget);
+        Ok(configs)
+    }
+}
+
+/// The naive baseline: configurations ranked by how often they are
+/// optimal on the training rows (ties broken by mean performance).
+fn top_n(ds: &PerformanceDataset, train: &[usize], budget: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; ds.n_configs()];
+    for &i in train {
+        counts[ds.best_config(i)] += 1;
+    }
+    let means = mean_performance_of(ds, train);
+    let mut order: Vec<usize> = (0..ds.n_configs()).collect();
+    order.sort_by(|&a, &b| {
+        counts[b]
+            .cmp(&counts[a])
+            .then(means[b].partial_cmp(&means[a]).unwrap())
+    });
+    order.truncate(budget);
+    order
+}
+
+fn mean_performance_of(ds: &PerformanceDataset, rows: &[usize]) -> Vec<f64> {
+    let m = ds.normalized_matrix_of(rows);
+    let mut means = vec![0.0f64; m.cols()];
+    for i in 0..m.rows() {
+        for (s, &v) in means.iter_mut().zip(m.row(i)) {
+            *s += v;
+        }
+    }
+    let n = m.rows().max(1) as f64;
+    means.iter_mut().for_each(|v| *v /= n);
+    means
+}
+
+/// k-means over the raw performance vectors; each centroid (itself a
+/// 640-dim vector of expected performance) nominates its argmax config.
+fn kmeans_select(
+    ds: &PerformanceDataset,
+    train: &[usize],
+    budget: usize,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    let x = ds.normalized_matrix_of(train);
+    let k = budget.min(train.len());
+    let mut km = KMeans::new(k, seed);
+    km.fit(&x)?;
+    let centroids = km.centroids()?;
+    Ok((0..centroids.rows())
+        .filter_map(|c| metrics::argmax(centroids.row(c)))
+        .collect())
+}
+
+/// PCA to (budget+2 capped) dimensions, k-means there, then map each
+/// centroid back through the inverse transform and take its argmax.
+fn pca_kmeans_select(
+    ds: &PerformanceDataset,
+    train: &[usize],
+    budget: usize,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    let x = ds.normalized_matrix_of(train);
+    let dims = (budget + 2).min(train.len().saturating_sub(1)).max(1);
+    let mut pca = Pca::new(dims);
+    let z = pca.fit_transform(&x)?;
+    let k = budget.min(train.len());
+    let mut km = KMeans::new(k, seed);
+    km.fit(&z)?;
+    let back = pca.inverse_transform(km.centroids()?)?;
+    Ok((0..back.rows())
+        .filter_map(|c| metrics::argmax(back.row(c)))
+        .collect())
+}
+
+/// HDBSCAN over the performance vectors. HDBSCAN chooses its own cluster
+/// count, so `min_cluster_size` is swept and the parameterisation whose
+/// cluster count is closest to (without exceeding) the budget is kept;
+/// cluster medoids nominate their row's best configuration. Shapes left
+/// as noise contribute nothing, as in the paper's setup.
+fn hdbscan_select(ds: &PerformanceDataset, train: &[usize], budget: usize) -> Result<Vec<usize>> {
+    let x = ds.normalized_matrix_of(train);
+    let max_mcs = (train.len() / 2).max(2);
+
+    let mut best: Option<(usize, Vec<usize>)> = None; // (clusters, medoid rows)
+    for mcs in 2..=max_mcs.min(24) {
+        let mut h = Hdbscan::new(mcs);
+        if h.fit(&x).is_err() {
+            continue;
+        }
+        let n = h.n_clusters()?;
+        if n == 0 {
+            continue;
+        }
+        let medoids = h.medoid_indices(&x)?;
+        let score = if n <= budget { n } else { 0 }; // prefer most clusters within budget
+        let better = match &best {
+            None => true,
+            Some((bn, _)) => score > *bn,
+        };
+        if better && n <= budget {
+            best = Some((n, medoids));
+        } else if best.is_none() && n > budget {
+            // Over budget everywhere: keep the largest clusters only.
+            let mut h2_medoids = medoids;
+            h2_medoids.truncate(budget);
+            best = Some((0, h2_medoids));
+        }
+    }
+
+    let medoid_rows = best.map(|(_, m)| m).unwrap_or_default();
+    let mut configs: Vec<usize> = medoid_rows
+        .iter()
+        .map(|&r| ds.best_config(train[r]))
+        .collect();
+    if configs.is_empty() {
+        // Degenerate data (e.g. all vectors identical): fall back to the
+        // single globally best configuration.
+        configs = top_n(ds, train, 1);
+    }
+    Ok(configs)
+}
+
+/// Decision-tree regression from log-shape features to the 640-dim
+/// performance vector, grown best-first with at most `budget` leaves;
+/// each leaf's mean performance vector nominates its argmax.
+fn tree_select(ds: &PerformanceDataset, train: &[usize], budget: usize) -> Result<Vec<usize>> {
+    let features = ds.features_of(train);
+    let targets = ds.normalized_matrix_of(train);
+    let mut reg = DecisionTreeRegressor::new(TreeParams {
+        max_leaf_nodes: Some(budget.max(1)),
+        min_samples_leaf: 2,
+        ..TreeParams::default()
+    });
+    reg.fit(&features, &targets)?;
+    Ok(reg
+        .tree()?
+        .leaf_values()
+        .into_iter()
+        .filter_map(metrics::argmax)
+        .collect())
+}
+
+/// Per-leaf representative matrix (used by tests/diagnostics): the leaf
+/// mean-vectors the decision-tree pruner clusters the dataset into.
+pub fn tree_representatives(
+    ds: &PerformanceDataset,
+    train: &[usize],
+    budget: usize,
+) -> Result<Matrix> {
+    let features = ds.features_of(train);
+    let targets = ds.normalized_matrix_of(train);
+    let mut reg = DecisionTreeRegressor::new(TreeParams {
+        max_leaf_nodes: Some(budget.max(1)),
+        min_samples_leaf: 2,
+        ..TreeParams::default()
+    });
+    reg.fit(&features, &targets)?;
+    let leaves = reg.tree()?.leaf_values();
+    let rows: Vec<Vec<f64>> = leaves.into_iter().map(|l| l.to_vec()).collect();
+    Ok(Matrix::from_rows(&rows).expect("leaf rows are rectangular"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autokernel_gemm::GemmShape;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn ds() -> PerformanceDataset {
+        // A spread of shapes with different optimal regimes.
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (100352, 27, 64),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap()
+    }
+
+    #[test]
+    fn every_method_respects_budget() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        for method in PruneMethod::all() {
+            for budget in [1, 3, 6] {
+                let sel = method.select(&ds, &train, budget, 7).unwrap();
+                assert!(
+                    !sel.is_empty() && sel.len() <= budget,
+                    "{} returned {} configs for budget {budget}",
+                    method.name(),
+                    sel.len()
+                );
+                assert!(sel.iter().all(|&c| c < ds.n_configs()));
+                // Deduplicated.
+                let mut d = sel.clone();
+                d.dedup();
+                assert_eq!(d.len(), sel.len());
+            }
+        }
+    }
+
+    #[test]
+    fn top_n_leads_with_most_frequent_optimum() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let counts = {
+            let mut c = vec![0usize; ds.n_configs()];
+            for &i in &train {
+                c[ds.best_config(i)] += 1;
+            }
+            c
+        };
+        let max_count = *counts.iter().max().unwrap();
+        let sel = PruneMethod::TopN.select(&ds, &train, 1, 0).unwrap();
+        assert_eq!(counts[sel[0]], max_count);
+    }
+
+    #[test]
+    fn selections_are_deterministic() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        for method in PruneMethod::all() {
+            let a = method.select(&ds, &train, 5, 3).unwrap();
+            let b = method.select(&ds, &train, 5, 3).unwrap();
+            assert_eq!(a, b, "{} nondeterministic", method.name());
+        }
+    }
+
+    #[test]
+    fn clustering_covers_distinct_regimes() {
+        // With enough budget, the k-means selection must achieve a higher
+        // oracle score than shipping a single config.
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let one = PruneMethod::TopN.select(&ds, &train, 1, 0).unwrap();
+        let clustered = PruneMethod::KMeans.select(&ds, &train, 6, 1).unwrap();
+        let s1 = crate::evaluate::achievable_score(&ds, &train, &one);
+        let s6 = crate::evaluate::achievable_score(&ds, &train, &clustered);
+        assert!(
+            s6 >= s1,
+            "k-means ({s6}) should not lose to a single config ({s1})"
+        );
+    }
+
+    #[test]
+    fn tree_representatives_match_budget() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let reps = tree_representatives(&ds, &train, 4).unwrap();
+        assert!(reps.rows() <= 4 && reps.rows() >= 1);
+        assert_eq!(reps.cols(), ds.n_configs());
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(PruneMethod::all().len(), 5);
+        let names: Vec<&str> = PruneMethod::all().iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"PCA + k-means"));
+    }
+}

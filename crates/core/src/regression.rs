@@ -1,0 +1,193 @@
+//! Regression-based runtime selection — the paper's related-work
+//! direction (Bergstra et al. 2012): instead of *classifying* a shape
+//! into one of the shipped kernels, *predict each shipped kernel's
+//! performance* for the shape and pick the argmax.
+//!
+//! This needs one regressor per shipped configuration but lets the
+//! selector express "these two kernels are nearly tied here", which a
+//! classifier cannot. The `ext_regression` bench compares both against
+//! the Table I protocol.
+
+use crate::dataset::PerformanceDataset;
+use crate::{CoreError, Result};
+use autokernel_gemm::GemmShape;
+use autokernel_mlkit::preprocess::StandardScaler;
+use autokernel_mlkit::{GradientBoostingRegressor, Matrix};
+
+/// Hyper-parameters for the per-configuration performance regressors.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionParams {
+    /// Boosting stages per configuration model.
+    pub n_estimators: usize,
+    /// Boosting learning rate.
+    pub learning_rate: f64,
+    /// Depth of each boosted tree.
+    pub max_depth: usize,
+}
+
+impl Default for RegressionParams {
+    fn default() -> Self {
+        RegressionParams {
+            n_estimators: 60,
+            learning_rate: 0.15,
+            max_depth: 3,
+        }
+    }
+}
+
+/// A trained regression selector: one boosted-tree performance model
+/// per shipped configuration.
+pub struct RegressionSelector {
+    configs: Vec<usize>,
+    scaler: StandardScaler,
+    models: Vec<GradientBoostingRegressor>,
+}
+
+impl RegressionSelector {
+    /// Train on the training rows of `ds`, one model per configuration
+    /// in `configs`, regressing the per-shape normalised performance
+    /// from standardised log₂ shape features.
+    pub fn train(
+        ds: &PerformanceDataset,
+        train: &[usize],
+        configs: &[usize],
+        params: RegressionParams,
+    ) -> Result<Self> {
+        if configs.is_empty() || train.is_empty() {
+            return Err(CoreError::Dataset(
+                "empty training set or config set".into(),
+            ));
+        }
+        let mut scaler = StandardScaler::new();
+        let x = scaler.fit_transform(&ds.features_of(train))?;
+
+        let models = configs
+            .iter()
+            .map(|&cfg| {
+                let y: Vec<f64> = train.iter().map(|&i| ds.normalized(i, cfg)).collect();
+                let mut g = GradientBoostingRegressor::new(
+                    params.n_estimators,
+                    params.learning_rate,
+                    params.max_depth,
+                );
+                g.fit(&x, &y)?;
+                Ok(g)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RegressionSelector {
+            configs: configs.to_vec(),
+            scaler,
+            models,
+        })
+    }
+
+    /// Predicted normalised performance of every shipped configuration
+    /// for `shape`, in `configs()` order.
+    pub fn predict_profile(&self, shape: &GemmShape) -> Result<Vec<f64>> {
+        let f = Matrix::from_rows(&[shape.log_features().to_vec()]).expect("one feature row");
+        let x = self.scaler.transform(&f)?;
+        self.models.iter().map(|m| Ok(m.predict(&x)?[0])).collect()
+    }
+
+    /// Select the configuration with the highest predicted performance.
+    pub fn select_shape(&self, shape: &GemmShape) -> Result<usize> {
+        let profile = self.predict_profile(shape)?;
+        let best = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty configs");
+        Ok(self.configs[best])
+    }
+
+    /// Select for a batch of dataset rows.
+    pub fn select_rows(&self, ds: &PerformanceDataset, rows: &[usize]) -> Result<Vec<usize>> {
+        rows.iter()
+            .map(|&i| self.select_shape(&ds.shapes[i]))
+            .collect()
+    }
+
+    /// The shipped configuration set.
+    pub fn configs(&self) -> &[usize] {
+        &self.configs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::PruneMethod;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn ds() -> PerformanceDataset {
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+            (1024, 1024, 1024),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap()
+    }
+
+    #[test]
+    fn trains_and_selects_within_shipped_set() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::TopN.select(&ds, &train, 5, 0).unwrap();
+        let sel =
+            RegressionSelector::train(&ds, &train, &configs, RegressionParams::default()).unwrap();
+        for &row in &train {
+            let chosen = sel.select_shape(&ds.shapes[row]).unwrap();
+            assert!(configs.contains(&chosen));
+        }
+    }
+
+    #[test]
+    fn predicted_profiles_are_plausible() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::TopN.select(&ds, &train, 4, 0).unwrap();
+        let sel =
+            RegressionSelector::train(&ds, &train, &configs, RegressionParams::default()).unwrap();
+        let profile = sel.predict_profile(&ds.shapes[0]).unwrap();
+        assert_eq!(profile.len(), configs.len());
+        // Normalised performance predictions should live around (0, 1].
+        for p in profile {
+            assert!((-0.5..=1.5).contains(&p), "implausible prediction {p}");
+        }
+    }
+
+    #[test]
+    fn regression_selection_scores_reasonably_on_training_rows() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::DecisionTree.select(&ds, &train, 6, 0).unwrap();
+        let sel =
+            RegressionSelector::train(&ds, &train, &configs, RegressionParams::default()).unwrap();
+        let chosen = sel.select_rows(&ds, &train).unwrap();
+        let score = crate::evaluate::selection_score(&ds, &train, &chosen);
+        let ceiling = crate::evaluate::achievable_score(&ds, &train, &configs);
+        assert!(score > 0.6 * ceiling, "score {score} vs ceiling {ceiling}");
+        assert!(score <= ceiling + 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let ds = ds();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        assert!(RegressionSelector::train(&ds, &train, &[], RegressionParams::default()).is_err());
+        assert!(RegressionSelector::train(&ds, &[], &[1], RegressionParams::default()).is_err());
+    }
+}

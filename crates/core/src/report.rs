@@ -1,0 +1,196 @@
+//! Markdown report generation: a human-readable tuning summary a team
+//! would attach to the pull request that updates a library's shipped
+//! kernel set.
+
+use crate::libsize::LibrarySizeModel;
+use crate::pipeline::TuningPipeline;
+use crate::Result;
+use std::fmt::Write as _;
+
+/// Render a full markdown report for a trained pipeline.
+pub fn markdown_report(pipeline: &TuningPipeline) -> Result<String> {
+    let mut out = String::new();
+    let ds = pipeline.dataset();
+    let (train, test) = pipeline.split();
+    let cfg = pipeline.config();
+
+    writeln!(out, "# Kernel selection tuning report").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "- device: **{}**", ds.device.name).unwrap();
+    writeln!(
+        out,
+        "- dataset: {} shapes × {} configurations",
+        ds.n_shapes(),
+        ds.n_configs()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "- split: {} train / {} test (seed {})",
+        train.len(),
+        test.len(),
+        cfg.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "- pruning: **{}**, budget {}; selector: **{}**",
+        cfg.prune.name(),
+        cfg.budget,
+        cfg.selector.name()
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+
+    writeln!(out, "## Shipped kernels").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "| index | configuration |").unwrap();
+    writeln!(out, "|---|---|").unwrap();
+    for (&idx, kc) in pipeline
+        .shipped_configs()
+        .iter()
+        .zip(pipeline.shipped_kernel_configs())
+    {
+        writeln!(out, "| {idx} | `{kc}` |").unwrap();
+    }
+    writeln!(out).unwrap();
+
+    writeln!(
+        out,
+        "## Scores (geometric mean of per-shape relative performance)"
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "| metric | value |").unwrap();
+    writeln!(out, "|---|---|").unwrap();
+    writeln!(
+        out,
+        "| achievable ceiling (test) | {:.2}% |",
+        pipeline.achievable_ceiling() * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| selector score (test) | {:.2}% |",
+        pipeline.test_score()? * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| selector score (train) | {:.2}% |",
+        pipeline.train_score()? * 100.0
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+
+    // Feature importances, when the selector is a tree.
+    if let Some(tree) = pipeline.selector().as_tree() {
+        let imp = tree.tree()?.feature_importances();
+        writeln!(out, "## Feature importances (decision tree)").unwrap();
+        writeln!(out).unwrap();
+        writeln!(out, "| feature | importance |").unwrap();
+        writeln!(out, "|---|---|").unwrap();
+        for (name, v) in ["M", "K", "N"].iter().zip(&imp) {
+            writeln!(out, "| {name} | {:.3} |", v).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+
+    let size = LibrarySizeModel::default().report(pipeline.shipped_configs());
+    writeln!(out, "## Library size impact").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "| | full space | shipped |").unwrap();
+    writeln!(out, "|---|---|---|").unwrap();
+    writeln!(
+        out,
+        "| compile-time kernels | {} | {} |",
+        size.full_variants, size.shipped_variants
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| library bytes | {} | {} |",
+        size.full_bytes, size.shipped_bytes
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| device-compile time | {:.0} s | {:.0} s |",
+        size.full_build_s, size.shipped_build_s
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\nkernel-section shrink: **{:.1}×**",
+        size.kernel_section_shrink()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use autokernel_gemm::GemmShape;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn pipeline() -> TuningPipeline {
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+            (1024, 1024, 1024),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes,
+            PipelineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let report = markdown_report(&pipeline()).unwrap();
+        for needle in [
+            "# Kernel selection tuning report",
+            "## Shipped kernels",
+            "## Scores",
+            "## Feature importances",
+            "## Library size impact",
+            "kernel-section shrink",
+        ] {
+            assert!(
+                report.contains(needle),
+                "missing '{needle}' in report:\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_mentions_every_shipped_kernel() {
+        let p = pipeline();
+        let report = markdown_report(&p).unwrap();
+        for kc in p.shipped_kernel_configs() {
+            assert!(report.contains(&kc.to_string()));
+        }
+    }
+
+    #[test]
+    fn importances_rows_present_for_tree_selector_only() {
+        let p = pipeline();
+        assert!(markdown_report(&p).unwrap().contains("| M |"));
+    }
+}

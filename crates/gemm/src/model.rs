@@ -1,0 +1,273 @@
+//! Translation of a (configuration, shape) pair into the resource and
+//! traffic profile the device model prices.
+//!
+//! This module is where the dataset's *structure* comes from, so each
+//! term is tied to the mechanism it represents on real hardware:
+//!
+//! - **Registers** — a work-item holds its `tr × tc` accumulator tile
+//!   plus `(tr + tc) · acc` staged operands; big tiles choke occupancy.
+//! - **Traffic** — per work-item, `(tr + tc) · k` loads and `tr · tc`
+//!   stores; bigger tiles raise arithmetic intensity.
+//! - **Reuse** — work-items in a group row share B tiles, in a group
+//!   column share A tiles; wider/taller groups turn DRAM traffic into
+//!   cache traffic.
+//! - **Coalescing** — lanes of a wave are laid out along the work-group
+//!   column (N) direction; groups with few columns issue near-scalar
+//!   DRAM transactions, which is why shapes like (64, 1) are almost
+//!   uniformly poor in Figure 1.
+//! - **ILP** — deeper accumulators and bigger tiles expose more
+//!   independent FMAs to the SIMD pipelines.
+
+use crate::config::KernelConfig;
+use crate::shape::GemmShape;
+use autokernel_sycl_sim::perf::KernelProfile;
+use autokernel_sycl_sim::runtime::NDRange;
+use autokernel_sycl_sim::{DeviceSpec, Result};
+
+/// Number of useful work-items in each grid dimension for a shape under
+/// a configuration: `(ceil(m / tr), ceil(n / tc))`.
+pub fn useful_grid(config: &KernelConfig, shape: &GemmShape) -> [usize; 2] {
+    [
+        shape.m.div_ceil(config.tile_rows).max(1),
+        shape.n.div_ceil(config.tile_cols).max(1),
+    ]
+}
+
+/// The ND-range a launch of `config` on `shape` dispatches: the useful
+/// grid padded up to work-group multiples.
+pub fn launch_range(config: &KernelConfig, shape: &GemmShape) -> Result<NDRange> {
+    NDRange::padded(
+        useful_grid(config, shape),
+        [config.work_group.rows, config.work_group.cols],
+    )
+}
+
+/// Vector registers one work-item needs: accumulator tile, staged A and
+/// B fragments, plus bookkeeping (indices, addresses, loop counters).
+pub fn registers_per_item(config: &KernelConfig) -> usize {
+    let acc = config.tile_rows * config.tile_cols;
+    let operands = (config.tile_rows + config.tile_cols) * config.acc_depth;
+    acc + operands + 12
+}
+
+/// Local-memory bytes one work-group stages per accumulation step:
+/// an `(wg.rows · tr) × acc` slice of A and an `acc × (wg.cols · tc)`
+/// slice of B (single-buffered, as in the SYCL-DNN kernel).
+pub fn lds_bytes_per_group(config: &KernelConfig) -> usize {
+    let a_tile = config.work_group.rows * config.tile_rows * config.acc_depth;
+    let b_tile = config.acc_depth * config.work_group.cols * config.tile_cols;
+    4 * (a_tile + b_tile)
+}
+
+/// Coalescing efficiency in (0, 1]: contiguous bytes touched by the
+/// consecutive lanes of a wave, relative to the 64-byte transaction size.
+///
+/// Lanes are linearised column-fastest, so a group with `wc` columns has
+/// runs of `wc` lanes reading consecutive `tc`-wide column segments of B
+/// and C.
+pub fn coalescing(config: &KernelConfig, device: &DeviceSpec, shape: &GemmShape) -> f64 {
+    const TRANSACTION_BYTES: f64 = 64.0;
+    let lanes_contiguous = config.work_group.cols.min(device.wave_width) as f64;
+    let vector_bytes = (config.tile_cols.min(4) * 4) as f64;
+    let run = lanes_contiguous * vector_bytes;
+    let base = (run / TRANSACTION_BYTES).clamp(1.0 / 16.0, 1.0);
+    // Narrow matrices cannot fill a transaction regardless of the
+    // work-group shape: rows of B/C shorter than a transaction always
+    // fetch dead bytes.
+    let row_bytes = (shape.n * 4) as f64;
+    let narrow = (row_bytes / TRANSACTION_BYTES).clamp(0.25, 1.0);
+    base * narrow
+}
+
+/// Fraction of raw traffic served from cache/LDS thanks to intra-group
+/// sharing: `wc` items share each A fragment, `wr` items share each B
+/// fragment. Power-of-two row pitches (N or K a multiple of 512 floats,
+/// i.e. 2 KiB) alias L2 cache sets; the thrashing grows with how *tall*
+/// the work-group is, because tall groups issue many same-set strided
+/// streams concurrently.
+pub fn cache_reuse(config: &KernelConfig, shape: &GemmShape) -> f64 {
+    let k = shape.k as f64;
+    let a_bytes = (config.tile_rows as f64) * k;
+    let b_bytes = (config.tile_cols as f64) * k;
+    let c_bytes = (config.tile_rows * config.tile_cols) as f64;
+    let total = a_bytes + b_bytes + c_bytes;
+    let a_shared = a_bytes * (1.0 - 1.0 / config.work_group.cols as f64);
+    let b_shared = b_bytes * (1.0 - 1.0 / config.work_group.rows as f64);
+    let mut reuse = (a_shared + b_shared) / total;
+
+    // Square-ish groups touch the most compact C footprint per byte
+    // loaded; elongated groups stream longer, less reusable stripes.
+    let aspect = (config.work_group.rows as f64 / config.work_group.cols as f64)
+        .log2()
+        .abs();
+    reuse *= 1.0 - 0.06 * aspect;
+
+    let tallness =
+        config.work_group.rows as f64 / (config.work_group.rows + config.work_group.cols) as f64;
+    if shape.n.is_multiple_of(512) {
+        reuse *= 1.0 - 0.35 * tallness;
+    }
+    if shape.k.is_multiple_of(512) {
+        reuse *= 1.0 - 0.20 * tallness * (config.tile_rows as f64 / 8.0);
+    }
+    reuse.clamp(0.0, 0.95)
+}
+
+/// Instruction-level parallelism exposed by the inner loop: saturating
+/// in the number of independent FMAs per step (`tr · tc · acc`), with a
+/// penalty when the accumulator depth does not divide K (the guarded
+/// tail step breaks the software pipeline) and when the K loop is too
+/// short to amortise its prologue.
+pub fn ilp(config: &KernelConfig, shape: &GemmShape) -> f64 {
+    let independent = (config.tile_rows * config.tile_cols * config.acc_depth) as f64;
+    let mut ilp = 1.0 - 1.0 / (1.0 + 0.45 * independent.sqrt());
+    if !shape.k.is_multiple_of(config.acc_depth) {
+        ilp *= 0.88;
+    }
+    let steps = shape.k.div_ceil(config.acc_depth) as f64;
+    // Short K loops (few steps) never reach steady state.
+    ilp *= steps / (steps + 2.0);
+    ilp
+}
+
+/// Build the full [`KernelProfile`] for a launch.
+pub fn profile(config: &KernelConfig, shape: &GemmShape, device: &DeviceSpec) -> KernelProfile {
+    let grid = useful_grid(config, shape);
+    let k = shape.k as f64;
+    let flops_per_item = 2.0 * (config.tile_rows * config.tile_cols) as f64 * k;
+    let bytes_per_item = 4.0
+        * ((config.tile_rows + config.tile_cols) as f64 * k
+            + (config.tile_rows * config.tile_cols) as f64);
+
+    KernelProfile {
+        flops_per_item,
+        bytes_per_item,
+        cache_reuse: cache_reuse(config, shape),
+        registers_per_item: registers_per_item(config),
+        lds_bytes_per_group: lds_bytes_per_group(config),
+        coalescing: coalescing(config, device, shape),
+        useful_items: (grid[0] * grid[1]) as f64,
+        ilp: ilp(config, shape),
+    }
+}
+
+/// Seed for the deterministic per-(config, shape) timing noise.
+pub fn noise_seed(config: &KernelConfig, shape: &GemmShape) -> u64 {
+    shape.stable_hash() ^ ((config.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkGroup;
+
+    fn cfg(tr: usize, tc: usize, ad: usize, wr: usize, wc: usize) -> KernelConfig {
+        KernelConfig::new(tr, tc, ad, WorkGroup { rows: wr, cols: wc }).unwrap()
+    }
+
+    #[test]
+    fn useful_grid_rounds_up() {
+        let c = cfg(4, 8, 2, 8, 8);
+        let s = GemmShape::new(10, 64, 17);
+        assert_eq!(useful_grid(&c, &s), [3, 3]);
+    }
+
+    #[test]
+    fn launch_range_is_padded_to_group() {
+        let c = cfg(4, 4, 4, 16, 16);
+        let s = GemmShape::new(100, 64, 100);
+        let r = launch_range(&c, &s).unwrap();
+        assert_eq!(r.global()[0] % 16, 0);
+        assert_eq!(r.global()[1] % 16, 0);
+        assert!(r.global()[0] >= 25 && r.global()[1] >= 25);
+    }
+
+    #[test]
+    fn registers_grow_with_tiles() {
+        assert!(registers_per_item(&cfg(8, 8, 8, 8, 8)) > registers_per_item(&cfg(1, 1, 1, 8, 8)));
+        // The 8×8×8 kernel cannot fit two waves in a 256-register file.
+        assert!(registers_per_item(&cfg(8, 8, 8, 8, 8)) > 128);
+    }
+
+    #[test]
+    fn coalescing_penalises_column_groups() {
+        let d = DeviceSpec::amd_r9_nano();
+        let s = GemmShape::new(256, 256, 256);
+        let wide = coalescing(&cfg(4, 4, 4, 1, 64), &d, &s);
+        let tall = coalescing(&cfg(4, 4, 4, 64, 1), &d, &s);
+        assert!(wide > tall * 2.0, "wide {wide} vs tall {tall}");
+        assert!((0.0..=1.0).contains(&tall));
+    }
+
+    #[test]
+    fn coalescing_penalises_narrow_outputs() {
+        let d = DeviceSpec::amd_r9_nano();
+        let c = cfg(4, 4, 4, 8, 16);
+        let wide = coalescing(&c, &d, &GemmShape::new(256, 256, 256));
+        let narrow = coalescing(&c, &d, &GemmShape::new(256, 256, 2));
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    fn reuse_rises_with_group_area_and_k() {
+        let small = cache_reuse(&cfg(4, 4, 4, 8, 8), &GemmShape::new(256, 256, 256));
+        let big = cache_reuse(&cfg(4, 4, 4, 16, 16), &GemmShape::new(256, 256, 256));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn ilp_ordering() {
+        let s = GemmShape::new(256, 256, 256);
+        assert!(ilp(&cfg(1, 1, 1, 8, 8), &s) < ilp(&cfg(4, 4, 4, 8, 8), &s));
+        assert!(ilp(&cfg(4, 4, 4, 8, 8), &s) < ilp(&cfg(8, 8, 8, 8, 8), &s));
+        for c in [cfg(1, 1, 1, 8, 8), cfg(8, 8, 8, 8, 8)] {
+            let v = ilp(&c, &s);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn ilp_penalises_unaligned_k_and_short_loops() {
+        let c = cfg(4, 4, 8, 8, 8);
+        let aligned = ilp(&c, &GemmShape::new(64, 256, 64));
+        let unaligned = ilp(&c, &GemmShape::new(64, 255, 64));
+        assert!(unaligned < aligned);
+        let short = ilp(&c, &GemmShape::new(64, 8, 64));
+        assert!(short < aligned);
+    }
+
+    #[test]
+    fn profile_intensity_scales_with_tile_area() {
+        let d = DeviceSpec::amd_r9_nano();
+        let s = GemmShape::new(512, 512, 512);
+        let p1 = profile(&cfg(1, 1, 1, 16, 16), &s, &d);
+        let p8 = profile(&cfg(8, 8, 4, 16, 16), &s, &d);
+        let i1 = p1.flops_per_item / p1.bytes_per_item;
+        let i8 = p8.flops_per_item / p8.bytes_per_item;
+        assert!(i8 > 3.0 * i1, "intensity {i8} should dwarf {i1}");
+    }
+
+    #[test]
+    fn noise_seed_varies_with_both_inputs() {
+        let c1 = cfg(1, 1, 1, 8, 8);
+        let c2 = cfg(1, 1, 2, 8, 8);
+        let s1 = GemmShape::new(8, 8, 8);
+        let s2 = GemmShape::new(8, 8, 9);
+        assert_ne!(noise_seed(&c1, &s1), noise_seed(&c2, &s1));
+        assert_ne!(noise_seed(&c1, &s1), noise_seed(&c1, &s2));
+    }
+
+    #[test]
+    fn lds_fits_device_for_all_configs() {
+        // Every configuration must be launchable on the R9 Nano: its LDS
+        // demand may not exceed the per-CU budget.
+        let d = DeviceSpec::amd_r9_nano();
+        for c in KernelConfig::all() {
+            assert!(
+                lds_bytes_per_group(&c) <= d.lds_bytes_per_cu,
+                "{c} wants {} LDS bytes",
+                lds_bytes_per_group(&c)
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Reference GEMM implementations used to validate the kernel family.
+
+use crate::shape::GemmShape;
+use rayon::prelude::*;
+
+/// Straightforward row-major reference: `C = A · B`.
+///
+/// Panics (in debug builds) if slice lengths disagree with `shape`.
+pub fn reference_gemm(shape: GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), shape.m * shape.k);
+    debug_assert_eq!(b.len(), shape.k * shape.n);
+    debug_assert_eq!(c.len(), shape.m * shape.n);
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        crow.fill(0.0);
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// Rayon-parallel reference (rows of C distributed over the pool); same
+/// results as [`reference_gemm`] because each row is an independent,
+/// sequentially-accumulated dot-product sweep.
+pub fn parallel_reference_gemm(shape: GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), shape.m * shape.k);
+    debug_assert_eq!(b.len(), shape.k * shape.n);
+    debug_assert_eq!(c.len(), shape.m * shape.n);
+    let (k, n) = (shape.k, shape.n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    });
+}
+
+/// Deterministic pseudo-random test matrices for a shape: values in
+/// roughly [-1, 1], reproducible across runs and platforms.
+pub fn test_matrices(shape: GemmShape, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let gen = |len: usize, salt: u64| -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_add(seed)
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^= z >> 27;
+                ((z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect()
+    };
+    (
+        gen(shape.m * shape.k, 0x5151),
+        gen(shape.k * shape.n, 0xabcd),
+    )
+}
+
+/// Maximum absolute elementwise difference between two buffers.
+pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let shape = GemmShape::new(3, 3, 3);
+        let a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let b: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut c = vec![0.0; 9];
+        reference_gemm(shape, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let shape = GemmShape::new(2, 2, 2);
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        reference_gemm(shape, &a, &b, &mut c);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let shape = GemmShape::new(1, 3, 2);
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut c = vec![0.0; 2];
+        reference_gemm(shape, &a, &b, &mut c);
+        assert_eq!(c, vec![14.0, 32.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for &(m, k, n) in &[(17, 31, 23), (1, 100, 1), (64, 8, 128)] {
+            let shape = GemmShape::new(m, k, n);
+            let (a, b) = test_matrices(shape, 42);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            reference_gemm(shape, &a, &b, &mut c1);
+            parallel_reference_gemm(shape, &a, &b, &mut c2);
+            assert_eq!(max_abs_diff(&c1, &c2), 0.0, "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn test_matrices_are_deterministic_and_bounded() {
+        let shape = GemmShape::new(5, 7, 3);
+        let (a1, b1) = test_matrices(shape, 9);
+        let (a2, b2) = test_matrices(shape, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert!(a1.iter().chain(&b1).all(|v| v.abs() <= 1.0));
+        let (a3, _) = test_matrices(shape, 10);
+        assert_ne!(a1, a3);
+    }
+}

@@ -1,0 +1,108 @@
+//! GEMM problem shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a single-precision GEMM `C[m×n] = A[m×k] · B[k×n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of A / rows of B (the reduction dimension).
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Create a shape.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmShape { m, k, n }
+    }
+
+    /// Floating-point operations for this multiply (one FMA = 2 FLOPs).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Bytes touched by a perfectly-cached execution: read A and B once,
+    /// write C once (f32 elements).
+    pub fn min_bytes(&self) -> f64 {
+        4.0 * (self.m * self.k + self.k * self.n + self.m * self.n) as f64
+    }
+
+    /// Arithmetic intensity of the ideal execution in FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops() / self.min_bytes()
+    }
+
+    /// Feature vector `(m, k, n)` as used by the paper's classifiers.
+    pub fn features(&self) -> [f64; 3] {
+        [self.m as f64, self.k as f64, self.n as f64]
+    }
+
+    /// Log-scaled feature vector, the usual transform for size features.
+    pub fn log_features(&self) -> [f64; 3] {
+        [
+            (self.m as f64).log2(),
+            (self.k as f64).log2(),
+            (self.n as f64).log2(),
+        ]
+    }
+
+    /// A stable 64-bit hash of the shape, used to seed deterministic
+    /// per-(shape, config) timing noise.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [self.m as u64, self.k as u64, self.n as u64] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_and_bytes() {
+        let s = GemmShape::new(2, 3, 4);
+        assert_eq!(s.flops(), 48.0);
+        assert_eq!(s.min_bytes(), 4.0 * (6 + 12 + 8) as f64);
+    }
+
+    #[test]
+    fn intensity_grows_with_square_size() {
+        let small = GemmShape::new(16, 16, 16);
+        let big = GemmShape::new(1024, 1024, 1024);
+        assert!(big.intensity() > small.intensity());
+    }
+
+    #[test]
+    fn features_and_log_features() {
+        let s = GemmShape::new(8, 64, 2);
+        assert_eq!(s.features(), [8.0, 64.0, 2.0]);
+        assert_eq!(s.log_features(), [3.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn hash_distinguishes_permutations() {
+        let a = GemmShape::new(10, 20, 30).stable_hash();
+        let b = GemmShape::new(30, 20, 10).stable_hash();
+        let c = GemmShape::new(10, 20, 30).stable_hash();
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "1x2x3");
+    }
+}

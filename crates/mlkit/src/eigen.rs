@@ -1,0 +1,211 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi is slow (O(n³) per sweep) but simple, numerically robust and
+//! more than fast enough for the matrices this crate sees (≤ 640×640
+//! covariance matrices, ≤ 200×200 Gram matrices).
+
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by descending eigenvalue. Eigenvectors are the
+/// *columns* of [`EigenDecomposition::vectors`].
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Matrix whose column `j` is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Decompose a symmetric matrix with the cyclic Jacobi method.
+///
+/// `a` must be square and (approximately) symmetric; asymmetry beyond
+/// floating-point noise yields an error. Convergence is declared when the
+/// off-diagonal Frobenius norm falls below `1e-12` times the initial norm,
+/// or after 100 sweeps (far more than Jacobi ever needs in practice).
+pub fn eigen_symmetric(a: &Matrix) -> Result<EigenDecomposition> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(MlError::BadShape(
+            "eigen_symmetric needs a square matrix".into(),
+        ));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = a[(i, j)].abs().max(a[(j, i)].abs()).max(1.0);
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * denom {
+                return Err(MlError::BadShape("matrix is not symmetric".into()));
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        s
+    };
+
+    let initial = off(&m).max(f64::MIN_POSITIVE);
+    let tol = initial * 1e-24; // squared norms: 1e-12 on the norm itself.
+
+    for _sweep in 0..100 {
+        if off(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the eigenvector rotation.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+
+    Ok(EigenDecomposition { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, d: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, d.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        assert!(eigen_symmetric(&Matrix::zeros(2, 3)).is_err());
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 1.0]);
+        assert!(eigen_symmetric(&a).is_err());
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = mat(3, 3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = mat(2, 2, &[2.0, 1.0, 1.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0.0 - v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        // A = V diag(w) Vᵀ for a random-ish symmetric matrix.
+        let a = mat(
+            4,
+            4,
+            &[
+                4.0, 1.0, -2.0, 0.5, 1.0, 3.0, 0.0, 1.5, -2.0, 0.0, 5.0, -1.0, 0.5, 1.5, -1.0, 2.0,
+            ],
+        );
+        let e = eigen_symmetric(&a).unwrap();
+        let mut diag = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            diag[(i, i)] = e.values[i];
+        }
+        let recon = e
+            .vectors
+            .matmul(&diag)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (recon[(i, j)] - a[(i, j)]).abs() < 1e-8,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    recon[(i, j)],
+                    a[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = mat(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = mat(3, 3, &[5.0, 2.0, 1.0, 2.0, 6.0, 3.0, 1.0, 3.0, 7.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        let trace = 5.0 + 6.0 + 7.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Random forest classifier: bagged Gini trees with feature subsampling
+//! and majority voting, trained in parallel with rayon.
+
+use crate::matrix::Matrix;
+use crate::tree::{DecisionTreeClassifier, TreeParams};
+use crate::{MlError, Result};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rayon::prelude::*;
+
+/// Random forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    n_estimators: usize,
+    max_depth: Option<usize>,
+    seed: u64,
+    trees: Vec<DecisionTreeClassifier>,
+    classes: Vec<usize>,
+}
+
+impl RandomForestClassifier {
+    /// Create a forest of `n_estimators` trees.
+    pub fn new(n_estimators: usize, seed: u64) -> Self {
+        RandomForestClassifier {
+            n_estimators,
+            max_depth: None,
+            seed,
+            trees: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Limit the depth of each tree.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = Some(max_depth);
+        self
+    }
+
+    /// Fit on features `x` and labels `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<&mut Self> {
+        if self.n_estimators == 0 {
+            return Err(MlError::BadParam("n_estimators must be >= 1".into()));
+        }
+        if x.rows() != y.len() || x.rows() == 0 {
+            return Err(MlError::BadShape(
+                "x rows must equal y length (nonzero)".into(),
+            ));
+        }
+        let n = x.rows();
+        let max_features = (x.cols() as f64).sqrt().ceil() as usize;
+
+        let mut classes: Vec<usize> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        self.classes = classes;
+
+        let trees: Vec<Result<DecisionTreeClassifier>> = (0..self.n_estimators)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(t as u64 * 7919));
+                // Bootstrap sample with replacement.
+                let mut brows = Vec::with_capacity(n);
+                let mut blabels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let i = rng.random_range(0..n);
+                    brows.push(x.row(i).to_vec());
+                    blabels.push(y[i]);
+                }
+                let bx = Matrix::from_rows(&brows)?;
+                let mut clf = DecisionTreeClassifier::new(TreeParams {
+                    max_depth: self.max_depth,
+                    max_features: Some(max_features),
+                    seed: self.seed.wrapping_add(t as u64),
+                    ..TreeParams::default()
+                });
+                clf.fit(&bx, &blabels)?;
+                Ok(clf)
+            })
+            .collect();
+
+        self.trees = trees.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(self)
+    }
+
+    /// Predict by majority vote over the trees.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let votes: Vec<Vec<usize>> = self
+            .trees
+            .iter()
+            .map(|t| t.predict(x))
+            .collect::<Result<Vec<_>>>()?;
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let mut counts = vec![0usize; self.classes.len()];
+            for v in &votes {
+                if let Ok(c) = self.classes.binary_search(&v[i]) {
+                    counts[c] += 1;
+                }
+            }
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            out.push(self.classes[best]);
+        }
+        Ok(out)
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Class labels known to the forest.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bands() -> (Matrix, Vec<usize>) {
+        // Three bands by the first feature, second feature is noise-ish.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let f0 = i as f64;
+            rows.push(vec![f0, (i % 7) as f64]);
+            labels.push(if f0 < 20.0 {
+                0
+            } else if f0 < 40.0 {
+                1
+            } else {
+                2
+            });
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn fits_banded_data() {
+        let (x, y) = bands();
+        let mut rf = RandomForestClassifier::new(25, 9);
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "train accuracy only {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = bands();
+        let mut a = RandomForestClassifier::new(10, 42);
+        let mut b = RandomForestClassifier::new(10, 42);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn predictions_are_known_classes() {
+        let (x, y) = bands();
+        let mut rf = RandomForestClassifier::new(5, 1);
+        rf.fit(&x, &y).unwrap();
+        for p in rf.predict(&x).unwrap() {
+            assert!(rf.classes().contains(&p));
+        }
+    }
+
+    #[test]
+    fn errors_without_fit_or_bad_params() {
+        let rf = RandomForestClassifier::new(5, 0);
+        assert!(rf.predict(&Matrix::zeros(1, 2)).is_err());
+        let (x, y) = bands();
+        assert!(RandomForestClassifier::new(0, 0).fit(&x, &y).is_err());
+    }
+}

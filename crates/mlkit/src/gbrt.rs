@@ -1,0 +1,191 @@
+//! Gradient-boosted regression trees (squared loss).
+//!
+//! The paper's related work (Bergstra, Pinto & Cox 2012) uses boosted
+//! regression trees for *predictive* auto-tuning — regressing runtime
+//! from configuration/shape features instead of classifying directly.
+//! This estimator powers the repository's regression-selection
+//! extension (`autokernel-core::select::RegressionSelector`).
+
+use crate::matrix::Matrix;
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use crate::{MlError, Result};
+
+/// Gradient boosting with least-squares loss: each stage fits a shallow
+/// tree to the current residuals and is added with a learning rate.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    n_estimators: usize,
+    learning_rate: f64,
+    max_depth: usize,
+    base: f64,
+    stages: Vec<DecisionTreeRegressor>,
+}
+
+impl GradientBoostingRegressor {
+    /// Create a booster (`n_estimators` stages of depth-`max_depth`
+    /// trees blended at `learning_rate`).
+    pub fn new(n_estimators: usize, learning_rate: f64, max_depth: usize) -> Self {
+        GradientBoostingRegressor {
+            n_estimators,
+            learning_rate,
+            max_depth,
+            base: 0.0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Fit on features `x` and single-output targets `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<&mut Self> {
+        if x.rows() != y.len() || x.rows() == 0 {
+            return Err(MlError::BadShape(
+                "x rows must equal y length (nonzero)".into(),
+            ));
+        }
+        if self.n_estimators == 0 {
+            return Err(MlError::BadParam("n_estimators must be >= 1".into()));
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate > 1.0 {
+            return Err(MlError::BadParam("learning_rate must be in (0, 1]".into()));
+        }
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut pred = vec![self.base; y.len()];
+        self.stages.clear();
+
+        for _ in 0..self.n_estimators {
+            let residuals: Vec<Vec<f64>> =
+                y.iter().zip(&pred).map(|(&t, &p)| vec![t - p]).collect();
+            let r = Matrix::from_rows(&residuals).expect("residual rows are rectangular");
+            let mut tree = DecisionTreeRegressor::new(TreeParams {
+                max_depth: Some(self.max_depth),
+                min_samples_leaf: 2,
+                ..TreeParams::default()
+            });
+            tree.fit(x, &r)?;
+            let stage_pred = tree.predict(x)?;
+            let mut improved = false;
+            for (p, i) in pred.iter_mut().zip(0..x.rows()) {
+                let delta = self.learning_rate * stage_pred[(i, 0)];
+                if delta != 0.0 {
+                    improved = true;
+                }
+                *p += delta;
+            }
+            self.stages.push(tree);
+            if !improved {
+                break; // Residuals are flat: further stages are no-ops.
+            }
+        }
+        Ok(self)
+    }
+
+    /// Predict one value per row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.stages.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut out = vec![self.base; x.rows()];
+        for stage in &self.stages {
+            let p = stage.predict(x)?;
+            for (o, i) in out.iter_mut().zip(0..x.rows()) {
+                *o += self.learning_rate * p[(i, 0)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of fitted stages (may be fewer than requested when
+    /// residuals flatten early).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Training-set mean squared error.
+    pub fn train_mse(&self, x: &Matrix, y: &[f64]) -> Result<f64> {
+        let pred = self.predict(x)?;
+        Ok(pred
+            .iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.2]).collect();
+        let y: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.2).sin() * 3.0 + 1.0)
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn boosting_beats_a_single_stump() {
+        let (x, y) = wavy();
+        let mut single = GradientBoostingRegressor::new(1, 1.0, 2);
+        single.fit(&x, &y).unwrap();
+        let mut boosted = GradientBoostingRegressor::new(100, 0.2, 2);
+        boosted.fit(&x, &y).unwrap();
+        let e1 = single.train_mse(&x, &y).unwrap();
+        let e2 = boosted.train_mse(&x, &y).unwrap();
+        assert!(e2 < e1 * 0.2, "boosted {e2} vs single {e1}");
+    }
+
+    #[test]
+    fn training_error_decreases_with_stages() {
+        let (x, y) = wavy();
+        let mut prev = f64::INFINITY;
+        for n in [1usize, 5, 25, 100] {
+            let mut g = GradientBoostingRegressor::new(n, 0.3, 2);
+            g.fit(&x, &y).unwrap();
+            let e = g.train_mse(&x, &y).unwrap();
+            assert!(e <= prev + 1e-12, "mse rose to {e} at {n} stages");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn constant_target_fits_in_one_stage() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y = vec![5.0; 10];
+        let mut g = GradientBoostingRegressor::new(50, 0.5, 3);
+        g.fit(&x, &y).unwrap();
+        assert!(g.n_stages() < 50, "flat residuals must stop boosting early");
+        for p in g.predict(&x).unwrap() {
+            assert!((p - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params_and_unfitted() {
+        let (x, y) = wavy();
+        assert!(GradientBoostingRegressor::new(0, 0.1, 2)
+            .fit(&x, &y)
+            .is_err());
+        assert!(GradientBoostingRegressor::new(5, 0.0, 2)
+            .fit(&x, &y)
+            .is_err());
+        assert!(GradientBoostingRegressor::new(5, 1.5, 2)
+            .fit(&x, &y)
+            .is_err());
+        let g = GradientBoostingRegressor::new(5, 0.1, 2);
+        assert!(g.predict(&x).is_err());
+        let mut g = GradientBoostingRegressor::new(5, 0.1, 2);
+        assert!(g.fit(&Matrix::zeros(3, 1), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = wavy();
+        let mut a = GradientBoostingRegressor::new(20, 0.3, 3);
+        let mut b = GradientBoostingRegressor::new(20, 0.3, 3);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+}

@@ -1,0 +1,639 @@
+//! HDBSCAN: hierarchical density-based clustering (Campello, Moulavi &
+//! Sander 2013), as used by the paper to cluster performance vectors.
+//!
+//! The implementation follows the reference pipeline:
+//!
+//! 1. *Core distances* — distance to the `min_samples`-th nearest
+//!    neighbour of each point.
+//! 2. *Mutual-reachability graph* — edge weight
+//!    `max(core(a), core(b), d(a, b))`.
+//! 3. *Minimum spanning tree* of that graph (Prim, O(n²): the graph is
+//!    complete so adjacency-matrix Prim is optimal here).
+//! 4. *Single-linkage hierarchy* from the sorted MST edges (union-find).
+//! 5. *Condensed tree* under `min_cluster_size`: splits into two
+//!    sufficiently large children create new clusters; smaller spin-offs
+//!    are treated as points falling out of the parent.
+//! 6. *Stability-based extraction* ("excess of mass"): a cluster is
+//!    selected when its own stability exceeds the summed stability of its
+//!    descendants.
+//!
+//! Points not covered by a selected cluster are noise (label `-1`).
+
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+
+/// HDBSCAN estimator.
+///
+/// ```
+/// use autokernel_mlkit::{Hdbscan, Matrix};
+/// let mut rows = Vec::new();
+/// for i in 0..8 { rows.push(vec![i as f64 * 0.1, 0.0]); }        // blob A
+/// for i in 0..8 { rows.push(vec![50.0 + i as f64 * 0.1, 0.0]); } // blob B
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let mut h = Hdbscan::new(4);
+/// h.fit(&x).unwrap();
+/// assert_eq!(h.n_clusters().unwrap(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hdbscan {
+    min_cluster_size: usize,
+    min_samples: usize,
+    fitted: Option<FittedHdbscan>,
+}
+
+#[derive(Debug, Clone)]
+struct FittedHdbscan {
+    labels: Vec<i64>,
+    n_clusters: usize,
+    /// Per-point cluster-membership strength in [0, 1] (1 = core member).
+    probabilities: Vec<f64>,
+}
+
+/// An edge of the mutual-reachability MST.
+#[derive(Debug, Clone, Copy)]
+struct MstEdge {
+    a: usize,
+    b: usize,
+    w: f64,
+}
+
+impl Hdbscan {
+    /// Create an estimator with the given `min_cluster_size`;
+    /// `min_samples` defaults to the same value, as in the reference
+    /// implementation.
+    pub fn new(min_cluster_size: usize) -> Self {
+        Hdbscan {
+            min_cluster_size,
+            min_samples: min_cluster_size,
+            fitted: None,
+        }
+    }
+
+    /// Override `min_samples` (smoothing of the density estimate).
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples.max(1);
+        self
+    }
+
+    /// Fit on `x` (`n_samples × n_features`).
+    pub fn fit(&mut self, x: &Matrix) -> Result<&mut Self> {
+        let n = x.rows();
+        if self.min_cluster_size < 2 {
+            return Err(MlError::BadParam("min_cluster_size must be >= 2".into()));
+        }
+        if n < self.min_cluster_size {
+            return Err(MlError::BadShape(format!(
+                "{} samples cannot contain a cluster of size {}",
+                n, self.min_cluster_size
+            )));
+        }
+
+        let dist = pairwise_distances(x);
+        let core = core_distances(&dist, self.min_samples.min(n - 1));
+        let mst = mutual_reachability_mst(&dist, &core);
+        let (labels, n_clusters, probabilities) = extract_clusters(&mst, n, self.min_cluster_size);
+
+        self.fitted = Some(FittedHdbscan {
+            labels,
+            n_clusters,
+            probabilities,
+        });
+        Ok(self)
+    }
+
+    /// Cluster labels: `0..n_clusters` for clustered points, `-1` for noise.
+    pub fn labels(&self) -> Result<&[i64]> {
+        Ok(&self.fitted.as_ref().ok_or(MlError::NotFitted)?.labels)
+    }
+
+    /// Number of clusters found.
+    pub fn n_clusters(&self) -> Result<usize> {
+        Ok(self.fitted.as_ref().ok_or(MlError::NotFitted)?.n_clusters)
+    }
+
+    /// Membership strength of each point in its cluster (0 for noise).
+    pub fn probabilities(&self) -> Result<&[f64]> {
+        Ok(&self
+            .fitted
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .probabilities)
+    }
+
+    /// Medoid (member minimising summed in-cluster distance) of each
+    /// cluster, usable as the cluster's representative dataset row.
+    pub fn medoid_indices(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        let mut medoids = Vec::with_capacity(f.n_clusters);
+        for c in 0..f.n_clusters as i64 {
+            let members: Vec<usize> = f
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == c)
+                .map(|(i, _)| i)
+                .collect();
+            let medoid = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da: f64 = members
+                        .iter()
+                        .map(|&m| Matrix::dist(x.row(a), x.row(m)))
+                        .sum();
+                    let db: f64 = members
+                        .iter()
+                        .map(|&m| Matrix::dist(x.row(b), x.row(m)))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .ok_or_else(|| MlError::BadShape(format!("cluster {c} has no members")))?;
+            medoids.push(medoid);
+        }
+        Ok(medoids)
+    }
+}
+
+fn pairwise_distances(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dij = Matrix::dist(x.row(i), x.row(j));
+            d[(i, j)] = dij;
+            d[(j, i)] = dij;
+        }
+    }
+    d
+}
+
+/// Distance to the k-th nearest neighbour (k >= 1, self excluded).
+fn core_distances(dist: &Matrix, k: usize) -> Vec<f64> {
+    let n = dist.rows();
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[(i, j)]).collect();
+            row.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            row[k.saturating_sub(1).min(row.len() - 1)]
+        })
+        .collect()
+}
+
+/// Prim's algorithm on the implicit complete mutual-reachability graph.
+fn mutual_reachability_mst(dist: &Matrix, core: &[f64]) -> Vec<MstEdge> {
+    let n = dist.rows();
+    let mreach = |a: usize, b: usize| dist[(a, b)].max(core[a]).max(core[b]);
+
+    let mut in_tree = vec![false; n];
+    let mut best_w = vec![f64::INFINITY; n];
+    let mut best_src = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+
+    in_tree[0] = true;
+    #[allow(clippy::needless_range_loop)]
+    for v in 1..n {
+        best_w[v] = mreach(0, v);
+    }
+    for _ in 1..n {
+        let v = (0..n)
+            .filter(|&v| !in_tree[v])
+            .min_by(|&a, &b| best_w[a].partial_cmp(&best_w[b]).unwrap())
+            .expect("non-empty frontier");
+        in_tree[v] = true;
+        edges.push(MstEdge {
+            a: best_src[v],
+            b: v,
+            w: best_w[v],
+        });
+        for u in 0..n {
+            if !in_tree[u] {
+                let w = mreach(v, u);
+                if w < best_w[u] {
+                    best_w[u] = w;
+                    best_src[u] = v;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Union-find with path compression used while replaying MST edges.
+struct UnionFind {
+    parent: Vec<usize>,
+    /// Dendrogram node id owned by each current root.
+    node_of_root: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            node_of_root: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            self.parent[v] = self.parent[self.parent[v]];
+            v = self.parent[v];
+        }
+        v
+    }
+}
+
+/// A node of the single-linkage dendrogram.
+#[derive(Debug, Clone)]
+struct DendroNode {
+    left: usize,
+    right: usize,
+    /// Merge distance (mutual-reachability scale).
+    dist: f64,
+    size: usize,
+}
+
+/// Build the dendrogram; leaves are `0..n`, internal nodes `n..2n-1`.
+fn single_linkage(mst: &[MstEdge], n: usize) -> Vec<DendroNode> {
+    let mut edges = mst.to_vec();
+    edges.sort_by(|a, b| a.w.partial_cmp(&b.w).unwrap());
+
+    let mut uf = UnionFind::new(n);
+    let mut nodes: Vec<DendroNode> = Vec::with_capacity(n.saturating_sub(1));
+    let mut sizes: Vec<usize> = vec![1; n]; // indexed by dendrogram node id
+    sizes.reserve(n);
+
+    for e in edges {
+        let ra = uf.find(e.a);
+        let rb = uf.find(e.b);
+        debug_assert_ne!(ra, rb, "MST edges never form cycles");
+        let na = uf.node_of_root[ra];
+        let nb = uf.node_of_root[rb];
+        let new_id = n + nodes.len();
+        let size = sizes[na] + sizes[nb];
+        nodes.push(DendroNode {
+            left: na,
+            right: nb,
+            dist: e.w,
+            size,
+        });
+        sizes.push(size);
+        // Merge the sets; attach the new dendrogram node to the new root.
+        uf.parent[ra] = rb;
+        let root = uf.find(rb);
+        uf.node_of_root[root] = new_id;
+    }
+    nodes
+}
+
+/// A cluster of the condensed tree.
+#[derive(Debug, Clone)]
+struct CondensedCluster {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// λ = 1/dist at which this cluster is born.
+    lambda_birth: f64,
+    /// Accumulated (λ_leave - λ_birth) over member points: the stability.
+    stability: f64,
+    /// (point, λ at which the point leaves this cluster).
+    points: Vec<(usize, f64)>,
+    size: usize,
+}
+
+/// Condense the dendrogram and extract stable clusters.
+///
+/// Returns `(labels, n_clusters, probabilities)`.
+fn extract_clusters(
+    mst: &[MstEdge],
+    n: usize,
+    min_cluster_size: usize,
+) -> (Vec<i64>, usize, Vec<f64>) {
+    if n == 1 {
+        return (vec![-1], 0, vec![0.0]);
+    }
+    let dendro = single_linkage(mst, n);
+    let root_id = n + dendro.len() - 1;
+
+    let node_size = |id: usize| if id < n { 1 } else { dendro[id - n].size };
+    let lambda_of = |dist: f64| {
+        if dist > 0.0 {
+            1.0 / dist
+        } else {
+            f64::MAX / 4.0
+        }
+    };
+
+    // Condensed tree construction: walk from the root downward. Each
+    // "cluster" tracks the dendrogram subtree it currently covers.
+    let mut clusters: Vec<CondensedCluster> = Vec::new();
+    clusters.push(CondensedCluster {
+        parent: None,
+        children: Vec::new(),
+        lambda_birth: 0.0,
+        stability: 0.0,
+        points: Vec::new(),
+        size: n,
+    });
+    // Stack of (dendrogram node, owning condensed cluster).
+    let mut stack: Vec<(usize, usize)> = vec![(root_id, 0)];
+
+    while let Some((node_id, cl)) = stack.pop() {
+        if node_id < n {
+            // A single point reaching λ=∞ (never leaves until fully split).
+            let lam = f64::MAX / 4.0;
+            clusters[cl].points.push((node_id, lam));
+            continue;
+        }
+        let node = &dendro[node_id - n];
+        let lam = lambda_of(node.dist);
+        let (ls, rs) = (node_size(node.left), node_size(node.right));
+
+        if ls >= min_cluster_size && rs >= min_cluster_size {
+            // True split: two new clusters are born at λ.
+            for &child in &[node.left, node.right] {
+                let id = clusters.len();
+                clusters.push(CondensedCluster {
+                    parent: Some(cl),
+                    children: Vec::new(),
+                    lambda_birth: lam,
+                    stability: 0.0,
+                    points: Vec::new(),
+                    size: node_size(child),
+                });
+                clusters[cl].children.push(id);
+                stack.push((child, id));
+            }
+        } else {
+            // Spin-off(s) too small: their points fall out of `cl` at λ;
+            // the surviving side continues as the same cluster.
+            for &child in &[node.left, node.right] {
+                if node_size(child) >= min_cluster_size {
+                    stack.push((child, cl));
+                } else {
+                    collect_points(child, n, &dendro, lam, cl, &mut clusters, lambda_of);
+                }
+            }
+        }
+    }
+
+    // Stability of each condensed cluster.
+    for c in &mut clusters {
+        let birth = c.lambda_birth;
+        c.stability = c
+            .points
+            .iter()
+            .map(|&(_, lam)| (lam - birth).min(1e12))
+            .sum();
+    }
+    // Children's subtree stabilities also count against the parent: the
+    // points in a child left the parent when the child was born.
+    // (Handled implicitly: a parent's `points` only contains points that
+    // fell out of it directly, plus we add child-birth contributions.)
+    for i in 0..clusters.len() {
+        if let Some(p) = clusters[i].parent {
+            let contrib = (clusters[i].lambda_birth - clusters[p].lambda_birth).min(1e12)
+                * clusters[i].size as f64;
+            clusters[p].stability += contrib;
+        }
+    }
+
+    // Excess-of-mass selection, bottom-up: keep a cluster if it is more
+    // stable than the sum of its selected descendants.
+    let mut selected = vec![false; clusters.len()];
+    let mut subtree_stability = vec![0.0f64; clusters.len()];
+    let order = topo_bottom_up(&clusters);
+    for &i in &order {
+        if clusters[i].children.is_empty() {
+            selected[i] = true;
+            subtree_stability[i] = clusters[i].stability;
+        } else {
+            let child_sum: f64 = clusters[i]
+                .children
+                .iter()
+                .map(|&c| subtree_stability[c])
+                .sum();
+            if clusters[i].stability >= child_sum && clusters[i].parent.is_some() {
+                selected[i] = true;
+                subtree_stability[i] = clusters[i].stability;
+                // Deselect all descendants.
+                let mut st = clusters[i].children.clone();
+                while let Some(d) = st.pop() {
+                    selected[d] = false;
+                    st.extend(clusters[d].children.iter().copied());
+                }
+            } else {
+                subtree_stability[i] = child_sum;
+            }
+        }
+    }
+    // Never select the root (that would be "everything is one cluster").
+    selected[0] = false;
+
+    // Assign labels: each point belongs to the selected cluster it falls
+    // under (points recorded in a cluster's `points` or in any descendant).
+    let mut labels = vec![-1i64; n];
+    let mut probabilities = vec![0.0f64; n];
+    let mut n_clusters = 0usize;
+    for (i, c) in clusters.iter().enumerate() {
+        if !selected[i] {
+            continue;
+        }
+        let label = n_clusters as i64;
+        n_clusters += 1;
+        // Gather the points of this cluster and all descendants.
+        let mut pts: Vec<(usize, f64)> = Vec::new();
+        let mut st = vec![i];
+        while let Some(d) = st.pop() {
+            pts.extend(clusters[d].points.iter().copied());
+            st.extend(clusters[d].children.iter().copied());
+        }
+        let max_lambda = pts
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(0.0f64, f64::max)
+            .max(c.lambda_birth + 1e-12);
+        for (p, lam) in pts {
+            labels[p] = label;
+            probabilities[p] = if max_lambda > 0.0 {
+                (lam / max_lambda).min(1.0)
+            } else {
+                1.0
+            };
+        }
+    }
+    (labels, n_clusters, probabilities)
+}
+
+/// Push every leaf point of dendrogram subtree `node_id` into cluster `cl`
+/// with leave-λ = max(λ of the split that dropped it, its own merge λ).
+fn collect_points(
+    node_id: usize,
+    n: usize,
+    dendro: &[DendroNode],
+    lam: f64,
+    cl: usize,
+    clusters: &mut [CondensedCluster],
+    lambda_of: impl Fn(f64) -> f64 + Copy,
+) {
+    let mut stack = vec![(node_id, lam)];
+    while let Some((id, l)) = stack.pop() {
+        if id < n {
+            clusters[cl].points.push((id, l));
+        } else {
+            let node = &dendro[id - n];
+            let child_l = lambda_of(node.dist).max(l);
+            stack.push((node.left, child_l));
+            stack.push((node.right, child_l));
+        }
+    }
+}
+
+/// Children-before-parents ordering of the condensed clusters.
+fn topo_bottom_up(clusters: &[CondensedCluster]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    let mut depth = vec![0usize; clusters.len()];
+    for i in 0..clusters.len() {
+        let mut d = 0;
+        let mut p = clusters[i].parent;
+        while let Some(pp) = p {
+            d += 1;
+            p = clusters[pp].parent;
+        }
+        depth[i] = d;
+    }
+    order.sort_by(|&a, &b| depth[b].cmp(&depth[a]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, k: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden-angle spiral, deterministic
+                let r = spread * ((i + 1) as f64 / k as f64).sqrt();
+                vec![cx + r * a.cos(), cy + r * a.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rows = blob(0.0, 0.0, 15, 1.0);
+        rows.extend(blob(50.0, 50.0, 15, 1.0));
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(5);
+        h.fit(&x).unwrap();
+        assert_eq!(
+            h.n_clusters().unwrap(),
+            2,
+            "labels: {:?}",
+            h.labels().unwrap()
+        );
+        let labels = h.labels().unwrap();
+        // Each blob is label-pure.
+        let first = labels[0];
+        assert!(first >= 0);
+        assert!(labels[..15].iter().all(|&l| l == first));
+        let second = labels[15];
+        assert!(second >= 0 && second != first);
+        assert!(labels[15..].iter().all(|&l| l == second));
+    }
+
+    #[test]
+    fn noise_points_get_minus_one() {
+        let mut rows = blob(0.0, 0.0, 12, 1.0);
+        rows.extend(blob(100.0, 0.0, 12, 1.0));
+        // Isolated outliers far from both blobs, and from each other.
+        rows.push(vec![50.0, 500.0]);
+        rows.push(vec![-300.0, -300.0]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(5);
+        h.fit(&x).unwrap();
+        let labels = h.labels().unwrap();
+        assert_eq!(labels[24], -1, "outlier should be noise: {labels:?}");
+        assert_eq!(labels[25], -1, "outlier should be noise: {labels:?}");
+        let probs = h.probabilities().unwrap();
+        assert_eq!(probs[24], 0.0);
+    }
+
+    #[test]
+    fn three_blobs_three_clusters() {
+        let mut rows = blob(0.0, 0.0, 10, 0.5);
+        rows.extend(blob(40.0, 0.0, 10, 0.5));
+        rows.extend(blob(0.0, 40.0, 10, 0.5));
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(4);
+        h.fit(&x).unwrap();
+        assert_eq!(h.n_clusters().unwrap(), 3);
+    }
+
+    #[test]
+    fn medoids_belong_to_their_cluster() {
+        let mut rows = blob(0.0, 0.0, 10, 1.0);
+        rows.extend(blob(30.0, 30.0, 10, 1.0));
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(4);
+        h.fit(&x).unwrap();
+        let medoids = h.medoid_indices(&x).unwrap();
+        assert_eq!(medoids.len(), h.n_clusters().unwrap());
+        let labels = h.labels().unwrap();
+        for (c, &m) in medoids.iter().enumerate() {
+            assert_eq!(labels[m], c as i64);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        let x = Matrix::from_rows(&blob(0.0, 0.0, 10, 1.0)).unwrap();
+        assert!(Hdbscan::new(1).fit(&x).is_err());
+        assert!(Hdbscan::new(11).fit(&x).is_err());
+    }
+
+    #[test]
+    fn uniform_line_single_cluster_or_noise_free_labels() {
+        // Uniform density: either one cluster or all noise is acceptable,
+        // but labels must be consistent (no cluster ids >= n_clusters).
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(3);
+        h.fit(&x).unwrap();
+        let k = h.n_clusters().unwrap() as i64;
+        for &l in h.labels().unwrap() {
+            assert!(l >= -1 && l < k);
+        }
+    }
+
+    #[test]
+    fn mst_has_n_minus_one_edges_and_spans() {
+        let rows = blob(0.0, 0.0, 8, 2.0);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let d = pairwise_distances(&x);
+        let core = core_distances(&d, 3);
+        let mst = mutual_reachability_mst(&d, &core);
+        assert_eq!(mst.len(), 7);
+        // Spanning: union-find over the edges connects everything.
+        let mut uf = UnionFind::new(8);
+        for e in &mst {
+            let (ra, rb) = (uf.find(e.a), uf.find(e.b));
+            uf.parent[ra] = rb;
+        }
+        let root = uf.find(0);
+        for v in 1..8 {
+            assert_eq!(uf.find(v), root);
+        }
+    }
+
+    #[test]
+    fn core_distance_is_kth_neighbor() {
+        // Points at 0, 1, 3, 6 on a line. For k=2, core(0) = dist to 2nd
+        // nearest = 3.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![3.0], vec![6.0]]).unwrap();
+        let d = pairwise_distances(&x);
+        let core = core_distances(&d, 2);
+        assert_eq!(core[0], 3.0);
+        assert_eq!(core[1], 2.0);
+        assert_eq!(core[2], 3.0); // neighbours of 3 sit at distances 2, 3, 3
+        assert_eq!(core[3], 5.0);
+    }
+}

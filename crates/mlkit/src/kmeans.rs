@@ -1,0 +1,346 @@
+//! K-means clustering with k-means++ initialisation (Lloyd's algorithm).
+
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// K-means estimator.
+///
+/// Deterministic given `seed`. `n_init` restarts are run and the solution
+/// with the lowest inertia is kept, mirroring sklearn's `KMeans`.
+///
+/// ```
+/// use autokernel_mlkit::{KMeans, Matrix};
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.2], vec![9.8], vec![10.0],
+/// ]).unwrap();
+/// let mut km = KMeans::new(2, 42);
+/// km.fit(&x).unwrap();
+/// let labels = km.labels().unwrap();
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    n_init: usize,
+    tol: f64,
+    seed: u64,
+    fitted: Option<FittedKMeans>,
+}
+
+/// Fitted k-means state.
+#[derive(Debug, Clone)]
+struct FittedKMeans {
+    centroids: Matrix,
+    labels: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Create a k-means estimator with `k` clusters and the given seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k,
+            max_iter: 300,
+            n_init: 10,
+            tol: 1e-8,
+            seed,
+            fitted: None,
+        }
+    }
+
+    /// Maximum Lloyd iterations per restart (default 300).
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Number of random restarts (default 10).
+    pub fn with_n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init;
+        self
+    }
+
+    /// Fit on `x` (`n_samples × n_features`).
+    pub fn fit(&mut self, x: &Matrix) -> Result<&mut Self> {
+        if self.k == 0 {
+            return Err(MlError::BadParam("k must be >= 1".into()));
+        }
+        if x.rows() < self.k {
+            return Err(MlError::BadShape(format!(
+                "cannot form {} clusters from {} samples",
+                self.k,
+                x.rows()
+            )));
+        }
+        let mut best: Option<FittedKMeans> = None;
+        for restart in 0..self.n_init.max(1) {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            let run = self.run_once(x, &mut rng);
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+                best = Some(run);
+            }
+        }
+        self.fitted = best;
+        Ok(self)
+    }
+
+    fn run_once(&self, x: &Matrix, rng: &mut StdRng) -> FittedKMeans {
+        let n = x.rows();
+        let d = x.cols();
+        let mut centroids = self.init_plus_plus(x, rng);
+        let mut labels = vec![0usize; n];
+        let mut inertia = f64::INFINITY;
+
+        for _ in 0..self.max_iter {
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for (i, row) in x.rows_iter().enumerate() {
+                let (lbl, d2) = nearest(row, &centroids);
+                labels[i] = lbl;
+                new_inertia += d2;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(self.k, d);
+            let mut counts = vec![0usize; self.k];
+            for (i, row) in x.rows_iter().enumerate() {
+                counts[labels[i]] += 1;
+                for (s, &v) in sums.row_mut(labels[i]).iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            #[allow(clippy::needless_range_loop)]
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster from the point farthest from
+                    // its centroid, the standard fix-up.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = Matrix::sq_dist(x.row(a), centroids.row(labels[a]));
+                            let db = Matrix::sq_dist(x.row(b), centroids.row(labels[b]));
+                            da.partial_cmp(&db).unwrap()
+                        })
+                        .unwrap_or(rng.random_range(0..n));
+                    sums.row_mut(c).copy_from_slice(x.row(far));
+                    counts[c] = 1;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for s in sums.row_mut(c) {
+                    *s *= inv;
+                }
+            }
+            let moved: f64 = (0..self.k)
+                .map(|c| Matrix::sq_dist(sums.row(c), centroids.row(c)))
+                .sum();
+            centroids = sums;
+            let converged = moved <= self.tol || (inertia - new_inertia).abs() <= self.tol;
+            inertia = new_inertia;
+            if converged {
+                break;
+            }
+        }
+        // Final assignment against the final centroids.
+        let mut final_inertia = 0.0;
+        for (i, row) in x.rows_iter().enumerate() {
+            let (lbl, d2) = nearest(row, &centroids);
+            labels[i] = lbl;
+            final_inertia += d2;
+        }
+        FittedKMeans {
+            centroids,
+            labels,
+            inertia: final_inertia,
+        }
+    }
+
+    /// k-means++ seeding: each next centre is drawn proportionally to its
+    /// squared distance from the nearest already-chosen centre.
+    fn init_plus_plus(&self, x: &Matrix, rng: &mut StdRng) -> Matrix {
+        let n = x.rows();
+        let d = x.cols();
+        let mut centroids = Matrix::zeros(self.k, d);
+        let first = rng.random_range(0..n);
+        centroids.row_mut(0).copy_from_slice(x.row(first));
+
+        let mut d2: Vec<f64> = x
+            .rows_iter()
+            .map(|r| Matrix::sq_dist(r, centroids.row(0)))
+            .collect();
+
+        for c in 1..self.k {
+            let total: f64 = d2.iter().sum();
+            let chosen = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut idx = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                idx
+            };
+            centroids.row_mut(c).copy_from_slice(x.row(chosen));
+            for (i, row) in x.rows_iter().enumerate() {
+                let nd = Matrix::sq_dist(row, centroids.row(c));
+                if nd < d2[i] {
+                    d2[i] = nd;
+                }
+            }
+        }
+        centroids
+    }
+
+    /// Cluster centroids (`k × n_features`).
+    pub fn centroids(&self) -> Result<&Matrix> {
+        Ok(&self.fitted.as_ref().ok_or(MlError::NotFitted)?.centroids)
+    }
+
+    /// Training-set labels.
+    pub fn labels(&self) -> Result<&[usize]> {
+        Ok(&self.fitted.as_ref().ok_or(MlError::NotFitted)?.labels)
+    }
+
+    /// Sum of squared distances of samples to their nearest centroid.
+    pub fn inertia(&self) -> Result<f64> {
+        Ok(self.fitted.as_ref().ok_or(MlError::NotFitted)?.inertia)
+    }
+
+    /// Assign each row of `x` to its nearest fitted centroid.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != f.centroids.cols() {
+            return Err(MlError::BadShape("predict feature count mismatch".into()));
+        }
+        Ok(x.rows_iter().map(|r| nearest(r, &f.centroids).0).collect())
+    }
+
+    /// Index of the training sample closest to each centroid (the medoid),
+    /// used to map abstract cluster centres back onto real dataset rows.
+    pub fn medoid_indices(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        let mut medoids = vec![usize::MAX; self.k];
+        let mut best = vec![f64::INFINITY; self.k];
+        for (i, row) in x.rows_iter().enumerate() {
+            for c in 0..self.k {
+                let d2 = Matrix::sq_dist(row, f.centroids.row(c));
+                if d2 < best[c] {
+                    best[c] = d2;
+                    medoids[c] = i;
+                }
+            }
+        }
+        Ok(medoids)
+    }
+}
+
+fn nearest(row: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for c in 0..centroids.rows() {
+        let d2 = Matrix::sq_dist(row, centroids.row(c));
+        if d2 < best.1 {
+            best = (c, d2);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs on a line.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            let centre = c as f64 * 100.0;
+            for i in 0..10 {
+                rows.push(vec![centre + (i as f64) * 0.1, centre - (i as f64) * 0.05]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let x = blobs();
+        let mut km = KMeans::new(3, 7);
+        km.fit(&x).unwrap();
+        let labels = km.labels().unwrap();
+        // All members of each blob share a label; the three labels differ.
+        for b in 0..3 {
+            let first = labels[b * 10];
+            assert!(labels[b * 10..(b + 1) * 10].iter().all(|&l| l == first));
+        }
+        let mut distinct: Vec<usize> = labels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let x = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let mut km = KMeans::new(k, 3);
+            km.fit(&x).unwrap();
+            let inertia = km.inertia().unwrap();
+            assert!(inertia <= prev + 1e-9, "inertia rose at k={k}");
+            prev = inertia;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = blobs();
+        let mut a = KMeans::new(3, 42);
+        let mut b = KMeans::new(3, 42);
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.labels().unwrap(), b.labels().unwrap());
+        assert_eq!(a.inertia().unwrap(), b.inertia().unwrap());
+    }
+
+    #[test]
+    fn predict_matches_training_labels() {
+        let x = blobs();
+        let mut km = KMeans::new(3, 1);
+        km.fit(&x).unwrap();
+        assert_eq!(&km.predict(&x).unwrap(), km.labels().unwrap());
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let x = blobs();
+        let mut km = KMeans::new(3, 5);
+        km.fit(&x).unwrap();
+        let medoids = km.medoid_indices(&x).unwrap();
+        let labels = km.labels().unwrap();
+        for (c, &m) in medoids.iter().enumerate() {
+            assert!(m < x.rows());
+            assert_eq!(labels[m], c, "medoid of cluster {c} not labelled {c}");
+        }
+    }
+
+    #[test]
+    fn rejects_k_larger_than_samples_and_k_zero() {
+        let x = blobs();
+        assert!(KMeans::new(0, 0).fit(&x).is_err());
+        assert!(KMeans::new(31, 0).fit(&x).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 10.0, 0.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut km = KMeans::new(5, 11);
+        km.fit(&x).unwrap();
+        assert!(km.inertia().unwrap() < 1e-9);
+    }
+}

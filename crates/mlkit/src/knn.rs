@@ -1,0 +1,139 @@
+//! Brute-force k-nearest-neighbour classification.
+
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+
+/// k-NN classifier (Euclidean distance, majority vote, nearest-neighbour
+/// tie-break as in sklearn's default).
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    x: Option<Matrix>,
+    y: Vec<usize>,
+}
+
+impl KNearestNeighbors {
+    /// Create a classifier voting over `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        KNearestNeighbors {
+            k,
+            x: None,
+            y: Vec::new(),
+        }
+    }
+
+    /// Memorise the training data.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<&mut Self> {
+        if self.k == 0 {
+            return Err(MlError::BadParam("k must be >= 1".into()));
+        }
+        if x.rows() != y.len() || x.rows() == 0 {
+            return Err(MlError::BadShape(
+                "x rows must equal y length (nonzero)".into(),
+            ));
+        }
+        if x.rows() < self.k {
+            return Err(MlError::BadShape(format!(
+                "k={} exceeds {} training samples",
+                self.k,
+                x.rows()
+            )));
+        }
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+        Ok(self)
+    }
+
+    /// Predict a label for each row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let train = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(MlError::BadShape("feature count differs from fit".into()));
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        for row in x.rows_iter() {
+            let mut d: Vec<(f64, usize)> = train
+                .rows_iter()
+                .enumerate()
+                .map(|(i, t)| (Matrix::sq_dist(row, t), i))
+                .collect();
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let neighbours = &d[..self.k];
+            // Majority vote; on a tie prefer the label of the closer
+            // neighbour (sklearn behaviour for uniform weights).
+            let mut counts: Vec<(usize, usize, usize)> = Vec::new(); // (label, count, first_rank)
+            for (rank, &(_, i)) in neighbours.iter().enumerate() {
+                let label = self.y[i];
+                match counts.iter_mut().find(|(l, _, _)| *l == label) {
+                    Some(entry) => entry.1 += 1,
+                    None => counts.push((label, 1, rank)),
+                }
+            }
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+            out.push(counts[0].0);
+        }
+        Ok(out)
+    }
+
+    /// Number of neighbours voted over.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![i as f64 * 0.1, 0.0]);
+            labels.push(0);
+            rows.push(vec![100.0 + i as f64 * 0.1, 0.0]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn one_nn_memorises_training_set() {
+        let (x, y) = two_blobs();
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(knn.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn three_nn_classifies_midpoints_correctly() {
+        let (x, y) = two_blobs();
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y).unwrap();
+        let probe = Matrix::from_rows(&[vec![1.0, 0.0], vec![99.0, 0.0]]).unwrap();
+        assert_eq!(knn.predict(&probe).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_break_prefers_closer_label() {
+        // k=2 with one neighbour from each class: the closer one must win.
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0]]).unwrap();
+        let y = vec![3usize, 8usize];
+        let mut knn = KNearestNeighbors::new(2);
+        knn.fit(&x, &y).unwrap();
+        let probe = Matrix::from_rows(&[vec![1.0], vec![9.0]]).unwrap();
+        assert_eq!(knn.predict(&probe).unwrap(), vec![3, 8]);
+    }
+
+    #[test]
+    fn errors_on_bad_params_and_unfitted() {
+        let (x, y) = two_blobs();
+        assert!(KNearestNeighbors::new(0).fit(&x, &y).is_err());
+        assert!(KNearestNeighbors::new(21).fit(&x, &y).is_err());
+        let knn = KNearestNeighbors::new(1);
+        assert!(knn.predict(&x).is_err());
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y).unwrap();
+        assert!(knn.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! # autokernel-mlkit
+//!
+//! A from-scratch machine-learning toolkit providing every algorithm the
+//! kernel-selection study needs, with semantics matching the scikit-learn
+//! calls used by the paper's released code:
+//!
+//! - [`matrix::Matrix`] — dense row-major matrix with the small set of
+//!   linear-algebra operations the estimators need.
+//! - [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices.
+//! - [`pca::Pca`] — principal component analysis (dual formulation when
+//!   samples ≪ features), explained-variance ratios, transform/inverse.
+//! - [`kmeans::KMeans`] — Lloyd's algorithm with k-means++ initialisation.
+//! - [`hdbscan::Hdbscan`] — hierarchical density-based clustering: core
+//!   distances, mutual-reachability minimum spanning tree, condensed tree
+//!   and stability-based cluster extraction.
+//! - [`tree`] — CART decision trees: classification (Gini) and
+//!   multi-output regression (variance reduction), with both depth-first
+//!   growth and sklearn-style best-first growth under `max_leaf_nodes`.
+//! - [`forest::RandomForestClassifier`] — bagged trees with feature
+//!   subsampling and majority voting.
+//! - [`gbrt::GradientBoostingRegressor`] — squared-loss gradient
+//!   boosting (the predictive-auto-tuning model of the paper's related
+//!   work).
+//! - [`svm`] — support vector classification trained with SMO, linear and
+//!   RBF kernels, one-vs-one multiclass voting.
+//! - [`knn::KNearestNeighbors`] — brute-force k-NN classification.
+//! - [`preprocess`] — standard and min-max scalers, log transforms.
+//! - [`metrics`] — accuracy, geometric mean, argmax helpers.
+//! - [`model_selection`] — seeded train/test splits and k-fold iteration.
+//!
+//! All estimators are deterministic given an explicit seed, which the
+//! reproduction relies on.
+
+#![warn(missing_docs)]
+
+pub mod eigen;
+pub mod forest;
+pub mod gbrt;
+pub mod hdbscan;
+pub mod kmeans;
+pub mod knn;
+pub mod matrix;
+pub mod metrics;
+pub mod model_selection;
+pub mod pca;
+pub mod preprocess;
+pub mod svm;
+pub mod tree;
+
+pub use forest::RandomForestClassifier;
+pub use gbrt::GradientBoostingRegressor;
+pub use hdbscan::Hdbscan;
+pub use kmeans::KMeans;
+pub use knn::KNearestNeighbors;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use svm::{Svc, SvmKernel};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};
+
+/// Errors produced by mlkit estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Input matrices had incompatible or empty shapes.
+    BadShape(String),
+    /// An estimator was asked to predict before being fitted.
+    NotFitted,
+    /// Invalid hyper-parameter value.
+    BadParam(String),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::BadShape(s) => write!(f, "bad shape: {s}"),
+            MlError::NotFitted => write!(f, "estimator is not fitted"),
+            MlError::BadParam(s) => write!(f, "bad parameter: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Convenience result alias for mlkit operations.
+pub type Result<T> = std::result::Result<T, MlError>;

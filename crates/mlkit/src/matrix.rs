@@ -1,0 +1,346 @@
+//! Dense row-major matrix with the linear algebra the estimators need.
+
+use crate::{MlError, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is deliberately small: the estimators in this crate only need
+/// construction, element access, row/column views, transpose, matrix
+/// product, centering and Gram/covariance products.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of `rows × cols` filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::BadShape(format!(
+                "buffer of {} elements cannot be {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Create a matrix from a slice of rows.
+    ///
+    /// Returns an error if rows have inconsistent lengths or no rows given.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(MlError::BadShape("no rows".into()));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(MlError::BadShape("ragged rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// The identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Flat row-major view of the underlying data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::BadShape(format!(
+                "matmul {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `other`
+        // and `out`, which matters for the 640-wide performance matrices.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for m in &mut means {
+            *m /= n;
+        }
+        means
+    }
+
+    /// Return a copy with the given per-column offsets subtracted.
+    pub fn center_by(&self, means: &[f64]) -> Result<Matrix> {
+        if means.len() != self.cols {
+            return Err(MlError::BadShape("center_by length mismatch".into()));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (v, m) in out.row_mut(r).iter_mut().zip(means) {
+                *v -= m;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `self * selfᵀ` (`rows × rows`), used by dual PCA.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            let ri = self.row(i);
+            for j in i..self.rows {
+                let dot: f64 = ri.iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                out[(i, j)] = dot;
+                out[(j, i)] = dot;
+            }
+        }
+        out
+    }
+
+    /// Covariance matrix `selfᵀ * self / (rows - 1)` of a centered matrix.
+    pub fn covariance_of_centered(&self) -> Matrix {
+        let denom = (self.rows.saturating_sub(1)).max(1) as f64;
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for row in self.rows_iter() {
+            for i in 0..self.cols {
+                let vi = row[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &vj) in orow.iter_mut().zip(row) {
+                    *o += vi * vj;
+                }
+            }
+        }
+        for v in &mut out.data {
+            *v /= denom;
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between two equal-length slices.
+    #[inline]
+    pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Euclidean distance between two equal-length slices.
+    #[inline]
+    pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+        Self::sq_dist(a, b).sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn col_means_and_center() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 20.0]).unwrap();
+        let means = a.col_means();
+        assert_eq!(means, vec![2.0, 15.0]);
+        let c = a.center_by(&means).unwrap();
+        assert_eq!(c.as_slice(), &[-1.0, -5.0, 1.0, 5.0]);
+        assert!(c.col_means().iter().all(|m| m.abs() < 1e-12));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]).unwrap();
+        let g = a.gram();
+        let explicit = a.matmul(&a.transpose()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_centered_matches_definition() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 5.0, 5.0, 11.0]).unwrap();
+        let c = a.center_by(&a.col_means()).unwrap();
+        let cov = c.covariance_of_centered();
+        // Explicit: cov = cᵀ c / (n-1)
+        let explicit = c.transpose().matmul(&c).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((cov[(i, j)] - explicit[(i, j)] / 2.0).abs() < 1e-12);
+            }
+        }
+        // Covariance is symmetric PSD; diagonal entries are variances >= 0.
+        assert!(cov[(0, 0)] >= 0.0 && cov[(1, 1)] >= 0.0);
+        assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Matrix::dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Scoring utilities used across the study.
+
+/// Fraction of positions where `pred == truth`.
+///
+/// Returns 0 for empty inputs (and panics in debug builds on length
+/// mismatch, which is always a caller bug).
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    debug_assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / pred.len() as f64
+}
+
+/// Geometric mean of strictly-positive values — the paper's headline
+/// metric for relative performance scores.
+///
+/// ```
+/// use autokernel_mlkit::metrics::geometric_mean;
+/// assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+///
+/// Non-positive entries are clamped to a small epsilon so a single zero
+/// (a kernel that failed to run) does not collapse the whole score to 0;
+/// this mirrors how benchmark aggregation is done in practice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-9).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Index of the maximum value, first index on ties.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Mean silhouette coefficient of a clustering: for each point,
+/// `(b - a) / max(a, b)` with `a` the mean intra-cluster distance and
+/// `b` the smallest mean distance to another cluster. Returns 0 for
+/// degenerate inputs (fewer than 2 clusters, or singleton-only data).
+#[allow(clippy::needless_range_loop)] // parallel indexing of x and labels
+pub fn silhouette_score(x: &crate::matrix::Matrix, labels: &[usize]) -> f64 {
+    debug_assert_eq!(x.rows(), labels.len());
+    let mut clusters: Vec<usize> = labels.to_vec();
+    clusters.sort_unstable();
+    clusters.dedup();
+    if clusters.len() < 2 {
+        return 0.0;
+    }
+    let n = x.rows();
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = labels[i];
+        let mut mean_dist = vec![(0.0f64, 0usize); clusters.len()];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = clusters.binary_search(&labels[j]).expect("known label");
+            mean_dist[c].0 += crate::matrix::Matrix::dist(x.row(i), x.row(j));
+            mean_dist[c].1 += 1;
+        }
+        let own_idx = clusters.binary_search(&own).expect("known label");
+        let (a_sum, a_n) = mean_dist[own_idx];
+        if a_n == 0 {
+            continue; // Singleton cluster: silhouette undefined for i.
+        }
+        let a = a_sum / a_n as f64;
+        let b = mean_dist
+            .iter()
+            .enumerate()
+            .filter(|&(c, &(_, cnt))| c != own_idx && cnt > 0)
+            .map(|(_, &(s, cnt))| s / cnt as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Confusion matrix over the provided class list; `counts[t][p]` counts
+/// samples of true class `classes[t]` predicted as `classes[p]`.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], classes: &[usize]) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; classes.len()]; classes.len()];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let (Ok(pi) | Err(pi)) = classes.binary_search(&p);
+        let (Ok(ti) | Err(ti)) = classes.binary_search(&t);
+        if pi < classes.len() && ti < classes.len() && classes[pi] == p && classes[ti] == t {
+            m[ti][pi] += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_dominated_by_low_outliers() {
+        let with_bad = geometric_mean(&[1.0, 1.0, 1.0, 0.01]);
+        let without = geometric_mean(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(with_bad < 0.4 * without);
+    }
+
+    #[test]
+    fn geometric_mean_survives_zero() {
+        let g = geometric_mean(&[0.0, 1.0]);
+        assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_on_perfect() {
+        let classes = [1usize, 2, 5];
+        let m = confusion_matrix(&[1, 2, 5, 5], &[1, 2, 5, 5], &classes);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][2], 2);
+        assert_eq!(m[0][1] + m[1][0] + m[2][0], 0);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs_low_for_mixed() {
+        use crate::matrix::Matrix;
+        let mut rows = Vec::new();
+        let mut good = Vec::new();
+        for i in 0..6 {
+            rows.push(vec![i as f64 * 0.1, 0.0]);
+            good.push(0usize);
+        }
+        for i in 0..6 {
+            rows.push(vec![100.0 + i as f64 * 0.1, 0.0]);
+            good.push(1usize);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let s_good = silhouette_score(&x, &good);
+        assert!(
+            s_good > 0.95,
+            "separated blobs should score near 1, got {s_good}"
+        );
+        // Alternating labels mix the blobs: poor clustering.
+        let bad: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let s_bad = silhouette_score(&x, &bad);
+        assert!(
+            s_bad < s_good - 0.5,
+            "mixed labels should score low, got {s_bad}"
+        );
+    }
+
+    #[test]
+    fn silhouette_degenerate_inputs() {
+        use crate::matrix::Matrix;
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(silhouette_score(&x, &[0, 0]), 0.0); // one cluster
+                                                        // Two singleton clusters: every point is a singleton => 0.
+        assert_eq!(silhouette_score(&x, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_off_diagonal() {
+        let classes = [0usize, 1];
+        let m = confusion_matrix(&[1, 0], &[0, 0], &classes);
+        assert_eq!(m[0][1], 1); // true 0 predicted 1
+        assert_eq!(m[0][0], 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Train/test splitting and k-fold iteration, seeded for reproducibility.
+
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+/// A shuffled train/test index split.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Indices of the training rows.
+    pub train: Vec<usize>,
+    /// Indices of the test rows.
+    pub test: Vec<usize>,
+}
+
+/// Split `n` samples into train/test with the given test fraction,
+/// shuffling with `seed`. The paper's split (170 → 136/34) corresponds to
+/// `test_fraction = 0.2`.
+///
+/// Guarantees at least one sample on each side when `n >= 2`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut n_test = (n as f64 * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    if n >= 2 {
+        n_test = n_test.clamp(1, n - 1);
+    } else {
+        n_test = n_test.min(n);
+    }
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    TrainTestSplit { train, test }
+}
+
+/// Iterate `k` contiguous folds over a seeded shuffle of `0..n`.
+/// Each item is `(train_indices, validation_indices)`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k_fold needs k >= 2");
+    assert!(n >= k, "k_fold needs at least k samples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let val: Vec<usize> = idx[start..start + len].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + len..])
+            .copied()
+            .collect();
+        folds.push((train, val));
+        start += len;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_covers_all_indices_once() {
+        let s = train_test_split(170, 0.2, 42);
+        assert_eq!(s.train.len() + s.test.len(), 170);
+        let all: HashSet<usize> = s.train.iter().chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 170);
+    }
+
+    #[test]
+    fn paper_split_sizes() {
+        let s = train_test_split(170, 0.2, 0);
+        assert_eq!(s.test.len(), 34);
+        assert_eq!(s.train.len(), 136);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let a = train_test_split(50, 0.3, 7);
+        let b = train_test_split(50, 0.3, 7);
+        let c = train_test_split(50, 0.3, 8);
+        assert_eq!(a.test, b.test);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        for n in 2..10 {
+            for frac in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                let s = train_test_split(n, frac, 1);
+                assert!(!s.train.is_empty(), "empty train at n={n} frac={frac}");
+                assert!(!s.test.is_empty(), "empty test at n={n} frac={frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_fold_partitions() {
+        let folds = k_fold(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = HashSet::new();
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 23);
+            for v in val {
+                assert!(seen.insert(*v), "index {v} in two validation folds");
+            }
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k_one() {
+        k_fold(10, 1, 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Principal component analysis.
+//!
+//! Matches sklearn's `PCA`: components are eigenvectors of the sample
+//! covariance matrix, explained-variance ratios sum to 1 over all
+//! components. When there are fewer samples than features (the paper's
+//! 170×640 case) the dual ("Gram-matrix") formulation is used, which
+//! computes the same nonzero spectrum from an n×n instead of a d×d
+//! eigenproblem.
+
+use crate::eigen::eigen_symmetric;
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+
+/// Principal component analysis estimator.
+///
+/// ```
+/// use autokernel_mlkit::{Matrix, Pca};
+/// // Points stretched along the first axis.
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.1], vec![5.0, -0.1], vec![10.0, 0.05], vec![15.0, 0.0],
+/// ]).unwrap();
+/// let mut pca = Pca::new(2);
+/// pca.fit(&x).unwrap();
+/// let ratio = pca.explained_variance_ratio().unwrap();
+/// assert!(ratio[0] > 0.99); // one dominant direction
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    n_components: usize,
+    fitted: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    /// Per-feature means subtracted before projection.
+    mean: Vec<f64>,
+    /// `n_components × n_features`; row `i` is component `i`.
+    components: Matrix,
+    /// Variance along each kept component.
+    explained_variance: Vec<f64>,
+    /// Fraction of total variance along each kept component.
+    explained_variance_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Create a PCA that keeps `n_components` components.
+    pub fn new(n_components: usize) -> Self {
+        Pca {
+            n_components,
+            fitted: None,
+        }
+    }
+
+    /// Fit on `x` (`n_samples × n_features`).
+    pub fn fit(&mut self, x: &Matrix) -> Result<&mut Self> {
+        let (n, d) = x.shape();
+        if n < 2 {
+            return Err(MlError::BadShape("PCA needs at least 2 samples".into()));
+        }
+        let max_comp = self.n_components.min(n - 1).min(d);
+        if max_comp == 0 {
+            return Err(MlError::BadParam("n_components must be >= 1".into()));
+        }
+
+        let mean = x.col_means();
+        let xc = x.center_by(&mean)?;
+
+        // Total variance = sum of per-feature variances; the ratio
+        // denominator regardless of which eigenproblem we solve.
+        let denom = (n - 1) as f64;
+        let total_variance: f64 = xc
+            .rows_iter()
+            .flat_map(|r| r.iter().map(|v| v * v))
+            .sum::<f64>()
+            / denom;
+
+        let (eigvals, components) = if n <= d {
+            // Dual PCA: eigen of the Gram matrix XXᵀ (n×n). For eigenpair
+            // (λ, u) of XXᵀ, v = Xᵀu / sqrt(λ) is a unit eigenvector of
+            // XᵀX with the same eigenvalue.
+            let gram = xc.gram();
+            let e = eigen_symmetric(&gram)?;
+            let mut comps = Matrix::zeros(max_comp, d);
+            let mut vals = Vec::with_capacity(max_comp);
+            for c in 0..max_comp {
+                let lambda = e.values[c].max(0.0);
+                vals.push(lambda / denom);
+                if lambda <= 1e-300 {
+                    continue; // Leave a zero row for a null component.
+                }
+                let scale = 1.0 / lambda.sqrt();
+                for i in 0..n {
+                    let ui = e.vectors[(i, c)];
+                    if ui == 0.0 {
+                        continue;
+                    }
+                    let xrow = xc.row(i);
+                    let crow = comps.row_mut(c);
+                    for (cv, &xv) in crow.iter_mut().zip(xrow) {
+                        *cv += ui * xv * scale;
+                    }
+                }
+            }
+            (vals, comps)
+        } else {
+            // Primal PCA: eigen of the covariance matrix (d×d).
+            let cov = xc.covariance_of_centered();
+            let e = eigen_symmetric(&cov)?;
+            let mut comps = Matrix::zeros(max_comp, d);
+            let mut vals = Vec::with_capacity(max_comp);
+            for c in 0..max_comp {
+                vals.push(e.values[c].max(0.0));
+                for j in 0..d {
+                    comps[(c, j)] = e.vectors[(j, c)];
+                }
+            }
+            (vals, comps)
+        };
+
+        let ratio: Vec<f64> = if total_variance > 0.0 {
+            eigvals.iter().map(|v| v / total_variance).collect()
+        } else {
+            vec![0.0; eigvals.len()]
+        };
+
+        self.fitted = Some(Fitted {
+            mean,
+            components,
+            explained_variance: eigvals,
+            explained_variance_ratio: ratio,
+        });
+        Ok(self)
+    }
+
+    /// Project `x` onto the fitted components (`n_samples × n_components`).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != f.mean.len() {
+            return Err(MlError::BadShape("transform feature count mismatch".into()));
+        }
+        let xc = x.center_by(&f.mean)?;
+        xc.matmul(&f.components.transpose())
+    }
+
+    /// Fit and transform in one call.
+    pub fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+
+    /// Map projected points back to the original feature space.
+    pub fn inverse_transform(&self, z: &Matrix) -> Result<Matrix> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if z.cols() != f.components.rows() {
+            return Err(MlError::BadShape(
+                "inverse_transform component count mismatch".into(),
+            ));
+        }
+        let mut x = z.matmul(&f.components)?;
+        for r in 0..x.rows() {
+            for (v, m) in x.row_mut(r).iter_mut().zip(&f.mean) {
+                *v += m;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Variance captured by each kept component.
+    pub fn explained_variance(&self) -> Result<&[f64]> {
+        Ok(&self
+            .fitted
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .explained_variance)
+    }
+
+    /// Fraction of the total variance captured by each kept component.
+    pub fn explained_variance_ratio(&self) -> Result<&[f64]> {
+        Ok(&self
+            .fitted
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .explained_variance_ratio)
+    }
+
+    /// The fitted components (`n_components × n_features`).
+    pub fn components(&self) -> Result<&Matrix> {
+        Ok(&self.fitted.as_ref().ok_or(MlError::NotFitted)?.components)
+    }
+
+    /// Number of components actually kept (may be < requested for small data).
+    pub fn n_components_fitted(&self) -> Result<usize> {
+        Ok(self
+            .fitted
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .components
+            .rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dataset stretched along (1,1): first PC must align with it.
+    fn diag_line() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                vec![t + 0.01 * ((i % 3) as f64), t - 0.01 * ((i % 2) as f64)]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let x = diag_line();
+        let mut pca = Pca::new(2);
+        pca.fit(&x).unwrap();
+        let ratio = pca.explained_variance_ratio().unwrap();
+        assert!(ratio[0] > 0.999, "ratio = {ratio:?}");
+        let c = pca.components().unwrap();
+        let (a, b) = (c[(0, 0)], c[(0, 1)]);
+        assert!((a.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-2);
+        assert!((a - b).abs() < 1e-2, "component not along (1,1): ({a},{b})");
+    }
+
+    #[test]
+    fn ratios_sum_to_at_most_one_and_descend() {
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| {
+                let t = i as f64;
+                vec![3.0 * t, t.sin() * 5.0, (t * 0.7).cos(), 0.1 * t * t]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut pca = Pca::new(4);
+        pca.fit(&x).unwrap();
+        let r = pca.explained_variance_ratio().unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!(sum <= 1.0 + 1e-9);
+        for w in r.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "ratios not descending: {r:?}");
+        }
+    }
+
+    #[test]
+    fn dual_and_primal_agree_on_spectrum() {
+        // 5 samples, 3 features -> dual path; transpose-ish data forces primal.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 1.0, 1.0],
+            vec![3.0, 4.0, 0.0],
+            vec![4.0, 3.0, 2.0],
+            vec![5.0, 6.0, 1.5],
+        ])
+        .unwrap();
+        // Dual (n <= d is false here: 5 > 3, so primal). Build a wide version
+        // by transposing to force the dual path and compare nonzero spectra
+        // of X and Xᵀ — they share singular values.
+        let mut p1 = Pca::new(2);
+        p1.fit(&x).unwrap();
+        let xt = x.transpose();
+        let mut p2 = Pca::new(2);
+        p2.fit(&xt).unwrap();
+        // Spectra differ (different centering), but both must be valid PCAs:
+        // projections reproduce variance ordering.
+        let v1 = p1.explained_variance().unwrap();
+        let v2 = p2.explained_variance().unwrap();
+        assert!(v1[0] >= v1[1] && v2[0] >= v2[1]);
+    }
+
+    #[test]
+    fn transform_then_inverse_approximates_input_with_full_rank() {
+        let x = diag_line();
+        let mut pca = Pca::new(2);
+        let z = pca.fit_transform(&x).unwrap();
+        let back = pca.inverse_transform(&z).unwrap();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                assert!((back[(i, j)] - x[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_components() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 * 0.3;
+                vec![
+                    t,
+                    2.0 * t + t.sin(),
+                    t.cos() * 3.0,
+                    0.5 * t * t,
+                    (1.3 * t).sin(),
+                ]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut errs = Vec::new();
+        for k in 1..=4 {
+            let mut pca = Pca::new(k);
+            let z = pca.fit_transform(&x).unwrap();
+            let back = pca.inverse_transform(&z).unwrap();
+            let err: f64 = (0..x.rows())
+                .map(|i| Matrix::sq_dist(back.row(i), x.row(i)))
+                .sum();
+            errs.push(err);
+        }
+        for w in errs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "error not monotone: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn errors_on_unfitted_and_bad_shapes() {
+        let pca = Pca::new(2);
+        assert!(pca.transform(&Matrix::zeros(3, 3)).is_err());
+        let mut pca = Pca::new(1);
+        assert!(pca.fit(&Matrix::zeros(1, 4)).is_err()); // too few samples
+        let mut pca = Pca::new(1);
+        pca.fit(&diag_line()).unwrap();
+        assert!(pca.transform(&Matrix::zeros(2, 5)).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! Support vector classification trained with a simplified SMO solver.
+//!
+//! Binary soft-margin SVMs with linear or RBF kernels, lifted to
+//! multiclass with one-vs-one voting (libsvm's scheme), matching
+//! sklearn's `SVC(kernel="linear")` and `SVC(kernel="rbf")` as used by
+//! the paper's Table I.
+
+use crate::matrix::Matrix;
+use crate::{MlError, Result};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Kernel for the SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SvmKernel {
+    /// Dot-product kernel.
+    Linear,
+    /// Gaussian kernel `exp(-gamma * ||a - b||²)`.
+    Rbf {
+        /// Kernel width parameter.
+        gamma: f64,
+    },
+}
+
+impl SvmKernel {
+    #[inline]
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            SvmKernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            SvmKernel::Rbf { gamma } => (-gamma * Matrix::sq_dist(a, b)).exp(),
+        }
+    }
+}
+
+/// One binary SVM trained by SMO.
+#[derive(Debug, Clone)]
+struct BinarySvm {
+    /// alpha_i * y_i for support vectors.
+    dual_coef: Vec<f64>,
+    support: Matrix,
+    bias: f64,
+}
+
+impl BinarySvm {
+    fn decision(&self, kernel: SvmKernel, sample: &[f64]) -> f64 {
+        let mut sum = self.bias;
+        for (i, &coef) in self.dual_coef.iter().enumerate() {
+            sum += coef * kernel.eval(self.support.row(i), sample);
+        }
+        sum
+    }
+}
+
+/// Multiclass support vector classifier (one-vs-one, as in sklearn's
+/// `SVC`).
+#[derive(Debug, Clone)]
+pub struct Svc {
+    kernel: SvmKernel,
+    c: f64,
+    tol: f64,
+    max_passes: usize,
+    seed: u64,
+    classes: Vec<usize>,
+    /// One machine per unordered class pair `(a, b)`, with `a` as the
+    /// positive side.
+    machines: Vec<(usize, usize, BinarySvm)>,
+}
+
+impl Svc {
+    /// Create a classifier with the given kernel and regularisation `C`.
+    pub fn new(kernel: SvmKernel, c: f64, seed: u64) -> Self {
+        Svc {
+            kernel,
+            c,
+            tol: 1e-3,
+            max_passes: 5,
+            seed,
+            classes: Vec::new(),
+            machines: Vec::new(),
+        }
+    }
+
+    /// Override the number of violation-free sweeps required to stop
+    /// (default 5). More passes = tighter convergence.
+    pub fn with_max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes.max(1);
+        self
+    }
+
+    /// A `gamma` matching sklearn's `"scale"` default:
+    /// `1 / (n_features * Var(X))`.
+    pub fn scale_gamma(x: &Matrix) -> f64 {
+        let means = x.col_means();
+        let n = (x.rows() * x.cols()).max(1) as f64;
+        let var: f64 = x
+            .rows_iter()
+            .flat_map(|r| r.iter().zip(&means).map(|(v, m)| (v - m) * (v - m)))
+            .sum::<f64>()
+            / n;
+        if var > 0.0 {
+            1.0 / (x.cols() as f64 * var)
+        } else {
+            1.0
+        }
+    }
+
+    /// Fit on features `x` and labels `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<&mut Self> {
+        if x.rows() != y.len() || x.rows() == 0 {
+            return Err(MlError::BadShape(
+                "x rows must equal y length (nonzero)".into(),
+            ));
+        }
+        if self.c <= 0.0 {
+            return Err(MlError::BadParam("C must be positive".into()));
+        }
+        let mut classes: Vec<usize> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() < 2 {
+            // Degenerate: a single class — decision is constant.
+            self.classes = classes;
+            self.machines.clear();
+            return Ok(self);
+        }
+
+        let mut machines = Vec::new();
+        for (ia, &a) in classes.iter().enumerate() {
+            for &b in &classes[ia + 1..] {
+                // Restrict to the samples of the two classes.
+                let mut rows = Vec::new();
+                let mut signs = Vec::new();
+                for (i, &l) in y.iter().enumerate() {
+                    if l == a || l == b {
+                        rows.push(x.row(i).to_vec());
+                        signs.push(if l == a { 1.0 } else { -1.0 });
+                    }
+                }
+                let pair_x = Matrix::from_rows(&rows)?;
+                let seed = self
+                    .seed
+                    .wrapping_add((a as u64) << 20)
+                    .wrapping_add(b as u64);
+                machines.push((a, b, self.train_binary(&pair_x, &signs, seed)));
+            }
+        }
+        self.machines = machines;
+        self.classes = classes;
+        Ok(self)
+    }
+
+    /// Simplified SMO (Platt 1998 via the CS229 simplification): iterate
+    /// over multipliers violating the KKT conditions, jointly optimising
+    /// random pairs until `max_passes` consecutive sweeps change nothing.
+    fn train_binary(&self, x: &Matrix, y: &[f64], seed: u64) -> BinarySvm {
+        let n = x.rows();
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Precompute the kernel matrix: n <= a few hundred in this crate.
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel.eval(x.row(i), x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        let f = |alpha: &[f64], b: f64, i: usize, k: &Matrix| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * k[(j, i)];
+                }
+            }
+            s
+        };
+
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        let max_iters = 200 * n.max(1);
+        while passes < self.max_passes && iters < max_iters {
+            iters += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = f(&alpha, b, i, &k) - y[i];
+                let violates = (y[i] * ei < -self.tol && alpha[i] < self.c)
+                    || (y[i] * ei > self.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, j, &k) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > 0.5 {
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (self.c + aj_old - ai_old).min(self.c),
+                    )
+                } else {
+                    (
+                        (ai_old + aj_old - self.c).max(0.0),
+                        (ai_old + aj_old).min(self.c),
+                    )
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[(i, j)] - k[(i, i)] - k[(j, j)];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+
+                let b1 =
+                    b - ei - y[i] * (ai - ai_old) * k[(i, i)] - y[j] * (aj - aj_old) * k[(i, j)];
+                let b2 =
+                    b - ej - y[i] * (ai - ai_old) * k[(i, j)] - y[j] * (aj - aj_old) * k[(j, j)];
+                b = if ai > 0.0 && ai < self.c {
+                    b1
+                } else if aj > 0.0 && aj < self.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            passes = if changed == 0 { passes + 1 } else { 0 };
+        }
+
+        // Keep only support vectors.
+        let mut dual_coef = Vec::new();
+        let mut rows = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-9 {
+                dual_coef.push(alpha[i] * y[i]);
+                rows.push(x.row(i).to_vec());
+            }
+        }
+        let support = if rows.is_empty() {
+            Matrix::zeros(0, x.cols())
+        } else {
+            Matrix::from_rows(&rows).expect("support rows are rectangular")
+        };
+        BinarySvm {
+            dual_coef,
+            support,
+            bias: b,
+        }
+    }
+
+    /// Predict a class per row by one-vs-one voting (ties broken by the
+    /// summed decision margins, as in libsvm).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        if self.classes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if self.classes.len() == 1 {
+            return Ok(vec![self.classes[0]; x.rows()]);
+        }
+        Ok(x.rows_iter()
+            .map(|row| {
+                let mut votes = vec![0usize; self.classes.len()];
+                let mut margins = vec![0.0f64; self.classes.len()];
+                for (a, b, m) in &self.machines {
+                    let d = m.decision(self.kernel, row);
+                    let ia = self.classes.binary_search(a).expect("known class");
+                    let ib = self.classes.binary_search(b).expect("known class");
+                    if d >= 0.0 {
+                        votes[ia] += 1;
+                    } else {
+                        votes[ib] += 1;
+                    }
+                    margins[ia] += d;
+                    margins[ib] -= d;
+                }
+                let best = (0..self.classes.len())
+                    .max_by(|&i, &j| {
+                        votes[i]
+                            .cmp(&votes[j])
+                            .then(margins[i].partial_cmp(&margins[j]).unwrap())
+                    })
+                    .expect("non-empty classes");
+                self.classes[best]
+            })
+            .collect())
+    }
+
+    /// Total number of support vectors across the pairwise machines.
+    pub fn n_support_vectors(&self) -> usize {
+        self.machines
+            .iter()
+            .map(|(_, _, m)| m.dual_coef.len())
+            .sum()
+    }
+
+    /// Class labels known to the classifier.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.3;
+            rows.push(vec![t, t + 5.0]);
+            labels.push(0);
+            rows.push(vec![t + 5.0, t]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn linear_svm_separates_linear_data() {
+        let (x, y) = linearly_separable();
+        let mut svm = Svc::new(SvmKernel::Linear, 1.0, 3);
+        svm.fit(&x, &y).unwrap();
+        assert_eq!(svm.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn rbf_svm_separates_ring_data() {
+        // Inner blob vs outer ring: not linearly separable.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..24 {
+            let a = i as f64 * 0.26;
+            rows.push(vec![0.3 * a.cos(), 0.3 * a.sin()]);
+            labels.push(0);
+            rows.push(vec![3.0 * a.cos(), 3.0 * a.sin()]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut rbf = Svc::new(SvmKernel::Rbf { gamma: 1.0 }, 10.0, 5);
+        rbf.fit(&x, &labels).unwrap();
+        let acc = rbf
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.95, "rbf accuracy {acc}");
+
+        // A linear machine cannot get this right.
+        let mut lin = Svc::new(SvmKernel::Linear, 10.0, 5);
+        lin.fit(&x, &labels).unwrap();
+        let lin_acc = lin
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(
+            lin_acc < acc,
+            "linear should lose on rings: {lin_acc} vs {acc}"
+        );
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (cx, cy, l) in [(0.0, 0.0, 7usize), (10.0, 0.0, 11), (0.0, 10.0, 13)] {
+            for i in 0..10 {
+                rows.push(vec![cx + (i % 3) as f64 * 0.2, cy + (i % 4) as f64 * 0.2]);
+                labels.push(l);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut svm = Svc::new(SvmKernel::Linear, 10.0, 1);
+        svm.fit(&x, &labels).unwrap();
+        let pred = svm.predict(&x).unwrap();
+        let acc =
+            pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+        assert!(acc > 0.9, "multiclass accuracy {acc}");
+        // Predictions use original label values.
+        for p in pred {
+            assert!([7, 11, 13].contains(&p));
+        }
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut svm = Svc::new(SvmKernel::Linear, 1.0, 0);
+        svm.fit(&x, &[5, 5]).unwrap();
+        assert_eq!(svm.predict(&x).unwrap(), vec![5, 5]);
+    }
+
+    #[test]
+    fn scale_gamma_is_positive_and_shrinks_with_variance() {
+        let tight = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![0.2, 0.0]]).unwrap();
+        let wide = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0], vec![20.0, 0.0]]).unwrap();
+        let gt = Svc::scale_gamma(&tight);
+        let gw = Svc::scale_gamma(&wide);
+        assert!(gt > 0.0 && gw > 0.0);
+        assert!(gw < gt, "higher variance should give smaller gamma");
+    }
+
+    #[test]
+    fn errors_on_unfitted_and_bad_params() {
+        let svm = Svc::new(SvmKernel::Linear, 1.0, 0);
+        assert!(svm.predict(&Matrix::zeros(1, 2)).is_err());
+        let (x, y) = linearly_separable();
+        assert!(Svc::new(SvmKernel::Linear, -1.0, 0).fit(&x, &y).is_err());
+    }
+}

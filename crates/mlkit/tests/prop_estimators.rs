@@ -1,0 +1,187 @@
+//! Property-based tests for the mlkit estimators: invariants that must
+//! hold for arbitrary (well-formed) data.
+
+use autokernel_mlkit::model_selection::{k_fold, train_test_split};
+use autokernel_mlkit::preprocess::{MinMaxScaler, StandardScaler};
+use autokernel_mlkit::tree::{DecisionTreeClassifier, DecisionTreeRegressor, Node, TreeParams};
+use autokernel_mlkit::{eigen::eigen_symmetric, KMeans, KNearestNeighbors, Matrix, Pca};
+use proptest::prelude::*;
+
+/// A well-conditioned random matrix: n rows, d cols, values in ±50.
+fn arb_matrix(
+    n: std::ops::Range<usize>,
+    d: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (n, d).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(move |data| Matrix::from_rows(&data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn matrix_transpose_involution(m in arb_matrix(1..12, 1..12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in arb_matrix(1..10, 1..10)) {
+        let left = Matrix::identity(m.rows()).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(m.cols())).unwrap();
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(m in arb_matrix(2..8, 2..8)) {
+        // Symmetrise: s = m mᵀ is symmetric PSD.
+        let s = m.gram();
+        let e = eigen_symmetric(&s).unwrap();
+        // Eigenvalues of a PSD matrix are non-negative (numerically).
+        for &v in &e.values {
+            prop_assert!(v > -1e-6 * (1.0 + e.values[0].abs()), "negative eigenvalue {v}");
+        }
+        // Trace preserved.
+        let trace: f64 = (0..s.rows()).map(|i| s[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() <= 1e-6 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn pca_ratios_descend_and_sum_below_one(m in arb_matrix(4..20, 2..10)) {
+        let mut pca = Pca::new(6);
+        if pca.fit(&m).is_err() { return Ok(()); }
+        let r = pca.explained_variance_ratio().unwrap();
+        let sum: f64 = r.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-9, "ratios sum to {sum}");
+        for w in r.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pca_reconstruction_error_monotone(m in arb_matrix(6..15, 3..7)) {
+        let max_k = m.cols().min(m.rows() - 1);
+        let mut prev = f64::INFINITY;
+        for k in 1..=max_k {
+            let mut pca = Pca::new(k);
+            let z = pca.fit_transform(&m).unwrap();
+            let back = pca.inverse_transform(&z).unwrap();
+            let err: f64 = (0..m.rows()).map(|i| Matrix::sq_dist(back.row(i), m.row(i))).sum();
+            prop_assert!(err <= prev + 1e-6, "error rose from {prev} to {err} at k={k}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn kmeans_labels_point_to_nearest_centroid(m in arb_matrix(6..20, 1..5), k in 1usize..4) {
+        let k = k.min(m.rows());
+        let mut km = KMeans::new(k, 11).with_n_init(2);
+        km.fit(&m).unwrap();
+        let labels = km.labels().unwrap();
+        let centroids = km.centroids().unwrap();
+        for (i, row) in m.rows_iter().enumerate() {
+            let assigned = Matrix::sq_dist(row, centroids.row(labels[i]));
+            for c in 0..k {
+                prop_assert!(assigned <= Matrix::sq_dist(row, centroids.row(c)) + 1e-9);
+            }
+        }
+        // Inertia equals the summed assigned distances.
+        let explicit: f64 = m.rows_iter().enumerate()
+            .map(|(i, r)| Matrix::sq_dist(r, centroids.row(labels[i])))
+            .sum();
+        prop_assert!((explicit - km.inertia().unwrap()).abs() <= 1e-6 * (1.0 + explicit));
+    }
+
+    #[test]
+    fn scalers_roundtrip_and_bound(m in arb_matrix(2..15, 1..6)) {
+        let mut std = StandardScaler::new();
+        let z = std.fit_transform(&m).unwrap();
+        let back = std.inverse_transform(&z).unwrap();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert!((back[(i, j)] - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+        let mut mm = MinMaxScaler::new();
+        let z = mm.fit_transform(&m).unwrap();
+        for v in z.as_slice() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(v));
+        }
+    }
+
+    #[test]
+    fn tree_classifier_training_accuracy_is_perfect_on_separable_labels(
+        m in arb_matrix(4..25, 1..4),
+    ) {
+        // Label = sign of the first feature: perfectly separable, so an
+        // unbounded tree must fit it exactly (distinct feature values).
+        let labels: Vec<usize> = (0..m.rows()).map(|i| usize::from(m[(i, 0)] > 0.0)).collect();
+        let mut clf = DecisionTreeClassifier::new(TreeParams::default());
+        clf.fit(&m, &labels).unwrap();
+        prop_assert_eq!(clf.predict(&m).unwrap(), labels);
+    }
+
+    #[test]
+    fn tree_leaf_budget_is_respected(m in arb_matrix(8..30, 1..4), budget in 2usize..6) {
+        let targets: Vec<Vec<f64>> = (0..m.rows()).map(|i| vec![m[(i, 0)] * 2.0]).collect();
+        let y = Matrix::from_rows(&targets).unwrap();
+        let mut reg = DecisionTreeRegressor::new(TreeParams {
+            max_leaf_nodes: Some(budget),
+            ..TreeParams::default()
+        });
+        reg.fit(&m, &y).unwrap();
+        prop_assert!(reg.tree().unwrap().n_leaves() <= budget);
+        // Node arena is consistent: every split's children exist.
+        let nodes = reg.tree().unwrap().nodes();
+        for node in nodes {
+            if let Node::Split { left, right, .. } = node {
+                prop_assert!(*left < nodes.len() && *right < nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_one_is_exact_on_training_data(m in arb_matrix(3..15, 1..4)) {
+        // Deduplicate identical rows by labelling them identically.
+        let labels: Vec<usize> = (0..m.rows())
+            .map(|i| {
+                (0..m.rows())
+                    .find(|&j| m.row(j) == m.row(i))
+                    .unwrap()
+            })
+            .collect();
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&m, &labels).unwrap();
+        prop_assert_eq!(knn.predict(&m).unwrap(), labels);
+    }
+
+    #[test]
+    fn train_test_split_partitions(n in 2usize..500, frac in 0.0f64..1.0, seed: u64) {
+        let s = train_test_split(n, frac, seed);
+        prop_assert_eq!(s.train.len() + s.test.len(), n);
+        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_fold_covers_each_index_once(n in 4usize..100, k in 2usize..5, seed: u64) {
+        let k = k.min(n);
+        let folds = k_fold(n, k, seed);
+        let mut seen = vec![0usize; n];
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+            for &v in val {
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

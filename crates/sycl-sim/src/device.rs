@@ -1,0 +1,327 @@
+//! Device descriptions parameterising the performance model.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad device class, mirroring `sycl::info::device_type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// Discrete or integrated GPU.
+    Gpu,
+    /// Embedded / mobile accelerator.
+    Accelerator,
+    /// Host CPU.
+    Cpu,
+}
+
+/// Architectural description of a simulated device.
+///
+/// The fields are the knobs the analytical model in [`crate::perf`]
+/// consumes. Values for the shipped presets are taken from public spec
+/// sheets; they need only be *relatively* right — the study operates on
+/// per-shape-normalised performance, so only ratios between kernel
+/// configurations matter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing/display name.
+    pub name: String,
+    /// Device class.
+    pub device_type: DeviceType,
+    /// Number of compute units (CUs / SMs / shader cores).
+    pub compute_units: usize,
+    /// SIMD lanes executing one hardware thread ("wave"/"warp" width).
+    pub wave_width: usize,
+    /// SIMD units per compute unit (GCN has 4).
+    pub simds_per_cu: usize,
+    /// Maximum waves resident per SIMD (GCN: 10).
+    pub max_waves_per_simd: usize,
+    /// Vector registers available per SIMD, per lane (GCN: 256 VGPRs).
+    pub vgprs_per_simd: usize,
+    /// Bytes of local/shared memory per compute unit.
+    pub lds_bytes_per_cu: usize,
+    /// Largest work-group the device accepts.
+    pub max_work_group_size: usize,
+    /// Peak single-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak DRAM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Effective cache bandwidth in bytes/s (bounds well-reused traffic).
+    pub cache_bandwidth: f64,
+    /// Fixed per-launch overhead in seconds (driver + dispatch).
+    pub launch_overhead: f64,
+    /// DRAM round-trip latency in seconds, hidden by occupancy.
+    pub mem_latency: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's benchmark platform: AMD R9 Nano (Fiji, GCN3).
+    ///
+    /// 64 CUs × 4 SIMD × 64 lanes at ~1.0 GHz ⇒ 8.19 TFLOP/s fp32 with
+    /// 512 GB/s of HBM.
+    pub fn amd_r9_nano() -> Self {
+        DeviceSpec {
+            name: "AMD R9 Nano (simulated)".into(),
+            device_type: DeviceType::Gpu,
+            compute_units: 64,
+            wave_width: 64,
+            simds_per_cu: 4,
+            max_waves_per_simd: 10,
+            vgprs_per_simd: 256,
+            lds_bytes_per_cu: 64 * 1024,
+            max_work_group_size: 256,
+            peak_flops: 8.19e12,
+            mem_bandwidth: 512.0e9,
+            cache_bandwidth: 2.0e12,
+            launch_overhead: 8.0e-6,
+            mem_latency: 350.0e-9,
+        }
+    }
+
+    /// A mid-range desktop GPU with narrower waves (NVIDIA-like: 32-wide
+    /// warps, fewer but beefier SMs, GDDR-class bandwidth).
+    pub fn desktop_gpu() -> Self {
+        DeviceSpec {
+            name: "Desktop GPU (simulated)".into(),
+            device_type: DeviceType::Gpu,
+            compute_units: 36,
+            wave_width: 32,
+            simds_per_cu: 4,
+            max_waves_per_simd: 16,
+            vgprs_per_simd: 256,
+            lds_bytes_per_cu: 96 * 1024,
+            max_work_group_size: 1024,
+            peak_flops: 6.5e12,
+            mem_bandwidth: 320.0e9,
+            cache_bandwidth: 1.5e12,
+            launch_overhead: 5.0e-6,
+            mem_latency: 400.0e-9,
+        }
+    }
+
+    /// An embedded accelerator (Mali-like): few cores, narrow SIMD,
+    /// LPDDR bandwidth, proportionally cheap launches.
+    pub fn embedded_accelerator() -> Self {
+        DeviceSpec {
+            name: "Embedded accelerator (simulated)".into(),
+            device_type: DeviceType::Accelerator,
+            compute_units: 12,
+            wave_width: 16,
+            simds_per_cu: 2,
+            max_waves_per_simd: 6,
+            vgprs_per_simd: 128,
+            lds_bytes_per_cu: 32 * 1024,
+            max_work_group_size: 256,
+            peak_flops: 0.4e12,
+            mem_bandwidth: 25.0e9,
+            cache_bandwidth: 120.0e9,
+            launch_overhead: 20.0e-6,
+            mem_latency: 600.0e-9,
+        }
+    }
+
+    /// A host-CPU stand-in used by tests that need a non-GPU device.
+    pub fn host_cpu() -> Self {
+        DeviceSpec {
+            name: "Host CPU (simulated)".into(),
+            device_type: DeviceType::Cpu,
+            compute_units: 8,
+            wave_width: 8,
+            simds_per_cu: 1,
+            max_waves_per_simd: 2,
+            vgprs_per_simd: 32,
+            lds_bytes_per_cu: 32 * 1024,
+            max_work_group_size: 256,
+            peak_flops: 0.5e12,
+            mem_bandwidth: 40.0e9,
+            cache_bandwidth: 400.0e9,
+            launch_overhead: 0.5e-6,
+            mem_latency: 90.0e-9,
+        }
+    }
+
+    /// Start a builder seeded from this spec, for describing custom
+    /// hardware ("new accelerator arrives, tweak the knobs, re-tune").
+    pub fn customize(self) -> DeviceSpecBuilder {
+        DeviceSpecBuilder { spec: self }
+    }
+
+    /// Total waves the device can keep resident.
+    pub fn max_resident_waves(&self) -> usize {
+        self.compute_units * self.simds_per_cu * self.max_waves_per_simd
+    }
+
+    /// Total SIMD lanes on the device.
+    pub fn total_lanes(&self) -> usize {
+        self.compute_units * self.simds_per_cu * self.wave_width
+    }
+
+    /// Machine-balance point in FLOP/byte: arithmetic intensity below
+    /// this is memory-bound on this device.
+    pub fn machine_balance(&self) -> f64 {
+        self.peak_flops / self.mem_bandwidth
+    }
+}
+
+/// Builder for custom device descriptions, seeded from a preset.
+///
+/// `build` validates the spec: every capacity must be positive, the
+/// work-group limit must hold at least one wave.
+#[derive(Debug, Clone)]
+pub struct DeviceSpecBuilder {
+    spec: DeviceSpec,
+}
+
+impl DeviceSpecBuilder {
+    /// Set the display name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Set the compute-unit count.
+    pub fn compute_units(mut self, n: usize) -> Self {
+        self.spec.compute_units = n;
+        self
+    }
+
+    /// Set the SIMD wave width.
+    pub fn wave_width(mut self, n: usize) -> Self {
+        self.spec.wave_width = n;
+        self
+    }
+
+    /// Set peak fp32 throughput in FLOP/s.
+    pub fn peak_flops(mut self, f: f64) -> Self {
+        self.spec.peak_flops = f;
+        self
+    }
+
+    /// Set DRAM bandwidth in bytes/s.
+    pub fn mem_bandwidth(mut self, b: f64) -> Self {
+        self.spec.mem_bandwidth = b;
+        self
+    }
+
+    /// Set the per-launch overhead in seconds.
+    pub fn launch_overhead(mut self, s: f64) -> Self {
+        self.spec.launch_overhead = s;
+        self
+    }
+
+    /// Set the vector-register file size per SIMD.
+    pub fn vgprs_per_simd(mut self, n: usize) -> Self {
+        self.spec.vgprs_per_simd = n;
+        self
+    }
+
+    /// Set local-memory bytes per compute unit.
+    pub fn lds_bytes_per_cu(mut self, n: usize) -> Self {
+        self.spec.lds_bytes_per_cu = n;
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<DeviceSpec, String> {
+        let s = &self.spec;
+        if s.compute_units == 0
+            || s.wave_width == 0
+            || s.simds_per_cu == 0
+            || s.max_waves_per_simd == 0
+            || s.vgprs_per_simd == 0
+            || s.max_work_group_size == 0
+        {
+            return Err("all device capacities must be positive".into());
+        }
+        if s.peak_flops <= 0.0 || s.mem_bandwidth <= 0.0 || s.cache_bandwidth <= 0.0 {
+            return Err("throughputs must be positive".into());
+        }
+        if s.launch_overhead < 0.0 || s.mem_latency < 0.0 {
+            return Err("latencies cannot be negative".into());
+        }
+        if s.max_work_group_size < s.wave_width {
+            return Err("work-group limit must hold at least one wave".into());
+        }
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_customises_and_validates() {
+        let custom = DeviceSpec::amd_r9_nano()
+            .customize()
+            .name("MI-custom")
+            .compute_units(120)
+            .peak_flops(20.0e12)
+            .mem_bandwidth(1.6e12)
+            .build()
+            .unwrap();
+        assert_eq!(custom.name, "MI-custom");
+        assert_eq!(custom.compute_units, 120);
+        assert!((custom.machine_balance() - 12.5).abs() < 1e-9);
+        // Untouched fields keep the preset values.
+        assert_eq!(custom.wave_width, 64);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_specs() {
+        assert!(DeviceSpec::amd_r9_nano()
+            .customize()
+            .compute_units(0)
+            .build()
+            .is_err());
+        assert!(DeviceSpec::amd_r9_nano()
+            .customize()
+            .peak_flops(0.0)
+            .build()
+            .is_err());
+        assert!(DeviceSpec::amd_r9_nano()
+            .customize()
+            .launch_overhead(-1.0)
+            .build()
+            .is_err());
+        assert!(DeviceSpec::amd_r9_nano()
+            .customize()
+            .wave_width(512)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn r9_nano_matches_public_specs() {
+        let d = DeviceSpec::amd_r9_nano();
+        assert_eq!(d.compute_units, 64);
+        assert_eq!(d.wave_width, 64);
+        // 4096 shader lanes.
+        assert_eq!(d.total_lanes(), 64 * 4 * 64);
+        // ~16 FLOP/byte machine balance (8.19 TF / 512 GB/s).
+        assert!((d.machine_balance() - 16.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn presets_have_sane_relationships() {
+        let nano = DeviceSpec::amd_r9_nano();
+        let desktop = DeviceSpec::desktop_gpu();
+        let embedded = DeviceSpec::embedded_accelerator();
+        assert!(nano.peak_flops > desktop.peak_flops);
+        assert!(desktop.peak_flops > embedded.peak_flops);
+        assert!(embedded.mem_bandwidth < desktop.mem_bandwidth);
+        assert_eq!(embedded.device_type, DeviceType::Accelerator);
+    }
+
+    #[test]
+    fn resident_wave_budget() {
+        let d = DeviceSpec::amd_r9_nano();
+        assert_eq!(d.max_resident_waves(), 64 * 4 * 10);
+    }
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let d = DeviceSpec::desktop_gpu();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

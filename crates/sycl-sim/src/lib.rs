@@ -1,0 +1,61 @@
+//! # autokernel-sycl-sim
+//!
+//! A SYCL-like heterogeneous runtime with *simulated* device timing.
+//!
+//! The paper benchmarks SYCL kernels on an AMD R9 Nano GPU. Rust has no
+//! SYCL implementation and this reproduction has no GPU, so this crate
+//! substitutes both:
+//!
+//! - the **runtime** ([`runtime`]) mirrors the SYCL concepts the study
+//!   needs — platforms, devices, in-order queues, buffers, ND-range
+//!   kernel dispatch and profiled events — executing kernel bodies on the
+//!   host (so results are real and checkable), while
+//! - the **device model** ([`perf`], [`device`]) supplies the *timing* an
+//!   event reports, from an analytical GPU performance model
+//!   (occupancy from register pressure, memory coalescing, tile
+//!   quantisation, roofline combination) parameterised by a
+//!   [`device::DeviceSpec`].
+//!
+//! Three device specs ship with the crate: an AMD R9 Nano-like GPU (the
+//! paper's benchmark platform), a larger desktop GPU, and an embedded
+//! accelerator, supporting the paper's "range of heterogeneous devices"
+//! claim.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod perf;
+pub mod runtime;
+pub mod trace;
+
+pub use device::{DeviceSpec, DeviceType};
+pub use perf::{KernelCost, KernelProfile};
+pub use runtime::{Buffer, Context, Event, NDRange, Platform, Queue, SimKernel};
+pub use trace::TraceRecorder;
+
+/// Errors produced by the simulated runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No device of the requested type exists on the platform.
+    NoSuchDevice(String),
+    /// An ND-range was invalid (zero-sized, or local exceeding device
+    /// limits).
+    BadRange(String),
+    /// Kernel rejected the launch configuration.
+    BadLaunch(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoSuchDevice(s) => write!(f, "no such device: {s}"),
+            SimError::BadRange(s) => write!(f, "bad nd-range: {s}"),
+            SimError::BadLaunch(s) => write!(f, "bad launch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,321 @@
+//! Analytical GPU performance model primitives.
+//!
+//! A kernel describes itself to the model with a [`KernelProfile`]
+//! (per-work-item resources and traffic); [`estimate_cost`] combines that
+//! with a [`DeviceSpec`] and an ND-range into a [`KernelCost`] using the
+//! mechanisms that dominate real GPU GEMM performance:
+//!
+//! 1. **Tile quantisation** — padded vs. useful work items.
+//! 2. **Occupancy** — resident waves bounded by register and LDS use;
+//!    low occupancy exposes memory latency.
+//! 3. **Coalescing** — how many distinct memory transactions a wave
+//!    issues per logical load.
+//! 4. **Roofline** — execution time is the max of compute time and
+//!    memory time, plus launch overhead.
+//!
+//! The model is *deterministic*: a hashed ±2 % perturbation stands in for
+//! measurement noise so that near-ties between configurations resolve the
+//! way they do on hardware (consistently, but not by clean arithmetic).
+
+use crate::device::DeviceSpec;
+use crate::runtime::NDRange;
+use serde::{Deserialize, Serialize};
+
+/// Per-work-item resource and traffic description of a kernel, the
+/// kernel-specific input to the analytical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Floating-point operations one work-item performs.
+    pub flops_per_item: f64,
+    /// Bytes of DRAM traffic one work-item causes *before* coalescing
+    /// and cache-reuse corrections.
+    pub bytes_per_item: f64,
+    /// Fraction of the raw traffic served from cache/LDS (0..1).
+    pub cache_reuse: f64,
+    /// Vector registers one work-item needs.
+    pub registers_per_item: usize,
+    /// Bytes of local memory one work-group needs.
+    pub lds_bytes_per_group: usize,
+    /// Efficiency of memory coalescing in (0, 1]: 1 = fully coalesced.
+    pub coalescing: f64,
+    /// Useful work-items (before padding to work-group multiples).
+    pub useful_items: f64,
+    /// Instruction-level parallelism factor in (0, 1]: how well the
+    /// inner loop keeps the SIMDs fed at full occupancy.
+    pub ilp: f64,
+}
+
+/// The model's verdict for one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Total estimated execution time in seconds.
+    pub total_s: f64,
+    /// Compute component (occupancy/utilisation corrected).
+    pub compute_s: f64,
+    /// Memory component (coalescing/reuse corrected).
+    pub memory_s: f64,
+    /// Fixed launch overhead.
+    pub overhead_s: f64,
+    /// Achieved occupancy in (0, 1].
+    pub occupancy: f64,
+    /// Useful fraction of dispatched work-items in (0, 1].
+    pub utilization: f64,
+}
+
+impl KernelCost {
+    /// FLOP/s achieved for the *useful* work.
+    pub fn achieved_flops(&self, useful_flops: f64) -> f64 {
+        if self.total_s > 0.0 {
+            useful_flops / self.total_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Occupancy (fraction of the maximum resident waves) achievable given
+/// per-item register demand and per-group LDS demand.
+pub fn occupancy(device: &DeviceSpec, profile: &KernelProfile, range: &NDRange) -> f64 {
+    let group_items = range.local_size().max(1);
+    let waves_per_group = group_items.div_ceil(device.wave_width).max(1);
+
+    // Register limit: waves per SIMD such that waves * regs <= file size.
+    let regs = profile.registers_per_item.max(1);
+    let waves_by_regs = (device.vgprs_per_simd / regs)
+        .max(1)
+        .min(device.max_waves_per_simd);
+
+    // LDS limit: groups per CU bounded by LDS; each group is
+    // `waves_per_group` waves spread over the CU's SIMDs.
+    let waves_by_lds = if profile.lds_bytes_per_group > 0 {
+        let groups_per_cu = (device.lds_bytes_per_cu / profile.lds_bytes_per_group.max(1)).max(1);
+        let waves_per_cu = groups_per_cu * waves_per_group;
+        (waves_per_cu.div_ceil(device.simds_per_cu))
+            .max(1)
+            .min(device.max_waves_per_simd)
+    } else {
+        device.max_waves_per_simd
+    };
+
+    let waves = waves_by_regs.min(waves_by_lds).max(1);
+    waves as f64 / device.max_waves_per_simd as f64
+}
+
+/// Latency-hiding effectiveness: with few resident waves, memory latency
+/// leaks into execution time. Saturates towards 1 as occupancy rises.
+fn latency_hiding(occ: f64, ilp: f64) -> f64 {
+    // Effective parallelism = waves * ILP; the curve is the classic
+    // occupancy-throughput saturation 1 - exp(-k x).
+    let x = (occ * ilp * 10.0).max(1e-3);
+    1.0 - (-x / 2.5).exp()
+}
+
+/// Wave-granularity utilisation of the dispatched range: padding work
+/// items to work-group multiples wastes lanes.
+pub fn utilization(profile: &KernelProfile, range: &NDRange) -> f64 {
+    let dispatched = range.global_size() as f64;
+    if dispatched <= 0.0 {
+        return 0.0;
+    }
+    (profile.useful_items / dispatched).clamp(0.0, 1.0)
+}
+
+/// Parallelism saturation: a dispatch much smaller than the device
+/// cannot use all compute units.
+fn device_fill(device: &DeviceSpec, range: &NDRange) -> f64 {
+    let lanes_needed = range.global_size() as f64;
+    let lanes_available = device.total_lanes() as f64;
+    (lanes_needed / lanes_available).clamp(1e-6, 1.0)
+}
+
+/// Combine a profile, device and range into a cost estimate.
+pub fn estimate_cost(device: &DeviceSpec, profile: &KernelProfile, range: &NDRange) -> KernelCost {
+    let occ = occupancy(device, profile, range);
+    let util = utilization(profile, range).max(1e-6);
+    let fill = device_fill(device, range);
+    let hiding = latency_hiding(occ, profile.ilp);
+
+    let dispatched_items = range.global_size() as f64;
+    let total_flops = profile.flops_per_item * dispatched_items;
+
+    // Compute: peak scaled by occupancy-dependent latency hiding, device
+    // fill and ILP.
+    let eff_flops = device.peak_flops * hiding * fill * profile.ilp.clamp(0.05, 1.0);
+    let mut compute_s = total_flops / eff_flops.max(1.0);
+
+    // Tail effect: the device executes resident-wave batches; a dispatch
+    // needing 1.1× the resident capacity takes two nearly-full passes.
+    // This quantisation is a major source of per-shape ranking changes
+    // between otherwise similar configurations on real GPUs.
+    let wave_capacity = (occ * device.max_resident_waves() as f64).max(1.0);
+    let waves_needed = dispatched_items / device.wave_width as f64;
+    let exact_passes = waves_needed / wave_capacity;
+    if exact_passes >= 1.0 {
+        compute_s *= exact_passes.ceil() / exact_passes;
+    }
+
+    // Memory: raw traffic reduced by cache reuse; DRAM part divided by
+    // coalescing-scaled bandwidth, cached part by cache bandwidth.
+    let raw_bytes = profile.bytes_per_item * dispatched_items;
+    let reuse = profile.cache_reuse.clamp(0.0, 0.999);
+    let dram_bytes = raw_bytes * (1.0 - reuse);
+    let cache_bytes = raw_bytes * reuse;
+    let coal = profile.coalescing.clamp(0.02, 1.0);
+    let memory_s = dram_bytes / (device.mem_bandwidth * coal * fill.max(0.05))
+        + cache_bytes / device.cache_bandwidth;
+
+    // Uncovered latency for the first accesses when occupancy is low.
+    let latency_s = device.mem_latency * (1.0 - hiding);
+
+    let body = compute_s.max(memory_s) + latency_s;
+    let total = body + device.launch_overhead;
+
+    KernelCost {
+        total_s: total,
+        compute_s,
+        memory_s,
+        overhead_s: device.launch_overhead,
+        occupancy: occ,
+        utilization: util,
+    }
+}
+
+/// Deterministic noise in `[1-amplitude, 1+amplitude]` derived from a
+/// seed, standing in for run-to-run measurement variance.
+pub fn deterministic_noise(seed: u64, amplitude: f64) -> f64 {
+    // SplitMix64 finaliser — well mixed, cheap, dependency-free.
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    1.0 + amplitude * (2.0 * unit - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            flops_per_item: 2048.0,
+            bytes_per_item: 512.0,
+            cache_reuse: 0.5,
+            registers_per_item: 32,
+            lds_bytes_per_group: 0,
+            coalescing: 1.0,
+            useful_items: 256.0 * 256.0,
+            ilp: 0.8,
+        }
+    }
+
+    fn range() -> NDRange {
+        NDRange::new([256, 256], [16, 16]).unwrap()
+    }
+
+    #[test]
+    fn occupancy_falls_with_register_pressure() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = range();
+        let mut light = profile();
+        light.registers_per_item = 16;
+        let mut heavy = profile();
+        heavy.registers_per_item = 128;
+        assert!(occupancy(&d, &light, &r) > occupancy(&d, &heavy, &r));
+    }
+
+    #[test]
+    fn occupancy_bounded_by_lds() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = range();
+        let mut p = profile();
+        p.registers_per_item = 8; // register-unconstrained
+        p.lds_bytes_per_group = 64 * 1024; // one group per CU
+        let occ = occupancy(&d, &p, &r);
+        assert!(occ < 1.0, "full LDS must limit occupancy, got {occ}");
+    }
+
+    #[test]
+    fn cost_increases_with_lower_coalescing() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = range();
+        let mut good = profile();
+        good.coalescing = 1.0;
+        // Make the kernel memory-bound so coalescing matters.
+        good.flops_per_item = 16.0;
+        let mut bad = good.clone();
+        bad.coalescing = 0.25;
+        let cg = estimate_cost(&d, &good, &r);
+        let cb = estimate_cost(&d, &bad, &r);
+        assert!(
+            cb.total_s > cg.total_s * 1.5,
+            "{} vs {}",
+            cb.total_s,
+            cg.total_s
+        );
+    }
+
+    #[test]
+    fn roofline_memory_bound_vs_compute_bound() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = range();
+        let mut mem = profile();
+        mem.flops_per_item = 4.0;
+        mem.bytes_per_item = 4096.0;
+        mem.cache_reuse = 0.0;
+        let c = estimate_cost(&d, &mem, &r);
+        assert!(c.memory_s > c.compute_s);
+
+        let mut comp = profile();
+        comp.flops_per_item = 65536.0;
+        comp.bytes_per_item = 8.0;
+        let c2 = estimate_cost(&d, &comp, &r);
+        assert!(c2.compute_s > c2.memory_s);
+    }
+
+    #[test]
+    fn small_launches_dominated_by_overhead() {
+        let d = DeviceSpec::amd_r9_nano();
+        let tiny = NDRange::new([8, 8], [8, 8]).unwrap();
+        let mut p = profile();
+        p.useful_items = 64.0;
+        p.flops_per_item = 8.0;
+        p.bytes_per_item = 8.0;
+        let c = estimate_cost(&d, &p, &tiny);
+        assert!(
+            c.overhead_s / c.total_s > 0.5,
+            "overhead should dominate tiny launches"
+        );
+    }
+
+    #[test]
+    fn utilization_reflects_padding() {
+        let mut p = profile();
+        p.useful_items = 100.0;
+        let r = NDRange::new([128, 1], [64, 1]).unwrap();
+        assert!((utilization(&p, &r) - 100.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        for seed in 0..2000u64 {
+            let n = deterministic_noise(seed, 0.02);
+            assert!((0.98..=1.02).contains(&n), "noise {n} out of band");
+            assert_eq!(n, deterministic_noise(seed, 0.02));
+        }
+        // Different seeds produce different noise almost always.
+        assert_ne!(deterministic_noise(1, 0.02), deterministic_noise(2, 0.02));
+    }
+
+    #[test]
+    fn bigger_device_is_faster_on_big_uniform_work() {
+        let nano = DeviceSpec::amd_r9_nano();
+        let emb = DeviceSpec::embedded_accelerator();
+        let r = NDRange::new([1024, 1024], [16, 16]).unwrap();
+        let mut p = profile();
+        p.useful_items = (1024 * 1024) as f64;
+        let c_nano = estimate_cost(&nano, &p, &r);
+        let c_emb = estimate_cost(&emb, &p, &r);
+        assert!(c_nano.total_s < c_emb.total_s);
+    }
+}

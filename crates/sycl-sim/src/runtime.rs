@@ -1,0 +1,566 @@
+//! SYCL-like runtime objects: platform, queue, buffer, ND-range, event.
+//!
+//! Semantics mirror the subset of SYCL the study uses: in-order queues
+//! with profiling enabled, 2-D ND-range dispatch, and buffers shared
+//! between host and "device". Kernel bodies execute on the host (rayon
+//! parallel, real results); event timestamps come from the analytical
+//! device model, advancing a per-queue simulated clock.
+
+use crate::device::DeviceSpec;
+use crate::perf::{self, KernelCost, KernelProfile};
+use crate::{Result, SimError};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+/// A two-dimensional ND-range: global dispatch size and work-group size.
+///
+/// As in SYCL, the global size must be a multiple of the local size in
+/// each dimension; use [`NDRange::padded`] to round a useful size up.
+///
+/// ```
+/// use autokernel_sycl_sim::NDRange;
+/// let r = NDRange::padded([100, 3], [64, 1]).unwrap();
+/// assert_eq!(r.global(), [128, 3]);
+/// assert!(NDRange::new([65, 1], [64, 1]).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NDRange {
+    global: [usize; 2],
+    local: [usize; 2],
+}
+
+impl NDRange {
+    /// Create a range, validating divisibility and non-emptiness.
+    pub fn new(global: [usize; 2], local: [usize; 2]) -> Result<Self> {
+        if global[0] == 0 || global[1] == 0 || local[0] == 0 || local[1] == 0 {
+            return Err(SimError::BadRange("zero-sized range".into()));
+        }
+        if !global[0].is_multiple_of(local[0]) || !global[1].is_multiple_of(local[1]) {
+            return Err(SimError::BadRange(format!(
+                "global {:?} not a multiple of local {:?}",
+                global, local
+            )));
+        }
+        Ok(NDRange { global, local })
+    }
+
+    /// Round a useful size up to work-group multiples (the usual way
+    /// GEMM launches are constructed).
+    pub fn padded(useful: [usize; 2], local: [usize; 2]) -> Result<Self> {
+        if local[0] == 0 || local[1] == 0 {
+            return Err(SimError::BadRange("zero-sized work-group".into()));
+        }
+        let g0 = useful[0].max(1).div_ceil(local[0]) * local[0];
+        let g1 = useful[1].max(1).div_ceil(local[1]) * local[1];
+        NDRange::new([g0, g1], local)
+    }
+
+    /// Global extents.
+    pub fn global(&self) -> [usize; 2] {
+        self.global
+    }
+
+    /// Work-group extents.
+    pub fn local(&self) -> [usize; 2] {
+        self.local
+    }
+
+    /// Total dispatched work-items.
+    pub fn global_size(&self) -> usize {
+        self.global[0] * self.global[1]
+    }
+
+    /// Work-items per work-group.
+    pub fn local_size(&self) -> usize {
+        self.local[0] * self.local[1]
+    }
+
+    /// Number of work-groups dispatched.
+    pub fn n_groups(&self) -> usize {
+        (self.global[0] / self.local[0]) * (self.global[1] / self.local[1])
+    }
+}
+
+/// A shared host/device buffer, SYCL-style.
+///
+/// Cloning is shallow (the clone aliases the same storage), matching
+/// SYCL buffer semantics where copies refer to the same memory object.
+#[derive(Debug, Clone)]
+pub struct Buffer<T> {
+    data: Arc<RwLock<Vec<T>>>,
+}
+
+impl<T: Clone + Send + Sync> Buffer<T> {
+    /// Create a buffer owning `data`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Buffer {
+            data: Arc::new(RwLock::new(data)),
+        }
+    }
+
+    /// Create a zero-initialised buffer of `len` default elements.
+    pub fn new_filled(len: usize, value: T) -> Self {
+        Buffer::from_vec(vec![value; len])
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read accessor (shared).
+    pub fn read(&self) -> RwLockReadGuard<'_, Vec<T>> {
+        self.data.read()
+    }
+
+    /// Write accessor (exclusive).
+    pub fn write(&self) -> RwLockWriteGuard<'_, Vec<T>> {
+        self.data.write()
+    }
+
+    /// Copy the contents out to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.read().clone()
+    }
+}
+
+/// A kernel the simulated runtime can launch.
+///
+/// Implementations do two things: *execute* on the host (producing real,
+/// checkable results) and *profile* themselves so the device model can
+/// price the launch.
+pub trait SimKernel: Send + Sync {
+    /// Human-readable kernel name (shows up in event records).
+    fn name(&self) -> String;
+
+    /// Resource/traffic description for the device model.
+    fn profile(&self, device: &DeviceSpec, range: &NDRange) -> KernelProfile;
+
+    /// Run the kernel body on the host for the given range.
+    fn execute(&self, range: &NDRange) -> Result<()>;
+
+    /// Seed folded into the deterministic timing noise, so distinct
+    /// kernel configurations land on distinct noise samples.
+    fn noise_seed(&self) -> u64 {
+        0
+    }
+}
+
+/// A completed launch with simulated profiling information, the analogue
+/// of a SYCL event with `info::event_profiling`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    kernel_name: String,
+    start_s: f64,
+    end_s: f64,
+    cost: KernelCost,
+}
+
+impl Event {
+    /// Simulated submission-to-completion duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Simulated completion timestamp on the queue's clock.
+    pub fn end_s(&self) -> f64 {
+        self.end_s
+    }
+
+    /// Simulated start timestamp on the queue's clock.
+    pub fn start_s(&self) -> f64 {
+        self.start_s
+    }
+
+    /// The device model's cost breakdown for this launch.
+    pub fn cost(&self) -> &KernelCost {
+        &self.cost
+    }
+
+    /// Kernel name recorded at submit time.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+}
+
+/// A device execution context: queues created from the same context
+/// share the device's timeline, so their launches serialise against
+/// each other — the contention a real single device imposes on
+/// concurrent SYCL queues.
+#[derive(Clone)]
+pub struct Context {
+    device: Arc<DeviceSpec>,
+    clock_s: Arc<Mutex<f64>>,
+}
+
+impl Context {
+    /// Create a context for `device` with its clock at zero.
+    pub fn new(device: Arc<DeviceSpec>) -> Self {
+        Context {
+            device,
+            clock_s: Arc::new(Mutex::new(0.0)),
+        }
+    }
+
+    /// Create an executing queue sharing this context's timeline.
+    pub fn create_queue(&self) -> Queue {
+        Queue {
+            device: self.device.clone(),
+            clock_s: self.clock_s.clone(),
+            noise_amplitude: 0.03,
+            execute_host: true,
+        }
+    }
+
+    /// Create a timing-only queue sharing this context's timeline.
+    pub fn create_timing_queue(&self) -> Queue {
+        Queue {
+            execute_host: false,
+            ..self.create_queue()
+        }
+    }
+
+    /// The context's device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Current simulated time on the shared device clock.
+    pub fn now_s(&self) -> f64 {
+        *self.clock_s.lock()
+    }
+}
+
+/// An in-order queue bound to one device.
+pub struct Queue {
+    device: Arc<DeviceSpec>,
+    clock_s: Arc<Mutex<f64>>,
+    /// Noise amplitude applied to modelled durations (0 disables).
+    noise_amplitude: f64,
+    /// When false, kernel bodies are skipped and only timing is modelled
+    /// (used for large benchmark sweeps where results are not consumed).
+    execute_host: bool,
+}
+
+impl Queue {
+    /// Create a profiling queue on `device` that really executes kernel
+    /// bodies on the host (with its own private timeline; use
+    /// [`Context`] to share a timeline between queues).
+    pub fn new(device: Arc<DeviceSpec>) -> Self {
+        Context::new(device).create_queue()
+    }
+
+    /// A timing-only queue: kernels are priced by the model but their
+    /// host bodies are not run. Benchmark sweeps over the full 640-config
+    /// grid use this, exactly as a dry-run profiler would.
+    pub fn timing_only(device: Arc<DeviceSpec>) -> Self {
+        Queue {
+            execute_host: false,
+            ..Queue::new(device)
+        }
+    }
+
+    /// Override the deterministic-noise amplitude (default 2 %).
+    pub fn with_noise(mut self, amplitude: f64) -> Self {
+        self.noise_amplitude = amplitude.max(0.0);
+        self
+    }
+
+    /// The device this queue targets.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Submit a kernel over `range`; returns its completion event.
+    pub fn submit(&self, kernel: &dyn SimKernel, range: NDRange) -> Result<Event> {
+        self.submit_after(kernel, range, &[])
+    }
+
+    /// Submit with explicit event dependencies: the launch starts no
+    /// earlier than every dependency's completion.
+    pub fn submit_after(
+        &self,
+        kernel: &dyn SimKernel,
+        range: NDRange,
+        deps: &[Event],
+    ) -> Result<Event> {
+        if range.local_size() > self.device.max_work_group_size {
+            return Err(SimError::BadLaunch(format!(
+                "work-group of {} exceeds device limit {}",
+                range.local_size(),
+                self.device.max_work_group_size
+            )));
+        }
+        if self.execute_host {
+            kernel.execute(&range)?;
+        }
+        let profile = kernel.profile(&self.device, &range);
+        let (cost, duration) = self.price(&profile, &range, kernel.noise_seed());
+
+        let mut clock = self.clock_s.lock();
+        let dep_end = deps.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
+        let start = clock.max(dep_end);
+        let end = start + duration;
+        *clock = end;
+        Ok(Event {
+            kernel_name: kernel.name(),
+            start_s: start,
+            end_s: end,
+            cost,
+        })
+    }
+
+    /// Price a launch without submitting it: the cost breakdown and the
+    /// noised duration an actual submission of the same (profile, range,
+    /// seed) would report. Large benchmark sweeps use this directly so
+    /// they need not materialise operand buffers.
+    pub fn price(
+        &self,
+        profile: &KernelProfile,
+        range: &NDRange,
+        noise_seed: u64,
+    ) -> (KernelCost, f64) {
+        let cost = perf::estimate_cost(&self.device, profile, range);
+        let noise = if self.noise_amplitude > 0.0 {
+            let seed = noise_seed
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(range.global_size() as u64)
+                .wrapping_add((range.local()[0] as u64) << 32)
+                .wrapping_add(fxhash(self.device.name.as_bytes()));
+            perf::deterministic_noise(seed, self.noise_amplitude)
+        } else {
+            1.0
+        };
+        (cost, cost.total_s * noise)
+    }
+
+    /// Current simulated time on this queue.
+    pub fn now_s(&self) -> f64 {
+        *self.clock_s.lock()
+    }
+}
+
+/// Tiny FNV-style hash for stable string → u64 mapping.
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A platform enumerating the available simulated devices, the analogue
+/// of `sycl::platform`.
+#[derive(Clone)]
+pub struct Platform {
+    devices: Vec<Arc<DeviceSpec>>,
+}
+
+impl Platform {
+    /// The standard simulated platform: R9 Nano, a desktop GPU and an
+    /// embedded accelerator.
+    pub fn standard() -> Self {
+        Platform {
+            devices: vec![
+                Arc::new(DeviceSpec::amd_r9_nano()),
+                Arc::new(DeviceSpec::desktop_gpu()),
+                Arc::new(DeviceSpec::embedded_accelerator()),
+                Arc::new(DeviceSpec::host_cpu()),
+            ],
+        }
+    }
+
+    /// A platform exposing exactly the given devices.
+    pub fn with_devices(devices: Vec<DeviceSpec>) -> Self {
+        Platform {
+            devices: devices.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Arc<DeviceSpec>] {
+        &self.devices
+    }
+
+    /// First device of the requested type.
+    pub fn device_by_type(&self, ty: crate::DeviceType) -> Result<Arc<DeviceSpec>> {
+        self.devices
+            .iter()
+            .find(|d| d.device_type == ty)
+            .cloned()
+            .ok_or_else(|| SimError::NoSuchDevice(format!("{ty:?}")))
+    }
+
+    /// Device whose name contains `needle` (case-insensitive).
+    pub fn device_by_name(&self, needle: &str) -> Result<Arc<DeviceSpec>> {
+        let lower = needle.to_lowercase();
+        self.devices
+            .iter()
+            .find(|d| d.name.to_lowercase().contains(&lower))
+            .cloned()
+            .ok_or_else(|| SimError::NoSuchDevice(needle.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceType;
+
+    /// A toy kernel doubling a buffer, for runtime-semantics tests.
+    struct DoubleKernel {
+        buf: Buffer<f32>,
+    }
+
+    impl SimKernel for DoubleKernel {
+        fn name(&self) -> String {
+            "double".into()
+        }
+        fn profile(&self, _device: &DeviceSpec, _range: &NDRange) -> KernelProfile {
+            KernelProfile {
+                flops_per_item: 1.0,
+                bytes_per_item: 8.0,
+                cache_reuse: 0.0,
+                registers_per_item: 8,
+                lds_bytes_per_group: 0,
+                coalescing: 1.0,
+                useful_items: self.buf.len() as f64,
+                ilp: 1.0,
+            }
+        }
+        fn execute(&self, range: &NDRange) -> Result<()> {
+            let mut data = self.buf.write();
+            let n = data.len();
+            for i in 0..range.global_size().min(n) {
+                data[i] *= 2.0;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ndrange_validation() {
+        assert!(NDRange::new([64, 64], [8, 8]).is_ok());
+        assert!(NDRange::new([65, 64], [8, 8]).is_err());
+        assert!(NDRange::new([0, 64], [8, 8]).is_err());
+        assert!(NDRange::new([64, 64], [0, 8]).is_err());
+    }
+
+    #[test]
+    fn ndrange_padding() {
+        let r = NDRange::padded([100, 3], [64, 1]).unwrap();
+        assert_eq!(r.global(), [128, 3]);
+        assert_eq!(r.n_groups(), 2 * 3);
+        // Degenerate useful sizes still produce a valid launch.
+        let r = NDRange::padded([0, 0], [8, 8]).unwrap();
+        assert_eq!(r.global(), [8, 8]);
+    }
+
+    #[test]
+    fn queue_executes_kernel_bodies() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_type(DeviceType::Gpu).unwrap();
+        let queue = Queue::new(dev);
+        let buf = Buffer::from_vec(vec![1.0f32; 64]);
+        let k = DoubleKernel { buf: buf.clone() };
+        let ev = queue
+            .submit(&k, NDRange::new([64, 1], [64, 1]).unwrap())
+            .unwrap();
+        assert!(ev.duration_s() > 0.0);
+        assert!(buf.to_vec().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn timing_only_queue_skips_execution() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_type(DeviceType::Gpu).unwrap();
+        let queue = Queue::timing_only(dev);
+        let buf = Buffer::from_vec(vec![1.0f32; 64]);
+        let k = DoubleKernel { buf: buf.clone() };
+        let ev = queue
+            .submit(&k, NDRange::new([64, 1], [64, 1]).unwrap())
+            .unwrap();
+        assert!(ev.duration_s() > 0.0);
+        assert!(buf.to_vec().iter().all(|&v| v == 1.0), "body must not run");
+    }
+
+    #[test]
+    fn in_order_clock_advances_monotonically() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_type(DeviceType::Gpu).unwrap();
+        let queue = Queue::timing_only(dev);
+        let buf = Buffer::from_vec(vec![0.0f32; 64]);
+        let k = DoubleKernel { buf };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let e1 = queue.submit(&k, r).unwrap();
+        let e2 = queue.submit(&k, r).unwrap();
+        assert!(e2.start_s() >= e1.end_s());
+        assert!((queue.now_s() - e2.end_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let platform = Platform::standard();
+        let gpu = platform.device_by_type(DeviceType::Gpu).unwrap();
+        let q1 = Queue::timing_only(gpu.clone());
+        let q2 = Queue::timing_only(gpu);
+        let buf = Buffer::from_vec(vec![0.0f32; 1024 * 1024]);
+        let k = DoubleKernel { buf };
+        let big = NDRange::new([1024, 1024], [16, 16]).unwrap();
+        let dep = q1.submit(&k, big).unwrap();
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let e = q2.submit_after(&k, r, std::slice::from_ref(&dep)).unwrap();
+        assert!(e.start_s() >= dep.end_s());
+    }
+
+    #[test]
+    fn launch_rejected_when_group_too_large() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_name("nano").unwrap(); // max group 256
+        let queue = Queue::timing_only(dev);
+        let buf = Buffer::from_vec(vec![0.0f32; 4]);
+        let k = DoubleKernel { buf };
+        let r = NDRange::new([512, 1], [512, 1]).unwrap();
+        assert!(matches!(queue.submit(&k, r), Err(SimError::BadLaunch(_))));
+    }
+
+    #[test]
+    fn buffers_are_shared_on_clone() {
+        let a = Buffer::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        b.write()[0] = 9;
+        assert_eq!(a.to_vec(), vec![9, 2, 3]);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn platform_lookup() {
+        let p = Platform::standard();
+        assert_eq!(p.devices().len(), 4);
+        assert!(p.device_by_type(DeviceType::Accelerator).is_ok());
+        assert!(p.device_by_name("NANO").is_ok());
+        assert!(p.device_by_name("does-not-exist").is_err());
+        let only_cpu = Platform::with_devices(vec![DeviceSpec::host_cpu()]);
+        assert!(only_cpu.device_by_type(DeviceType::Gpu).is_err());
+    }
+
+    #[test]
+    fn identical_submissions_have_identical_durations() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_type(DeviceType::Gpu).unwrap();
+        let q = Queue::timing_only(dev);
+        let buf = Buffer::from_vec(vec![0.0f32; 64]);
+        let k = DoubleKernel { buf };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let e1 = q.submit(&k, r).unwrap();
+        let e2 = q.submit(&k, r).unwrap();
+        assert!((e1.duration_s() - e2.duration_s()).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,34 @@
+//! # autokernel-tuner
+//!
+//! Search strategies over the kernel-configuration space.
+//!
+//! The paper brute-forces its 640-point space but notes that "this is
+//! not feasible for more general kernels that have significantly more
+//! parameters ... more complex tuning algorithms have been proposed,
+//! such as basin hopping and evolutionary algorithms" (citing Kernel
+//! Tuner). This crate implements those optimisers against the same
+//! simulated device, so their sample-efficiency can be measured against
+//! the brute-force ground truth:
+//!
+//! - [`strategies::RandomSearch`] — uniform sampling baseline,
+//! - [`strategies::HillClimbing`] — greedy neighbourhood descent with
+//!   random restarts,
+//! - [`strategies::BasinHopping`] — perturb-then-descend (Metropolis
+//!   acceptance between basins),
+//! - [`strategies::Evolutionary`] — a (μ+λ) genetic algorithm with
+//!   uniform crossover and per-gene mutation.
+//!
+//! All strategies share the [`objective::Objective`] abstraction (an
+//! evaluation-counting oracle) and the [`space`] neighbourhood
+//! structure, and are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod objective;
+pub mod space;
+pub mod strategies;
+
+pub use objective::{GemmObjective, Objective};
+pub use strategies::{
+    BasinHopping, Evolutionary, HillClimbing, RandomSearch, SearchStrategy, TuningResult,
+};

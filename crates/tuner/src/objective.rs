@@ -1,0 +1,124 @@
+//! Objective functions for the search strategies: map a configuration
+//! to a runtime, counting evaluations (the budget currency of
+//! auto-tuning).
+
+use autokernel_gemm::{model, GemmShape, KernelConfig};
+use autokernel_sycl_sim::{DeviceSpec, Queue};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// An evaluation-counting oracle over the configuration space.
+///
+/// Lower is better (runtimes). Implementations must be deterministic:
+/// re-evaluating a configuration returns the same value (real tuners
+/// cache for this reason; so do we).
+pub trait Objective {
+    /// Evaluate one configuration (counted).
+    fn evaluate(&self, config: &KernelConfig) -> f64;
+    /// Evaluations performed so far.
+    fn evaluations(&self) -> usize;
+}
+
+/// Simulated-runtime objective for one GEMM shape on one device, with
+/// memoisation (repeat evaluations are free, as in a caching tuner).
+pub struct GemmObjective {
+    queue: Queue,
+    device: Arc<DeviceSpec>,
+    shape: GemmShape,
+    cache: RefCell<Vec<Option<f64>>>,
+    evals: RefCell<usize>,
+}
+
+impl GemmObjective {
+    /// Create an objective for `shape` on `device`.
+    pub fn new(device: &DeviceSpec, shape: GemmShape) -> Self {
+        let device = Arc::new(device.clone());
+        GemmObjective {
+            queue: Queue::timing_only(device.clone()),
+            device,
+            shape,
+            cache: RefCell::new(vec![None; KernelConfig::count()]),
+            evals: RefCell::new(0),
+        }
+    }
+
+    /// The true optimum (for scoring searches), found by brute force
+    /// *without* touching the evaluation counter.
+    pub fn brute_force_best(&self) -> (KernelConfig, f64) {
+        KernelConfig::all()
+            .into_iter()
+            .map(|c| {
+                let t = self.price(&c);
+                (c, t)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty space")
+    }
+
+    fn price(&self, config: &KernelConfig) -> f64 {
+        let range = model::launch_range(config, &self.shape).expect("launchable");
+        let profile = model::profile(config, &self.shape, &self.device);
+        self.queue
+            .price(&profile, &range, model::noise_seed(config, &self.shape))
+            .1
+    }
+
+    /// The shape being tuned.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+}
+
+impl Objective for GemmObjective {
+    fn evaluate(&self, config: &KernelConfig) -> f64 {
+        let idx = config.index();
+        if let Some(t) = self.cache.borrow()[idx] {
+            return t;
+        }
+        *self.evals.borrow_mut() += 1;
+        let t = self.price(config);
+        self.cache.borrow_mut()[idx] = Some(t);
+        t
+    }
+
+    fn evaluations(&self) -> usize {
+        *self.evals.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluations_are_counted_and_cached() {
+        let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(64, 64, 64));
+        let c = KernelConfig::from_index(42).unwrap();
+        let t1 = obj.evaluate(&c);
+        let t2 = obj.evaluate(&c);
+        assert_eq!(t1, t2);
+        assert_eq!(obj.evaluations(), 1, "cache hit must not count");
+        obj.evaluate(&KernelConfig::from_index(43).unwrap());
+        assert_eq!(obj.evaluations(), 2);
+    }
+
+    #[test]
+    fn brute_force_matches_exhaustive_min() {
+        let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(196, 256, 128));
+        let (best_cfg, best_t) = obj.brute_force_best();
+        for c in KernelConfig::all() {
+            assert!(
+                obj.evaluate(&c) >= best_t - 1e-18,
+                "config {c} beats 'best' {best_cfg}"
+            );
+        }
+        assert_eq!(obj.evaluate(&best_cfg), best_t);
+    }
+
+    #[test]
+    fn brute_force_does_not_consume_budget() {
+        let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(32, 32, 32));
+        let _ = obj.brute_force_best();
+        assert_eq!(obj.evaluations(), 0);
+    }
+}

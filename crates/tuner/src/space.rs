@@ -1,0 +1,157 @@
+//! Neighbourhood structure of the configuration space: which
+//! configurations count as "one step away" for local search, and how
+//! configurations are encoded as genomes for the evolutionary strategy.
+
+use autokernel_gemm::config::{KernelConfig, TILE_SIZES, WORK_GROUPS};
+use rand::{rngs::StdRng, RngExt};
+
+/// A configuration as a 4-gene genome:
+/// `(tile_rows idx, tile_cols idx, acc idx, work-group idx)`.
+pub type Genome = [usize; 4];
+
+/// Encode a configuration.
+pub fn encode(config: &KernelConfig) -> Genome {
+    let pos = |v: usize| TILE_SIZES.iter().position(|&t| t == v).expect("valid tile");
+    let wg = WORK_GROUPS
+        .iter()
+        .position(|&w| w == config.work_group)
+        .expect("valid wg");
+    [
+        pos(config.tile_rows),
+        pos(config.tile_cols),
+        pos(config.acc_depth),
+        wg,
+    ]
+}
+
+/// Decode a genome (indices are taken modulo their range, so any
+/// 4-tuple decodes to a valid configuration).
+pub fn decode(genome: &Genome) -> KernelConfig {
+    KernelConfig {
+        tile_rows: TILE_SIZES[genome[0] % TILE_SIZES.len()],
+        tile_cols: TILE_SIZES[genome[1] % TILE_SIZES.len()],
+        acc_depth: TILE_SIZES[genome[2] % TILE_SIZES.len()],
+        work_group: WORK_GROUPS[genome[3] % WORK_GROUPS.len()],
+    }
+}
+
+/// All configurations that differ from `config` in exactly one
+/// parameter by one ordinal step (±1 in the sorted value list), the
+/// standard Kernel Tuner neighbourhood.
+pub fn neighbours(config: &KernelConfig) -> Vec<KernelConfig> {
+    let g = encode(config);
+    let ranges = [
+        TILE_SIZES.len(),
+        TILE_SIZES.len(),
+        TILE_SIZES.len(),
+        WORK_GROUPS.len(),
+    ];
+    let mut out = Vec::new();
+    for gene in 0..4 {
+        for delta in [-1isize, 1] {
+            let v = g[gene] as isize + delta;
+            if v >= 0 && (v as usize) < ranges[gene] {
+                let mut n = g;
+                n[gene] = v as usize;
+                out.push(decode(&n));
+            }
+        }
+    }
+    out
+}
+
+/// A uniformly random configuration.
+pub fn random_config(rng: &mut StdRng) -> KernelConfig {
+    KernelConfig::from_index(rng.random_range(0..KernelConfig::count())).expect("in range")
+}
+
+/// Perturb `config` by resampling `strength` genes uniformly — the
+/// basin-hopping jump move.
+pub fn perturb(config: &KernelConfig, strength: usize, rng: &mut StdRng) -> KernelConfig {
+    let mut g = encode(config);
+    let ranges = [
+        TILE_SIZES.len(),
+        TILE_SIZES.len(),
+        TILE_SIZES.len(),
+        WORK_GROUPS.len(),
+    ];
+    for _ in 0..strength.max(1) {
+        let gene = rng.random_range(0..4);
+        g[gene] = rng.random_range(0..ranges[gene]);
+    }
+    decode(&g)
+}
+
+/// Uniform crossover of two genomes.
+pub fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+    let mut child = *a;
+    for (c, &bv) in child.iter_mut().zip(b) {
+        if rng.random::<bool>() {
+            *c = bv;
+        }
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_roundtrip_for_all_configs() {
+        for c in KernelConfig::all() {
+            assert_eq!(decode(&encode(&c)), c);
+        }
+    }
+
+    #[test]
+    fn neighbours_differ_in_one_parameter() {
+        let c = KernelConfig::from_index(316).unwrap();
+        let ns = neighbours(&c);
+        assert!(!ns.is_empty());
+        for n in &ns {
+            let g1 = encode(&c);
+            let g2 = encode(n);
+            let diffs = g1.iter().zip(&g2).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1, "{c} -> {n}");
+        }
+    }
+
+    #[test]
+    fn corner_configs_have_fewer_neighbours() {
+        // First config: all genes at 0 => only +1 moves, 4 neighbours.
+        let first = KernelConfig::from_index(0).unwrap();
+        assert_eq!(neighbours(&first).len(), 4);
+        // An interior config has the full 8.
+        let interior =
+            KernelConfig::new(2, 2, 2, autokernel_gemm::WorkGroup { rows: 8, cols: 16 }).unwrap();
+        assert_eq!(neighbours(&interior).len(), 8);
+    }
+
+    #[test]
+    fn perturb_and_random_stay_in_space() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = KernelConfig::from_index(0).unwrap();
+        for _ in 0..200 {
+            c = perturb(&c, 2, &mut rng);
+            assert!(c.index() < KernelConfig::count());
+        }
+        for _ in 0..50 {
+            assert!(random_config(&mut rng).index() < KernelConfig::count());
+        }
+    }
+
+    #[test]
+    fn crossover_takes_genes_from_parents() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = [0usize, 0, 0, 0];
+        let b = [3usize, 3, 3, 9];
+        for _ in 0..20 {
+            let child = crossover(&a, &b, &mut rng);
+            for (i, &g) in child.iter().enumerate() {
+                assert!(g == a[i] || g == b[i]);
+            }
+        }
+    }
+}

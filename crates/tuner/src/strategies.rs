@@ -1,0 +1,416 @@
+//! The search strategies: random search, hill climbing, basin hopping
+//! and a (μ+λ) evolutionary algorithm.
+
+use crate::objective::Objective;
+use crate::space;
+use autokernel_gemm::config::{TILE_SIZES, WORK_GROUPS};
+use autokernel_gemm::KernelConfig;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// Best configuration found.
+    pub best: KernelConfig,
+    /// Its objective value (simulated seconds).
+    pub best_value: f64,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// `(evaluations, best_so_far)` checkpoints for convergence plots.
+    pub trajectory: Vec<(usize, f64)>,
+}
+
+/// A tuning strategy: spend at most `budget` objective evaluations.
+///
+/// ```
+/// use autokernel_tuner::{GemmObjective, HillClimbing, SearchStrategy, Objective};
+/// use autokernel_gemm::GemmShape;
+/// use autokernel_sycl_sim::DeviceSpec;
+///
+/// let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(784, 1152, 128));
+/// let result = HillClimbing.tune(&obj, 100, 7);
+/// assert!(result.evaluations <= 100);
+/// // The search gets close to the brute-force optimum at a sixth of its cost.
+/// let (_, optimum) = obj.brute_force_best();
+/// assert!(result.best_value <= optimum * 1.5);
+/// ```
+pub trait SearchStrategy {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Run the search.
+    fn tune(&self, objective: &dyn Objective, budget: usize, seed: u64) -> TuningResult;
+}
+
+/// Track the incumbent and trajectory while evaluating.
+struct Tracker<'a> {
+    objective: &'a dyn Objective,
+    budget: usize,
+    /// Total eval() calls including cache hits. Caps the search at
+    /// 50x the budget so a strategy that keeps revisiting cached
+    /// configurations (e.g. a converged population) still terminates.
+    calls: usize,
+    best: Option<(KernelConfig, f64)>,
+    trajectory: Vec<(usize, f64)>,
+}
+
+impl<'a> Tracker<'a> {
+    fn new(objective: &'a dyn Objective, budget: usize) -> Self {
+        Tracker {
+            objective,
+            budget,
+            calls: 0,
+            best: None,
+            trajectory: Vec::new(),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.objective.evaluations() >= self.budget || self.calls >= self.budget.saturating_mul(50)
+    }
+
+    /// Evaluate (if budget remains) and update the incumbent.
+    /// Returns the value, or `None` when the budget is exhausted.
+    fn eval(&mut self, config: &KernelConfig) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        self.calls += 1;
+        let v = self.objective.evaluate(config);
+        let improved = self.best.as_ref().is_none_or(|(_, b)| v < *b);
+        if improved {
+            self.best = Some((*config, v));
+            self.trajectory.push((self.objective.evaluations(), v));
+        }
+        Some(v)
+    }
+
+    fn finish(self) -> TuningResult {
+        let (best, best_value) = self.best.expect("at least one evaluation");
+        TuningResult {
+            best,
+            best_value,
+            evaluations: self.objective.evaluations(),
+            trajectory: self.trajectory,
+        }
+    }
+}
+
+/// Uniform random sampling — the baseline every smarter method must beat.
+pub struct RandomSearch;
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random search"
+    }
+
+    fn tune(&self, objective: &dyn Objective, budget: usize, seed: u64) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tracker::new(objective, budget);
+        while t.eval(&space::random_config(&mut rng)).is_some() {}
+        t.finish()
+    }
+}
+
+/// Greedy first-improvement hill climbing with random restarts.
+pub struct HillClimbing;
+
+impl SearchStrategy for HillClimbing {
+    fn name(&self) -> &'static str {
+        "hill climbing"
+    }
+
+    fn tune(&self, objective: &dyn Objective, budget: usize, seed: u64) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tracker::new(objective, budget);
+        'restarts: while !t.exhausted() {
+            let mut current = space::random_config(&mut rng);
+            let Some(mut current_v) = t.eval(&current) else {
+                break;
+            };
+            loop {
+                let mut improved = false;
+                for n in space::neighbours(&current) {
+                    match t.eval(&n) {
+                        None => break 'restarts,
+                        Some(v) if v < current_v => {
+                            current = n;
+                            current_v = v;
+                            improved = true;
+                            break; // First improvement: move immediately.
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if !improved {
+                    continue 'restarts; // Local optimum: restart.
+                }
+            }
+        }
+        t.finish()
+    }
+}
+
+/// Basin hopping: descend to a local optimum, jump by a strong
+/// perturbation, accept the new basin by a Metropolis rule.
+pub struct BasinHopping {
+    /// Genes resampled per jump.
+    pub jump_strength: usize,
+    /// Metropolis temperature relative to the current value.
+    pub temperature: f64,
+}
+
+impl Default for BasinHopping {
+    fn default() -> Self {
+        BasinHopping {
+            jump_strength: 2,
+            temperature: 0.15,
+        }
+    }
+}
+
+impl SearchStrategy for BasinHopping {
+    fn name(&self) -> &'static str {
+        "basin hopping"
+    }
+
+    fn tune(&self, objective: &dyn Objective, budget: usize, seed: u64) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tracker::new(objective, budget);
+
+        // Descend from `start` to a local optimum; None when budget dies.
+        fn descend(
+            t: &mut Tracker<'_>,
+            start: KernelConfig,
+            start_v: f64,
+        ) -> Option<(KernelConfig, f64)> {
+            let (mut cur, mut cur_v) = (start, start_v);
+            loop {
+                let mut improved = false;
+                for n in space::neighbours(&cur) {
+                    match t.eval(&n) {
+                        None => return None,
+                        Some(v) if v < cur_v => {
+                            cur = n;
+                            cur_v = v;
+                            improved = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if !improved {
+                    return Some((cur, cur_v));
+                }
+            }
+        }
+
+        let start = space::random_config(&mut rng);
+        let Some(start_v) = t.eval(&start) else {
+            return t.finish();
+        };
+        let Some((mut basin, mut basin_v)) = descend(&mut t, start, start_v) else {
+            return t.finish();
+        };
+
+        while !t.exhausted() {
+            let jump = space::perturb(&basin, self.jump_strength, &mut rng);
+            let Some(jump_v) = t.eval(&jump) else { break };
+            let Some((cand, cand_v)) = descend(&mut t, jump, jump_v) else {
+                break;
+            };
+            // Metropolis acceptance between basin minima.
+            let accept = cand_v < basin_v || {
+                let delta = (cand_v - basin_v) / (self.temperature * basin_v).max(1e-30);
+                rng.random::<f64>() < (-delta).exp()
+            };
+            if accept {
+                basin = cand;
+                basin_v = cand_v;
+            }
+        }
+        t.finish()
+    }
+}
+
+/// (μ+λ) evolutionary algorithm with tournament selection, uniform
+/// crossover and per-gene mutation.
+pub struct Evolutionary {
+    /// Parent population size (μ).
+    pub population: usize,
+    /// Offspring per generation (λ).
+    pub offspring: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for Evolutionary {
+    fn default() -> Self {
+        Evolutionary {
+            population: 10,
+            offspring: 10,
+            mutation_rate: 0.2,
+        }
+    }
+}
+
+impl SearchStrategy for Evolutionary {
+    fn name(&self) -> &'static str {
+        "evolutionary"
+    }
+
+    fn tune(&self, objective: &dyn Objective, budget: usize, seed: u64) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tracker::new(objective, budget);
+
+        // Initial population.
+        let mut pop: Vec<(KernelConfig, f64)> = Vec::new();
+        for _ in 0..self.population.max(2) {
+            let c = space::random_config(&mut rng);
+            match t.eval(&c) {
+                Some(v) => pop.push((c, v)),
+                None => break,
+            }
+        }
+        if pop.is_empty() {
+            // Budget was zero-ish; evaluate one config regardless of
+            // budget so a result exists.
+            let c = space::random_config(&mut rng);
+            let v = objective.evaluate(&c);
+            return TuningResult {
+                best: c,
+                best_value: v,
+                evaluations: objective.evaluations(),
+                trajectory: vec![(objective.evaluations(), v)],
+            };
+        }
+
+        while !t.exhausted() {
+            let mut children = Vec::with_capacity(self.offspring);
+            for _ in 0..self.offspring.max(1) {
+                // Tournament selection of two parents.
+                let pick = |rng: &mut StdRng| {
+                    let a = rng.random_range(0..pop.len());
+                    let b = rng.random_range(0..pop.len());
+                    if pop[a].1 <= pop[b].1 {
+                        pop[a].0
+                    } else {
+                        pop[b].0
+                    }
+                };
+                let pa = space::encode(&pick(&mut rng));
+                let pb = space::encode(&pick(&mut rng));
+                let mut child = space::crossover(&pa, &pb, &mut rng);
+                // Mutation.
+                let ranges =
+                    [TILE_SIZES.len(), TILE_SIZES.len(), TILE_SIZES.len(), WORK_GROUPS.len()];
+                for (gene, range) in child.iter_mut().zip(ranges) {
+                    if rng.random::<f64>() < self.mutation_rate {
+                        *gene = rng.random_range(0..range);
+                    }
+                }
+                let c = space::decode(&child);
+                match t.eval(&c) {
+                    Some(v) => children.push((c, v)),
+                    None => break,
+                }
+            }
+            if children.is_empty() {
+                break;
+            }
+            // (μ+λ): keep the best μ of parents + offspring.
+            pop.extend(children);
+            pop.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            pop.truncate(self.population.max(2));
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::GemmObjective;
+    use autokernel_gemm::GemmShape;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn objective() -> GemmObjective {
+        GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(784, 1152, 128))
+    }
+
+    fn all_strategies() -> Vec<Box<dyn SearchStrategy>> {
+        vec![
+            Box::new(RandomSearch),
+            Box::new(HillClimbing),
+            Box::new(BasinHopping::default()),
+            Box::new(Evolutionary::default()),
+        ]
+    }
+
+    #[test]
+    fn strategies_respect_the_budget() {
+        for s in all_strategies() {
+            let obj = objective();
+            let r = s.tune(&obj, 50, 3);
+            assert!(r.evaluations <= 50, "{} used {}", s.name(), r.evaluations);
+            assert!(r.best_value > 0.0);
+        }
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        for s in all_strategies() {
+            let a = s.tune(&objective(), 80, 7);
+            let b = s.tune(&objective(), 80, 7);
+            assert_eq!(a.best, b.best, "{} nondeterministic", s.name());
+            assert_eq!(a.best_value, b.best_value);
+        }
+    }
+
+    #[test]
+    fn trajectories_are_monotone_improvements() {
+        for s in all_strategies() {
+            let r = s.tune(&objective(), 120, 1);
+            assert!(!r.trajectory.is_empty());
+            for w in r.trajectory.windows(2) {
+                assert!(w[1].1 < w[0].1, "{} trajectory not improving", s.name());
+                assert!(w[1].0 > w[0].0);
+            }
+            // Last trajectory point is the final best.
+            assert_eq!(r.trajectory.last().unwrap().1, r.best_value);
+        }
+    }
+
+    #[test]
+    fn smart_strategies_find_near_optimum_within_a_quarter_of_the_space() {
+        let obj = objective();
+        let (_, optimum) = obj.brute_force_best();
+        for s in all_strategies() {
+            let obj = objective();
+            let r = s.tune(&obj, 160, 5);
+            let gap = r.best_value / optimum;
+            assert!(
+                gap < 1.30,
+                "{} only reached {:.3}x the optimum in 160 evals",
+                s.name(),
+                gap
+            );
+        }
+    }
+
+    #[test]
+    fn hill_climbing_beats_random_at_small_budgets_on_average() {
+        // Averaged over seeds to avoid flakiness from lucky samples.
+        let mut hc_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..10 {
+            let obj = objective();
+            hc_total += HillClimbing.tune(&obj, 60, seed).best_value;
+            let obj = objective();
+            rs_total += RandomSearch.tune(&obj, 60, seed).best_value;
+        }
+        assert!(
+            hc_total < rs_total * 1.05,
+            "hill climbing ({hc_total}) should be competitive with random ({rs_total})"
+        );
+    }
+}

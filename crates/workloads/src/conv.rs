@@ -1,0 +1,241 @@
+//! Executable convolution lowering: the im2col transform the paper
+//! relies on ("convolutional layers ... can be computed using a matrix
+//! multiply through transformations such as the im2col"), plus a direct
+//! convolution reference to validate it against.
+//!
+//! Layout conventions (matching the GEMM shapes produced by
+//! [`crate::layers::ConvLayer::im2col_gemm`]):
+//!
+//! - input: NCHW, flattened `[batch][c_in][h][w]`
+//! - weights: `[kh][kw][c_in][c_out]` flattened — i.e. the GEMM's
+//!   `K × N` operand with `K = kernel² · c_in`, `N = c_out`
+//! - output: `[batch · out_h · out_w, c_out]` row-major — the GEMM's
+//!   `M × N` result
+
+use crate::layers::ConvLayer;
+use autokernel_gemm::reference::reference_gemm;
+
+/// Flattened input length for a layer at a batch size.
+pub fn input_len(layer: &ConvLayer, batch: usize) -> usize {
+    batch * layer.in_channels * layer.input_size * layer.input_size
+}
+
+/// Flattened weight length for a layer.
+pub fn weight_len(layer: &ConvLayer) -> usize {
+    layer.kernel * layer.kernel * layer.in_channels * layer.out_channels
+}
+
+/// Flattened output length for a layer at a batch size.
+pub fn output_len(layer: &ConvLayer, batch: usize) -> usize {
+    let out = layer.output_size();
+    batch * out * out * layer.out_channels
+}
+
+/// Direct (sliding-window) convolution reference.
+///
+/// Panics in debug builds on length mismatches; only standard
+/// (non-grouped) convolutions are supported, like the paper's lowering.
+pub fn direct_conv(
+    layer: &ConvLayer,
+    batch: usize,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+) {
+    assert_eq!(
+        layer.groups, 1,
+        "direct_conv supports standard convolutions only"
+    );
+    debug_assert_eq!(input.len(), input_len(layer, batch));
+    debug_assert_eq!(weights.len(), weight_len(layer));
+    debug_assert_eq!(output.len(), output_len(layer, batch));
+
+    let (cin, cout, k) = (layer.in_channels, layer.out_channels, layer.kernel);
+    let (h, s, p) = (layer.input_size, layer.stride, layer.padding);
+    let out = layer.output_size();
+
+    for b in 0..batch {
+        for oy in 0..out {
+            for ox in 0..out {
+                let orow = ((b * out + oy) * out + ox) * cout;
+                for oc in 0..cout {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= h as isize {
+                                continue;
+                            }
+                            for ic in 0..cin {
+                                let iv =
+                                    input[((b * cin + ic) * h + iy as usize) * h + ix as usize];
+                                let wv = weights[((ky * k + kx) * cin + ic) * cout + oc];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    output[orow + oc] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Build the im2col patch matrix: `(batch · out²) × (kernel² · c_in)`,
+/// zero-padding out-of-bounds taps.
+pub fn im2col_matrix(layer: &ConvLayer, batch: usize, input: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        layer.groups, 1,
+        "im2col supports standard convolutions only"
+    );
+    debug_assert_eq!(input.len(), input_len(layer, batch));
+    let (cin, k) = (layer.in_channels, layer.kernel);
+    let (h, s, p) = (layer.input_size, layer.stride, layer.padding);
+    let out = layer.output_size();
+    let cols = k * k * cin;
+    let mut m = vec![0.0f32; batch * out * out * cols];
+
+    for b in 0..batch {
+        for oy in 0..out {
+            for ox in 0..out {
+                let row = (b * out + oy) * out + ox;
+                let base = row * cols;
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    for kx in 0..k {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        for ic in 0..cin {
+                            let col = (ky * k + kx) * cin + ic;
+                            m[base + col] =
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < h as isize {
+                                    input[((b * cin + ic) * h + iy as usize) * h + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Convolution through the im2col + GEMM path — the lowering the whole
+/// study's dataset is built from.
+pub fn im2col_conv(
+    layer: &ConvLayer,
+    batch: usize,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+) {
+    let shape = layer
+        .im2col_gemm(batch)
+        .expect("standard convolution lowers");
+    debug_assert_eq!(output.len(), shape.m * shape.n);
+    let patches = im2col_matrix(layer, batch, input);
+    reference_gemm(shape, &patches, weights, output);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_add(seed)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z ^= z >> 31;
+                ((z % 1000) as f32 / 500.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_1x1_conv_permutes_channels_to_nhwc() {
+        // 1x1 conv with identity weights copies channels.
+        let layer = ConvLayer::standard(2, 2, 1, 1, 0, 3);
+        let input = filled(input_len(&layer, 1), 1);
+        let mut weights = vec![0.0f32; weight_len(&layer)];
+        weights[0] = 1.0; // (ic=0 -> oc=0)
+        weights[3] = 1.0; // (ic=1 -> oc=1)
+        let mut out = vec![0.0f32; output_len(&layer, 1)];
+        im2col_conv(&layer, 1, &input, &weights, &mut out);
+        for y in 0..3 {
+            for x in 0..3 {
+                for c in 0..2 {
+                    let expect = input[(c * 3 + y) * 3 + x];
+                    let got = out[((y * 3) + x) * 2 + c];
+                    assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over an all-ones 4x4 image (pad 1) counts
+        // the in-bounds taps per position.
+        let layer = ConvLayer::standard(1, 1, 3, 1, 1, 4);
+        let input = vec![1.0f32; input_len(&layer, 1)];
+        let weights = vec![1.0f32; weight_len(&layer)];
+        let mut out = vec![0.0f32; output_len(&layer, 1)];
+        im2col_conv(&layer, 1, &input, &weights, &mut out);
+        // Corners see 4 taps, edges 6, interior 9.
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 6.0);
+        assert_eq!(out[5], 9.0);
+        assert_eq!(out[15], 4.0);
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv_across_layer_zoo() {
+        let layers = [
+            ConvLayer::standard(3, 8, 3, 1, 1, 10),
+            ConvLayer::standard(4, 4, 1, 1, 0, 7),
+            ConvLayer::standard(2, 5, 3, 2, 1, 9),
+            ConvLayer::standard(3, 6, 7, 2, 3, 14),
+            ConvLayer::standard(1, 2, 5, 1, 2, 8),
+        ];
+        for (li, layer) in layers.iter().enumerate() {
+            for batch in [1usize, 3] {
+                let input = filled(input_len(layer, batch), li as u64);
+                let weights = filled(weight_len(layer), 77 + li as u64);
+                let mut a = vec![0.0f32; output_len(layer, batch)];
+                let mut b = vec![0.0f32; output_len(layer, batch)];
+                direct_conv(layer, batch, &input, &weights, &mut a);
+                im2col_conv(layer, batch, &input, &weights, &mut b);
+                let err = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(err < 1e-4, "layer {li} batch {batch}: max err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matrix_dimensions_match_gemm_shape() {
+        let layer = ConvLayer::standard(3, 16, 3, 2, 1, 11);
+        let batch = 2;
+        let shape = layer.im2col_gemm(batch).unwrap();
+        let m = im2col_matrix(&layer, batch, &filled(input_len(&layer, batch), 0));
+        assert_eq!(m.len(), shape.m * shape.k);
+        assert_eq!(weight_len(&layer), shape.k * shape.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard convolutions")]
+    fn depthwise_rejected() {
+        let layer = ConvLayer::depthwise(4, 3, 1, 1, 8);
+        let _ = im2col_matrix(&layer, 1, &vec![0.0; input_len(&layer, 1)]);
+    }
+}

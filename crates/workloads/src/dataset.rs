@@ -1,0 +1,176 @@
+//! Assembly of the paper's GEMM-shape dataset from the network models.
+//!
+//! The paper reports 78 VGG, 66 ResNet and 26 MobileNet unique (M, K, N)
+//! combinations (170 in total). The exact shape lists are not recoverable
+//! from the paper text, so we regenerate comparable populations: each
+//! network's layers are lowered at several batch sizes, deduplicated, and
+//! the population is deterministically trimmed to the paper's count
+//! (smallest-first by a stable ordering, so reruns are identical). This
+//! preserves exactly what the study needs — a realistic mixture of tall,
+//! wide, tiny and huge GEMMs drawn from real networks, in the paper's
+//! proportions.
+
+use crate::models::{mobilenet_v2, resnet50, vgg16, NetworkModel};
+use autokernel_gemm::GemmShape;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The deduplicated GEMM shapes of one network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkShapes {
+    /// Network name.
+    pub network: String,
+    /// Unique shapes, in deterministic (sorted) order.
+    pub shapes: Vec<GemmShape>,
+}
+
+/// Lower every layer of `model` at each batch size and deduplicate.
+pub fn unique_gemms(model: &NetworkModel, batches: &[usize]) -> Vec<GemmShape> {
+    let mut set = BTreeSet::new();
+    for &b in batches {
+        for layer in &model.layers {
+            if let Some(shape) = layer.gemm(b) {
+                set.insert(shape);
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Deterministically trim a population to exactly `n` shapes, spreading
+/// the selection across the sorted population (so small, medium and
+/// large shapes all survive) rather than truncating one end.
+fn trim_to(mut shapes: Vec<GemmShape>, n: usize) -> Vec<GemmShape> {
+    assert!(
+        shapes.len() >= n,
+        "population of {} cannot be trimmed to {}",
+        shapes.len(),
+        n
+    );
+    if shapes.len() == n {
+        return shapes;
+    }
+    // Evenly-spaced selection over the sorted order.
+    let len = shapes.len();
+    let picked: Vec<GemmShape> = (0..n).map(|i| shapes[i * len / n]).collect();
+    shapes = picked;
+    shapes
+}
+
+/// Batch sizes used per network (chosen so each population comfortably
+/// covers the paper's count; documented in DESIGN.md).
+pub const VGG_BATCHES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// ResNet batch sizes.
+pub const RESNET_BATCHES: [usize; 4] = [1, 4, 16, 32];
+/// MobileNet batch sizes.
+pub const MOBILENET_BATCHES: [usize; 2] = [1, 16];
+
+/// The paper's per-network shape counts.
+pub const PAPER_COUNTS: [(&str, usize); 3] = [("VGG16", 78), ("ResNet50", 66), ("MobileNetV2", 26)];
+
+/// Build the full 170-shape dataset with the paper's per-network counts.
+pub fn paper_dataset() -> Vec<NetworkShapes> {
+    let spec: [(NetworkModel, &[usize], usize); 3] = [
+        (vgg16(), &VGG_BATCHES, 78),
+        (resnet50(), &RESNET_BATCHES, 66),
+        (mobilenet_v2(), &MOBILENET_BATCHES, 26),
+    ];
+    spec.into_iter()
+        .map(|(model, batches, count)| NetworkShapes {
+            network: model.name.clone(),
+            shapes: trim_to(unique_gemms(&model, batches), count),
+        })
+        .collect()
+}
+
+/// All 170 shapes of the paper dataset, flattened in network order.
+pub fn paper_shapes() -> Vec<GemmShape> {
+    paper_dataset().into_iter().flat_map(|n| n.shapes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_counts_are_reproduced() {
+        let ds = paper_dataset();
+        for ((net, expect), got) in PAPER_COUNTS.iter().zip(&ds) {
+            assert_eq!(got.network, *net);
+            assert_eq!(got.shapes.len(), *expect, "{net}");
+        }
+        assert_eq!(paper_shapes().len(), 170);
+    }
+
+    #[test]
+    fn shapes_are_unique_within_each_network() {
+        for net in paper_dataset() {
+            let set: HashSet<_> = net.shapes.iter().collect();
+            assert_eq!(
+                set.len(),
+                net.shapes.len(),
+                "{} has duplicates",
+                net.network
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = paper_shapes();
+        let b = paper_shapes();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn populations_cover_paper_counts() {
+        // The untrimmed populations must be at least as large as the
+        // paper's counts (otherwise the batch sets need widening).
+        assert!(unique_gemms(&vgg16(), &VGG_BATCHES).len() >= 78);
+        assert!(unique_gemms(&resnet50(), &RESNET_BATCHES).len() >= 66);
+        assert!(unique_gemms(&mobilenet_v2(), &MOBILENET_BATCHES).len() >= 26);
+    }
+
+    #[test]
+    fn dataset_spans_orders_of_magnitude() {
+        let shapes = paper_shapes();
+        let ms: Vec<usize> = shapes.iter().map(|s| s.m).collect();
+        let min = ms.iter().min().unwrap();
+        let max = ms.iter().max().unwrap();
+        assert!(*min <= 4, "expected tiny fully-connected Ms, min = {min}");
+        assert!(*max >= 100_000, "expected huge im2col Ms, max = {max}");
+        // K must include both 1x1 lowerings (K = C_in) and 3x3 (K = 9·C_in).
+        let ks: HashSet<usize> = shapes.iter().map(|s| s.k).collect();
+        assert!(
+            ks.contains(&64) || ks.contains(&256),
+            "1x1 lowering K missing"
+        );
+        assert!(
+            ks.contains(&576) || ks.contains(&1152) || ks.contains(&27),
+            "3x3 lowering K missing"
+        );
+    }
+
+    #[test]
+    fn unique_gemms_excludes_depthwise() {
+        let shapes = unique_gemms(&mobilenet_v2(), &[1]);
+        // Depthwise layers produce no GEMM: every K must be a MobileNet
+        // channel width (1x1 pointwise / FC) or 27 (the 3x3 stem). A
+        // depthwise lowering would contribute K = 9·C for hidden C.
+        let channel_widths = [16, 24, 32, 64, 96, 144, 160, 192, 320, 384, 576, 960, 1280];
+        for s in &shapes {
+            assert!(
+                s.k == 27 || channel_widths.contains(&s.k),
+                "unexpected K {} (depthwise leak?)",
+                s.k
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be trimmed")]
+    fn trim_rejects_undersized_population() {
+        let _ = trim_to(vec![GemmShape::new(1, 1, 1)], 2);
+    }
+}

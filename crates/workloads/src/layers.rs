@@ -1,0 +1,231 @@
+//! Network layer descriptions and their lowering to GEMM shapes.
+
+use autokernel_gemm::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution layer (square kernels, NCHW).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel extent (1, 3, 7, ...).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+    /// Input spatial extent (square feature maps).
+    pub input_size: usize,
+    /// Channel groups (`in_channels` = groups ⇒ depthwise).
+    pub groups: usize,
+}
+
+impl ConvLayer {
+    /// A standard (non-grouped) convolution.
+    ///
+    /// ```
+    /// use autokernel_workloads::ConvLayer;
+    /// // VGG's first layer lowers to a (50176, 27, 64) GEMM at batch 1.
+    /// let conv1 = ConvLayer::standard(3, 64, 3, 1, 1, 224);
+    /// let g = conv1.im2col_gemm(1).unwrap();
+    /// assert_eq!((g.m, g.k, g.n), (224 * 224, 27, 64));
+    /// ```
+    pub fn standard(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_size: usize,
+    ) -> Self {
+        ConvLayer {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            input_size,
+            groups: 1,
+        }
+    }
+
+    /// A depthwise convolution (one group per channel).
+    pub fn depthwise(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_size: usize,
+    ) -> Self {
+        ConvLayer {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            input_size,
+            groups: channels,
+        }
+    }
+
+    /// Output spatial extent.
+    pub fn output_size(&self) -> usize {
+        (self.input_size + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Whether the layer lowers to a GEMM at all: depthwise convolutions
+    /// do not (each filter sees one channel), matching the paper's use of
+    /// im2col for standard convolutions only.
+    pub fn lowers_to_gemm(&self) -> bool {
+        self.groups == 1
+    }
+
+    /// The im2col GEMM for a batch of `batch` images:
+    /// `M = batch · out_h · out_w`, `K = kernel² · in_channels`,
+    /// `N = out_channels`.
+    pub fn im2col_gemm(&self, batch: usize) -> Option<GemmShape> {
+        if !self.lowers_to_gemm() {
+            return None;
+        }
+        let out = self.output_size();
+        Some(GemmShape::new(
+            batch * out * out,
+            self.kernel * self.kernel * self.in_channels,
+            self.out_channels,
+        ))
+    }
+}
+
+/// A fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl FcLayer {
+    /// The GEMM for a batch: `M = batch`, `K = in`, `N = out`.
+    pub fn gemm(&self, batch: usize) -> GemmShape {
+        GemmShape::new(batch, self.in_features, self.out_features)
+    }
+}
+
+/// A batched matrix multiply: `instances` independent GEMMs of the same
+/// `(m, k, n)` per forward item — how attention lowers (one GEMM per
+/// head for Q·Kᵀ and for attn·V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BatchedMatmul {
+    /// Instances per batch item (e.g. attention heads).
+    pub instances: usize,
+    /// Rows of each instance.
+    pub m: usize,
+    /// Reduction dimension of each instance.
+    pub k: usize,
+    /// Columns of each instance.
+    pub n: usize,
+}
+
+impl BatchedMatmul {
+    /// The per-instance GEMM shape — what kernel selection operates on
+    /// (the batch only multiplies the launch count, not the shape).
+    pub fn instance_gemm(&self) -> GemmShape {
+        GemmShape::new(self.m, self.k, self.n)
+    }
+}
+
+/// Any layer a network model lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Convolution.
+    Conv(ConvLayer),
+    /// Fully connected.
+    Fc(FcLayer),
+    /// Batched matmul (attention).
+    Batched(BatchedMatmul),
+}
+
+impl Layer {
+    /// Lower this layer to its GEMM shape for a batch size, if it has one.
+    pub fn gemm(&self, batch: usize) -> Option<GemmShape> {
+        match self {
+            Layer::Conv(c) => c.im2col_gemm(batch),
+            Layer::Fc(f) => Some(f.gemm(batch)),
+            Layer::Batched(b) => Some(b.instance_gemm()),
+        }
+    }
+
+    /// Multiply-accumulate count for one forward pass at batch 1.
+    pub fn macs(&self) -> usize {
+        match self {
+            Layer::Conv(c) => {
+                let out = c.output_size();
+                out * out * c.out_channels * c.kernel * c.kernel * c.in_channels / c.groups
+            }
+            Layer::Fc(f) => f.in_features * f.out_features,
+            Layer::Batched(b) => b.instances * b.m * b.k * b.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_size_matches_formula() {
+        // VGG conv: 3x3, stride 1, pad 1 — preserves size.
+        let c = ConvLayer::standard(3, 64, 3, 1, 1, 224);
+        assert_eq!(c.output_size(), 224);
+        // ResNet stem: 7x7, stride 2, pad 3 — halves size.
+        let c = ConvLayer::standard(3, 64, 7, 2, 3, 224);
+        assert_eq!(c.output_size(), 112);
+        // 1x1 stride 2.
+        let c = ConvLayer::standard(256, 512, 1, 2, 0, 56);
+        assert_eq!(c.output_size(), 28);
+    }
+
+    #[test]
+    fn im2col_shape() {
+        let c = ConvLayer::standard(3, 64, 3, 1, 1, 224);
+        let g = c.im2col_gemm(1).unwrap();
+        assert_eq!(g, GemmShape::new(224 * 224, 27, 64));
+        let g4 = c.im2col_gemm(4).unwrap();
+        assert_eq!(g4.m, 4 * 224 * 224);
+        assert_eq!((g4.k, g4.n), (g.k, g.n));
+    }
+
+    #[test]
+    fn depthwise_does_not_lower() {
+        let d = ConvLayer::depthwise(32, 3, 1, 1, 112);
+        assert!(!d.lowers_to_gemm());
+        assert_eq!(d.im2col_gemm(1), None);
+        assert_eq!(Layer::Conv(d).gemm(1), None);
+    }
+
+    #[test]
+    fn fc_lowering() {
+        let f = FcLayer {
+            in_features: 4096,
+            out_features: 1000,
+        };
+        assert_eq!(f.gemm(32), GemmShape::new(32, 4096, 1000));
+    }
+
+    #[test]
+    fn macs_counts() {
+        let f = FcLayer {
+            in_features: 10,
+            out_features: 20,
+        };
+        assert_eq!(Layer::Fc(f).macs(), 200);
+        let c = ConvLayer::standard(3, 64, 3, 1, 1, 224);
+        assert_eq!(Layer::Conv(c).macs(), 224 * 224 * 64 * 9 * 3);
+        // Depthwise divides by groups.
+        let d = ConvLayer::depthwise(32, 3, 1, 1, 112);
+        assert_eq!(Layer::Conv(d).macs(), 112 * 112 * 32 * 9 * 32 / 32);
+    }
+}

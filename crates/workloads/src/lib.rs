@@ -1,0 +1,30 @@
+//! # autokernel-workloads
+//!
+//! The neural-network workloads whose GEMM shapes drive the study.
+//!
+//! The paper extracts the matrix-multiply sizes arising in three popular
+//! networks — VGG, ResNet and MobileNet — through the im2col lowering of
+//! convolutions and the direct lowering of fully-connected layers,
+//! obtaining 78, 66 and 26 unique (M, K, N) combinations respectively
+//! (170 in total).
+//!
+//! This crate rebuilds that population: [`models`] describes the three
+//! architectures layer by layer, [`layers`] performs the lowering, and
+//! [`dataset`] assembles the deduplicated per-network shape sets with the
+//! paper's counts. [`conv`] makes the lowering executable: a direct
+//! convolution reference and the im2col + GEMM path, validated against
+//! each other; [`winograd`] adds the F(2×2, 3×3) Winograd lowering the
+//! paper also names, which turns a 3×3 convolution into 16 much smaller
+//! GEMMs.
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod dataset;
+pub mod layers;
+pub mod models;
+pub mod winograd;
+
+pub use dataset::{paper_dataset, NetworkShapes};
+pub use layers::{BatchedMatmul, ConvLayer, FcLayer, Layer};
+pub use models::{bert_base, mobilenet_v2, resnet50, vgg16, NetworkModel};

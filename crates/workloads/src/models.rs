@@ -1,0 +1,316 @@
+//! Layer-by-layer descriptions of the three networks the paper mines
+//! for GEMM shapes: VGG-16, ResNet-50 and MobileNet-V2 (all at the
+//! standard 224×224 ImageNet input resolution).
+
+use crate::layers::{BatchedMatmul, ConvLayer, FcLayer, Layer};
+use serde::{Deserialize, Serialize};
+
+/// A named network: an ordered list of layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Display name ("VGG16", ...).
+    pub name: String,
+    /// Layers in forward order (pooling and activations omitted — they
+    /// produce no GEMMs).
+    pub layers: Vec<Layer>,
+}
+
+impl NetworkModel {
+    /// Total multiply-accumulates of one forward pass at batch 1.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+}
+
+fn conv(inc: usize, outc: usize, k: usize, s: usize, p: usize, size: usize) -> Layer {
+    Layer::Conv(ConvLayer::standard(inc, outc, k, s, p, size))
+}
+
+fn dwconv(c: usize, s: usize, size: usize) -> Layer {
+    Layer::Conv(ConvLayer::depthwise(c, 3, s, 1, size))
+}
+
+fn fc(i: usize, o: usize) -> Layer {
+    Layer::Fc(FcLayer {
+        in_features: i,
+        out_features: o,
+    })
+}
+
+/// VGG-16 (Simonyan & Zisserman 2014): 13 convolutions + 3 FC layers.
+pub fn vgg16() -> NetworkModel {
+    let layers = vec![
+        conv(3, 64, 3, 1, 1, 224),
+        conv(64, 64, 3, 1, 1, 224),
+        conv(64, 128, 3, 1, 1, 112),
+        conv(128, 128, 3, 1, 1, 112),
+        conv(128, 256, 3, 1, 1, 56),
+        conv(256, 256, 3, 1, 1, 56),
+        conv(256, 256, 3, 1, 1, 56),
+        conv(256, 512, 3, 1, 1, 28),
+        conv(512, 512, 3, 1, 1, 28),
+        conv(512, 512, 3, 1, 1, 28),
+        conv(512, 512, 3, 1, 1, 14),
+        conv(512, 512, 3, 1, 1, 14),
+        conv(512, 512, 3, 1, 1, 14),
+        fc(512 * 7 * 7, 4096),
+        fc(4096, 4096),
+        fc(4096, 1000),
+    ];
+    NetworkModel {
+        name: "VGG16".into(),
+        layers,
+    }
+}
+
+/// ResNet-50 (He et al. 2016): 7×7 stem, four bottleneck stages, FC head.
+pub fn resnet50() -> NetworkModel {
+    let mut layers = vec![conv(3, 64, 7, 2, 3, 224)];
+
+    // (in_planes, width, out_planes, input_size, blocks, first_stride)
+    let stages: [(usize, usize, usize, usize, usize, usize); 4] = [
+        (64, 64, 256, 56, 3, 1),
+        (256, 128, 512, 56, 4, 2),
+        (512, 256, 1024, 28, 6, 2),
+        (1024, 512, 2048, 14, 3, 2),
+    ];
+    for (inp, width, outp, in_size, blocks, first_stride) in stages {
+        let out_size = in_size / first_stride;
+        for b in 0..blocks {
+            let (cin, size, stride) = if b == 0 {
+                (inp, in_size, first_stride)
+            } else {
+                (outp, out_size, 1)
+            };
+            // 1×1 reduce (carries the stride in ResNet v1).
+            layers.push(conv(cin, width, 1, stride, 0, size));
+            // 3×3 at the output resolution.
+            layers.push(conv(width, width, 3, 1, 1, out_size));
+            // 1×1 expand.
+            layers.push(conv(width, outp, 1, 1, 0, out_size));
+            if b == 0 {
+                // Projection shortcut.
+                layers.push(conv(cin, outp, 1, stride, 0, size));
+            }
+        }
+    }
+    layers.push(fc(2048, 1000));
+    NetworkModel {
+        name: "ResNet50".into(),
+        layers,
+    }
+}
+
+/// MobileNet-V2 (Sandler et al. 2018): inverted residual bottlenecks.
+/// Depthwise convolutions do not lower to GEMM; the pointwise expansions
+/// and projections (and the stem/head convolutions) do.
+pub fn mobilenet_v2() -> NetworkModel {
+    let mut layers = vec![conv(3, 32, 3, 2, 1, 224)];
+
+    // (expansion t, output channels c, repeats n, first stride s)
+    let settings: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut cin = 32usize;
+    let mut size = 112usize;
+    for (t, c, n, s) in settings {
+        for b in 0..n {
+            let stride = if b == 0 { s } else { 1 };
+            let hidden = cin * t;
+            if t != 1 {
+                // Pointwise expansion at the input resolution.
+                layers.push(conv(cin, hidden, 1, 1, 0, size));
+            }
+            let out_size = size / stride;
+            // Depthwise 3×3 (no GEMM, but part of the model inventory).
+            layers.push(dwconv(hidden, stride, size));
+            // Pointwise projection at the output resolution.
+            layers.push(conv(hidden, c, 1, 1, 0, out_size));
+            cin = c;
+            size = out_size;
+        }
+    }
+    // Head: 1×1 to 1280 channels, then the classifier.
+    layers.push(conv(cin, 1280, 1, 1, 0, size));
+    layers.push(fc(1280, 1000));
+    NetworkModel {
+        name: "MobileNetV2".into(),
+        layers,
+    }
+}
+
+/// BERT-base encoder (Devlin et al. 2018) at a given sequence length:
+/// the transformer workload "machine learning research" moved to after
+/// the paper's CNNs. Twelve identical layers of QKV/output projections
+/// (per-token GEMMs, `M = batch · seq`), per-head attention matmuls
+/// (batched GEMMs of `(seq, 64, seq)` and `(seq, seq, 64)`), and the
+/// two feed-forward GEMMs.
+pub fn bert_base(seq: usize) -> NetworkModel {
+    let d = 768usize;
+    let heads = 12usize;
+    let d_head = d / heads;
+    let d_ff = 3072usize;
+    let mut layers = Vec::new();
+    for _ in 0..12 {
+        // Q, K, V and output projections: per batch item a
+        // (seq, 768, 768) GEMM over the token dimension.
+        for _ in 0..4 {
+            layers.push(Layer::Batched(BatchedMatmul {
+                instances: 1,
+                m: seq,
+                k: d,
+                n: d,
+            }));
+        }
+        // Attention scores Q·Kᵀ: one (seq, d_head, seq) GEMM per head.
+        layers.push(Layer::Batched(BatchedMatmul {
+            instances: heads,
+            m: seq,
+            k: d_head,
+            n: seq,
+        }));
+        // Attention output attn·V: one (seq, seq, d_head) GEMM per head.
+        layers.push(Layer::Batched(BatchedMatmul {
+            instances: heads,
+            m: seq,
+            k: seq,
+            n: d_head,
+        }));
+        // Feed-forward: (seq, 768, 3072) then (seq, 3072, 768).
+        layers.push(Layer::Batched(BatchedMatmul {
+            instances: 1,
+            m: seq,
+            k: d,
+            n: d_ff,
+        }));
+        layers.push(Layer::Batched(BatchedMatmul {
+            instances: 1,
+            m: seq,
+            k: d_ff,
+            n: d,
+        }));
+    }
+    NetworkModel {
+        name: format!("BERT-base-seq{seq}"),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_macs_and_structure() {
+        let net = bert_base(128);
+        // 12 layers x 8 GEMM-producing entries.
+        assert_eq!(net.layers.len(), 12 * 8);
+        // Per layer at seq 128: projections and FFN are per-token
+        // (seq x ...), attention is per-head.
+        let per_layer = 4 * 128 * 768 * 768 + 2 * 12 * 128 * 64 * 128 + 2 * 128 * 768 * 3072;
+        assert_eq!(net.total_macs(), 12 * per_layer);
+    }
+
+    #[test]
+    fn bert_attention_shapes_are_square_in_seq() {
+        use autokernel_gemm::GemmShape;
+        let net = bert_base(384);
+        let shapes: Vec<GemmShape> = net.layers.iter().filter_map(|l| l.gemm(8)).collect();
+        assert!(
+            shapes.contains(&GemmShape::new(384, 64, 384)),
+            "QK^T shape missing"
+        );
+        assert!(
+            shapes.contains(&GemmShape::new(384, 384, 64)),
+            "attn*V shape missing"
+        );
+        // Projections are per-token GEMMs over the sequence.
+        assert!(shapes.contains(&GemmShape::new(384, 768, 768)));
+        assert!(shapes.contains(&GemmShape::new(384, 768, 3072)));
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let net = vgg16();
+        let convs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(_)))
+            .count();
+        let fcs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Fc(_)))
+            .count();
+        assert_eq!((convs, fcs), (13, 3));
+        // VGG-16 is ~15.5 GMACs at 224².
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!((15.0..16.0).contains(&gmacs), "VGG16 macs = {gmacs} G");
+    }
+
+    #[test]
+    fn resnet50_block_structure() {
+        let net = resnet50();
+        // 1 stem + 3·(3+4+6+3) bottleneck convs + 4 projection shortcuts.
+        let convs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(_)))
+            .count();
+        assert_eq!(convs, 1 + 3 * 16 + 4);
+        let fcs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Fc(_)))
+            .count();
+        assert_eq!(fcs, 1);
+    }
+
+    #[test]
+    fn resnet50_macs_in_expected_band() {
+        let gmacs = resnet50().total_macs() as f64 / 1e9;
+        assert!(
+            (3.0..6.5).contains(&gmacs),
+            "ResNet-50-like macs = {gmacs} G"
+        );
+    }
+
+    #[test]
+    fn mobilenet_macs_small() {
+        let net = mobilenet_v2();
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!((0.2..0.5).contains(&gmacs), "MobileNetV2 macs = {gmacs} G");
+        // Contains depthwise layers that do not lower to GEMM.
+        let depthwise = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(c) if c.groups > 1))
+            .count();
+        assert_eq!(depthwise, 17);
+    }
+
+    #[test]
+    fn mobilenet_final_feature_map_is_7x7x1280() {
+        let net = mobilenet_v2();
+        // The head conv must be 320 -> 1280 at 7x7.
+        let head = net
+            .layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                Layer::Conv(c) if c.groups == 1 => Some(*c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            (head.in_channels, head.out_channels, head.input_size),
+            (320, 1280, 7)
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Winograd F(2×2, 3×3) convolution lowering — the second GEMM-producing
+//! transformation the paper names ("transformations such as the im2col
+//! and Winograd").
+//!
+//! For a stride-1 3×3 convolution, each 4×4 input tile `d` produces a
+//! 2×2 output tile through
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with the classic F(2,3) transform matrices. Grouping by the 16 tile
+//! positions turns the whole layer into **16 independent GEMMs** of
+//! shape `(batch · ⌈out/2⌉², c_in, c_out)` — a very different population
+//! of matrix sizes from im2col, which is why libraries must select
+//! kernels per lowering as well as per layer.
+
+use crate::layers::ConvLayer;
+use autokernel_gemm::reference::reference_gemm;
+use autokernel_gemm::GemmShape;
+
+/// Bᵀ (4×4): input transform.
+const BT: [[f32; 4]; 4] = [
+    [1.0, 0.0, -1.0, 0.0],
+    [0.0, 1.0, 1.0, 0.0],
+    [0.0, -1.0, 1.0, 0.0],
+    [0.0, 1.0, 0.0, -1.0],
+];
+
+/// G (4×3): filter transform.
+const G: [[f32; 3]; 4] = [
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0.0, 0.0, 1.0],
+];
+
+/// Aᵀ (2×4): output transform (Lavin & Gray's convention — note the
+/// trailing −1, which pairs with Bᵀ's `d1 − d3` row).
+const AT: [[f32; 4]; 2] = [[1.0, 1.0, 1.0, 0.0], [0.0, 1.0, -1.0, -1.0]];
+
+/// Whether a layer is eligible for this Winograd variant.
+pub fn supports_winograd(layer: &ConvLayer) -> bool {
+    layer.groups == 1 && layer.kernel == 3 && layer.stride == 1
+}
+
+/// The shape of each of the 16 per-tile-position GEMMs for a batch.
+///
+/// Returns `None` for layers the F(2,3) lowering does not apply to.
+pub fn winograd_gemm(layer: &ConvLayer, batch: usize) -> Option<GemmShape> {
+    if !supports_winograd(layer) {
+        return None;
+    }
+    let out = layer.output_size();
+    let tiles = out.div_ceil(2);
+    Some(GemmShape::new(
+        batch * tiles * tiles,
+        layer.in_channels,
+        layer.out_channels,
+    ))
+}
+
+/// 4×4 input transform of one tile: `Bᵀ d B`.
+fn transform_input_tile(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    let mut tmp = [[0.0f32; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            tmp[i][j] = (0..4).map(|k| BT[i][k] * d[k][j]).sum();
+        }
+    }
+    let mut out = [[0.0f32; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = (0..4).map(|k| tmp[i][k] * BT[j][k]).sum();
+        }
+    }
+    out
+}
+
+/// 4×4 filter transform of one 3×3 kernel: `G g Gᵀ`.
+fn transform_filter(g: &[[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    let mut tmp = [[0.0f32; 3]; 4];
+    for i in 0..4 {
+        for j in 0..3 {
+            tmp[i][j] = (0..3).map(|k| G[i][k] * g[k][j]).sum();
+        }
+    }
+    let mut out = [[0.0f32; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = (0..3).map(|k| tmp[i][k] * G[j][k]).sum();
+        }
+    }
+    out
+}
+
+/// 2×2 output transform of one accumulated tile: `Aᵀ m A`.
+fn transform_output_tile(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    let mut tmp = [[0.0f32; 4]; 2];
+    for i in 0..2 {
+        for j in 0..4 {
+            tmp[i][j] = (0..4).map(|k| AT[i][k] * m[k][j]).sum();
+        }
+    }
+    let mut out = [[0.0f32; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = (0..4).map(|k| tmp[i][k] * AT[j][k]).sum();
+        }
+    }
+    out
+}
+
+/// Winograd convolution through 16 batched GEMMs.
+///
+/// Layouts match [`crate::conv`]: input NCHW flat, weights
+/// `[ky][kx][c_in][c_out]` flat, output `[batch·out², c_out]` row-major.
+/// Panics if the layer is not Winograd-eligible.
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors the maths
+pub fn winograd_conv(
+    layer: &ConvLayer,
+    batch: usize,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+) {
+    assert!(
+        supports_winograd(layer),
+        "layer is not Winograd F(2,3) eligible"
+    );
+    let shape = winograd_gemm(layer, batch).expect("eligible layer has a Winograd GEMM");
+    let (cin, cout) = (layer.in_channels, layer.out_channels);
+    let (h, p) = (layer.input_size, layer.padding);
+    let out = layer.output_size();
+    let tiles = out.div_ceil(2);
+
+    // Transform the filters once: u[pos][cin][cout].
+    let mut u = vec![0.0f32; 16 * cin * cout];
+    for ic in 0..cin {
+        for oc in 0..cout {
+            let mut g = [[0.0f32; 3]; 3];
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    g[ky][kx] = weights[((ky * 3 + kx) * cin + ic) * cout + oc];
+                }
+            }
+            let t = transform_filter(&g);
+            for (pos, value) in t.iter().flatten().enumerate() {
+                u[(pos * cin + ic) * cout + oc] = *value;
+            }
+        }
+    }
+
+    // Transform the input tiles: v[pos][tile_row][cin].
+    let m = shape.m; // batch * tiles * tiles
+    let mut v = vec![0.0f32; 16 * m * cin];
+    for b in 0..batch {
+        for ty in 0..tiles {
+            for tx in 0..tiles {
+                let row = (b * tiles + ty) * tiles + tx;
+                for ic in 0..cin {
+                    let mut d = [[0.0f32; 4]; 4];
+                    for dy in 0..4 {
+                        let iy = (ty * 2 + dy) as isize - p as isize;
+                        for dx in 0..4 {
+                            let ix = (tx * 2 + dx) as isize - p as isize;
+                            d[dy][dx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < h as isize
+                            {
+                                input[((b * cin + ic) * h + iy as usize) * h + ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    let t = transform_input_tile(&d);
+                    for (pos, value) in t.iter().flatten().enumerate() {
+                        v[(pos * m + row) * cin + ic] = *value;
+                    }
+                }
+            }
+        }
+    }
+
+    // 16 independent GEMMs: w[pos] = v[pos] (m x cin) * u[pos] (cin x cout).
+    let mut acc = vec![0.0f32; 16 * m * cout];
+    for pos in 0..16 {
+        let vm = &v[pos * m * cin..(pos + 1) * m * cin];
+        let um = &u[pos * cin * cout..(pos + 1) * cin * cout];
+        let am = &mut acc[pos * m * cout..(pos + 1) * m * cout];
+        reference_gemm(shape, vm, um, am);
+    }
+
+    // Inverse transform into the output layout.
+    for b in 0..batch {
+        for ty in 0..tiles {
+            for tx in 0..tiles {
+                let row = (b * tiles + ty) * tiles + tx;
+                for oc in 0..cout {
+                    let mut mtile = [[0.0f32; 4]; 4];
+                    for (pos, slot) in mtile.iter_mut().flatten().enumerate() {
+                        *slot = acc[(pos * m + row) * cout + oc];
+                    }
+                    let y = transform_output_tile(&mtile);
+                    for dy in 0..2 {
+                        let oy = ty * 2 + dy;
+                        if oy >= out {
+                            continue;
+                        }
+                        for dx in 0..2 {
+                            let ox = tx * 2 + dx;
+                            if ox >= out {
+                                continue;
+                            }
+                            output[((b * out + oy) * out + ox) * cout + oc] = y[dy][dx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{direct_conv, input_len, output_len, weight_len};
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_add(seed)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z ^= z >> 31;
+                ((z % 1000) as f32 / 500.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eligibility() {
+        assert!(supports_winograd(&ConvLayer::standard(3, 8, 3, 1, 1, 16)));
+        assert!(!supports_winograd(&ConvLayer::standard(3, 8, 3, 2, 1, 16))); // stride
+        assert!(!supports_winograd(&ConvLayer::standard(3, 8, 1, 1, 0, 16))); // 1x1
+        assert!(!supports_winograd(&ConvLayer::depthwise(8, 3, 1, 1, 16))); // grouped
+        assert!(winograd_gemm(&ConvLayer::standard(3, 8, 1, 1, 0, 16), 1).is_none());
+    }
+
+    #[test]
+    fn winograd_gemm_shape_differs_from_im2col() {
+        let layer = ConvLayer::standard(64, 64, 3, 1, 1, 56);
+        let wino = winograd_gemm(&layer, 1).unwrap();
+        let im2col = layer.im2col_gemm(1).unwrap();
+        assert_eq!(wino, GemmShape::new(28 * 28, 64, 64));
+        assert_eq!(im2col, GemmShape::new(56 * 56, 576, 64));
+        assert_ne!(wino, im2col);
+    }
+
+    #[test]
+    fn matches_direct_conv_on_even_sizes() {
+        let layer = ConvLayer::standard(3, 5, 3, 1, 1, 8);
+        for batch in [1usize, 2] {
+            let input = filled(input_len(&layer, batch), 1);
+            let weights = filled(weight_len(&layer), 2);
+            let mut direct = vec![0.0f32; output_len(&layer, batch)];
+            let mut wino = vec![0.0f32; output_len(&layer, batch)];
+            direct_conv(&layer, batch, &input, &weights, &mut direct);
+            winograd_conv(&layer, batch, &input, &weights, &mut wino);
+            let err = direct
+                .iter()
+                .zip(&wino)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 1e-4, "batch {batch}: err {err}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_conv_on_odd_sizes_with_partial_tiles() {
+        // 7x7 output: the last tile row/col is partial.
+        let layer = ConvLayer::standard(2, 3, 3, 1, 1, 7);
+        let input = filled(input_len(&layer, 1), 9);
+        let weights = filled(weight_len(&layer), 10);
+        let mut direct = vec![0.0f32; output_len(&layer, 1)];
+        let mut wino = vec![0.0f32; output_len(&layer, 1)];
+        direct_conv(&layer, 1, &input, &weights, &mut direct);
+        winograd_conv(&layer, 1, &input, &weights, &mut wino);
+        let err = direct
+            .iter()
+            .zip(&wino)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn no_padding_variant_matches() {
+        let layer = ConvLayer::standard(2, 2, 3, 1, 0, 10);
+        let input = filled(input_len(&layer, 1), 4);
+        let weights = filled(weight_len(&layer), 5);
+        let mut direct = vec![0.0f32; output_len(&layer, 1)];
+        let mut wino = vec![0.0f32; output_len(&layer, 1)];
+        direct_conv(&layer, 1, &input, &weights, &mut direct);
+        winograd_conv(&layer, 1, &input, &weights, &mut wino);
+        let err = direct
+            .iter()
+            .zip(&wino)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn winograd_saves_multiplies() {
+        // The point of F(2,3): 16 multiplies per 4 outputs instead of 36.
+        let layer = ConvLayer::standard(64, 64, 3, 1, 1, 56);
+        let wino = winograd_gemm(&layer, 1).unwrap();
+        let im2col = layer.im2col_gemm(1).unwrap();
+        let wino_macs = 16.0 * wino.flops() / 2.0;
+        let im2col_macs = im2col.flops() / 2.0;
+        let ratio = im2col_macs / wino_macs;
+        assert!(
+            (2.2..=2.3).contains(&ratio),
+            "speedup ratio {ratio} should be 36/16"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not Winograd")]
+    fn strided_layer_panics() {
+        let layer = ConvLayer::standard(3, 3, 3, 2, 1, 8);
+        let mut out = vec![0.0f32; output_len(&layer, 1)];
+        winograd_conv(&layer, 1, &[0.0; 192], &[0.0; 81], &mut out);
+    }
+}

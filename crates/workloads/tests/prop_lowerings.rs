@@ -1,0 +1,85 @@
+//! Property tests: every lowering of a convolution computes the same
+//! function, for arbitrary layer geometries.
+
+use autokernel_workloads::conv::{
+    direct_conv, im2col_conv, input_len, output_len, weight_len,
+};
+use autokernel_workloads::winograd::{supports_winograd, winograd_conv, winograd_gemm};
+use autokernel_workloads::ConvLayer;
+use proptest::prelude::*;
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut z = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z ^= z >> 31;
+            ((z % 2000) as f32 / 1000.0) - 1.0
+        })
+        .collect()
+}
+
+fn max_err(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Arbitrary standard conv layers whose geometry is valid (output >= 1).
+fn arb_layer() -> impl Strategy<Value = ConvLayer> {
+    (1usize..5, 1usize..7, prop_oneof![Just(1usize), Just(3), Just(5)], 1usize..3, 0usize..3, 5usize..14)
+        .prop_filter_map("valid geometry", |(cin, cout, k, s, p, size)| {
+            let layer = ConvLayer::standard(cin, cout, k, s, p, size);
+            (size + 2 * p >= k).then_some(layer)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn im2col_equals_direct_for_any_geometry(layer in arb_layer(), batch in 1usize..3, seed: u64) {
+        let input = filled(input_len(&layer, batch), seed);
+        let weights = filled(weight_len(&layer), seed ^ 0xdead);
+        let mut a = vec![0.0f32; output_len(&layer, batch)];
+        let mut b = vec![0.0f32; output_len(&layer, batch)];
+        direct_conv(&layer, batch, &input, &weights, &mut a);
+        im2col_conv(&layer, batch, &input, &weights, &mut b);
+        prop_assert!(max_err(&a, &b) < 1e-3, "layer {layer:?}");
+    }
+
+    #[test]
+    fn winograd_equals_direct_when_eligible(
+        cin in 1usize..5,
+        cout in 1usize..6,
+        pad in 0usize..2,
+        size in 4usize..13,
+        batch in 1usize..3,
+        seed: u64,
+    ) {
+        let layer = ConvLayer::standard(cin, cout, 3, 1, pad, size);
+        prop_assume!(size + 2 * pad >= 3);
+        prop_assert!(supports_winograd(&layer));
+        let input = filled(input_len(&layer, batch), seed);
+        let weights = filled(weight_len(&layer), seed ^ 0xbeef);
+        let mut a = vec![0.0f32; output_len(&layer, batch)];
+        let mut b = vec![0.0f32; output_len(&layer, batch)];
+        direct_conv(&layer, batch, &input, &weights, &mut a);
+        winograd_conv(&layer, batch, &input, &weights, &mut b);
+        prop_assert!(max_err(&a, &b) < 1e-3, "layer {layer:?}");
+    }
+
+    #[test]
+    fn winograd_gemm_shape_consistent_with_tiling(
+        cin in 1usize..64,
+        cout in 1usize..64,
+        size in 4usize..60,
+        batch in 1usize..5,
+    ) {
+        let layer = ConvLayer::standard(cin, cout, 3, 1, 1, size);
+        let g = winograd_gemm(&layer, batch).unwrap();
+        let tiles = layer.output_size().div_ceil(2);
+        prop_assert_eq!(g.m, batch * tiles * tiles);
+        prop_assert_eq!(g.k, cin);
+        prop_assert_eq!(g.n, cout);
+    }
+}

@@ -1,0 +1,74 @@
+//! Deployment: export the trained decision tree as plain Rust source —
+//! the nested-`if` selection procedure the paper recommends embedding
+//! in compute libraries — and verify the exported procedure agrees with
+//! the in-memory estimator everywhere.
+//!
+//! Run with: `cargo run --release --example codegen_selector`
+
+use autokernel::core::codegen::{emit_rust_source, CompiledTree};
+use autokernel::core::{PipelineConfig, TuningPipeline};
+use autokernel::gemm::GemmShape;
+use autokernel::sim::{DeviceType, Platform};
+use autokernel::workloads::paper_dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Tune on the full 170-shape paper dataset.
+    let shapes: Vec<(GemmShape, String)> = paper_dataset()
+        .into_iter()
+        .flat_map(|net| {
+            net.shapes
+                .into_iter()
+                .map(move |s| (s, net.network.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu)?;
+    let pipeline = TuningPipeline::run(&device, &shapes, PipelineConfig::default())?;
+
+    // Export.
+    let source = pipeline.export_rust()?;
+    println!("==== generated selector ====\n{source}\n============================");
+
+    // Equivalence between the generated procedure and the estimator,
+    // on the dataset and on a sweep of unseen shapes.
+    let compiled = CompiledTree::from_selector(pipeline.selector())?;
+    let mut checked = 0usize;
+    for net in paper_dataset() {
+        for shape in net.shapes {
+            assert_eq!(
+                compiled.select(&shape),
+                pipeline.selector().select_shape(&shape)?,
+                "divergence on {shape}"
+            );
+            checked += 1;
+        }
+    }
+    for m in [1usize, 7, 64, 1000, 50000] {
+        for k in [27usize, 256, 4608] {
+            for n in [16usize, 128, 1000] {
+                let shape = GemmShape::new(m, k, n);
+                assert_eq!(
+                    compiled.select(&shape),
+                    pipeline.selector().select_shape(&shape)?
+                );
+                checked += 1;
+            }
+        }
+    }
+    println!(
+        "\ngenerated selector == estimator on {checked} shapes ({} branches, {} leaves)",
+        compiled.n_branches(),
+        compiled.n_returns()
+    );
+
+    // Demonstrate that the emitted source is also written to disk for
+    // inclusion in a library build.
+    let path = std::env::temp_dir().join("autokernel_generated_selector.rs");
+    std::fs::write(
+        &path,
+        emit_rust_source(&compiled, pipeline.shipped_configs()),
+    )?;
+    println!("selector source written to {}", path.display());
+    Ok(())
+}

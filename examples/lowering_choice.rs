@@ -1,0 +1,107 @@
+//! Choosing the *lowering*, not just the kernel: the paper notes that
+//! convolutions reach GEMM via "transformations such as the im2col and
+//! Winograd". The two lowerings produce wildly different matrix shapes
+//! (im2col: one tall GEMM with K = 9·C; Winograd F(2,3): sixteen small
+//! GEMMs with K = C), so the tuned selector can price a layer both ways
+//! and pick per layer — exactly the decision a library's conv entry
+//! point makes.
+//!
+//! Run with: `cargo run --release --example lowering_choice`
+
+use autokernel::core::{PipelineConfig, TuningPipeline};
+use autokernel::gemm::{model, GemmShape};
+use autokernel::sim::{DeviceType, Platform, Queue};
+use autokernel::workloads::winograd::winograd_gemm;
+use autokernel::workloads::{paper_dataset, vgg16, ConvLayer, Layer};
+
+/// Simulated seconds for one GEMM under the pipeline's selected kernel.
+fn gemm_time(pipeline: &TuningPipeline, queue: &Queue, shape: GemmShape) -> f64 {
+    let cfg = pipeline.select(&shape).expect("selector works");
+    let range = model::launch_range(&cfg, &shape).expect("launchable");
+    let profile = model::profile(&cfg, &shape, queue.device());
+    queue
+        .price(&profile, &range, model::noise_seed(&cfg, &shape))
+        .1
+}
+
+/// Transform overhead: bytes staged to/from memory at DRAM bandwidth.
+fn transform_time(bytes: f64, queue: &Queue) -> f64 {
+    bytes / queue.device().mem_bandwidth
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu)?;
+    let queue = Queue::timing_only(device.clone());
+
+    // Tune once on the paper dataset.
+    let shapes: Vec<_> = paper_dataset()
+        .into_iter()
+        .flat_map(|n| {
+            n.shapes
+                .into_iter()
+                .map(move |s| (s, n.network.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let pipeline = TuningPipeline::run(&device, &shapes, PipelineConfig::default())?;
+
+    let batch = 16usize;
+    println!("VGG-16 3x3 layers at batch {batch} — per-layer lowering choice:\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>10}",
+        "layer (CxHxW -> C')", "im2col ms", "winograd ms", "winner"
+    );
+
+    let mut wino_wins = 0usize;
+    let mut total = 0usize;
+    for layer in vgg16().layers {
+        let Layer::Conv(conv) = layer else { continue };
+        let Some(wino_shape) = winograd_gemm(&conv, batch) else {
+            continue;
+        };
+        let im2col_shape = conv.im2col_gemm(batch).expect("standard conv lowers");
+
+        // im2col: one transform pass (write the patch matrix, read it
+        // back) + one GEMM.
+        let patch_bytes = 4.0 * (im2col_shape.m * im2col_shape.k) as f64;
+        let t_im2col =
+            transform_time(2.0 * patch_bytes, &queue) + gemm_time(&pipeline, &queue, im2col_shape);
+
+        // Winograd: input + output transforms (4 passes over 16 tile
+        // planes) + 16 GEMMs.
+        let plane_bytes = 4.0 * (wino_shape.m * wino_shape.k) as f64;
+        let out_bytes = 4.0 * (wino_shape.m * wino_shape.n) as f64;
+        let t_wino = transform_time(2.0 * 16.0 * plane_bytes + 2.0 * 16.0 * out_bytes, &queue)
+            + 16.0 * gemm_time(&pipeline, &queue, wino_shape);
+
+        let winner = if t_wino < t_im2col {
+            "winograd"
+        } else {
+            "im2col"
+        };
+        if t_wino < t_im2col {
+            wino_wins += 1;
+        }
+        total += 1;
+        println!(
+            "{:<26} {:>12.3} {:>12.3} {:>10}",
+            describe(&conv),
+            t_im2col * 1e3,
+            t_wino * 1e3,
+            winner
+        );
+    }
+    println!(
+        "\nwinograd wins {wino_wins}/{total} layers — the choice is shape-dependent,\n\
+         so it must be made by the same selection machinery as the kernel choice."
+    );
+    Ok(())
+}
+
+fn describe(c: &ConvLayer) -> String {
+    format!(
+        "{}x{}x{} -> {}",
+        c.in_channels, c.input_size, c.input_size, c.out_channels
+    )
+}

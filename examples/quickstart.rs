@@ -1,0 +1,90 @@
+//! Quickstart: the whole pipeline in one sitting.
+//!
+//! 1. Benchmark the 640-kernel configuration space on a handful of GEMM
+//!    shapes (simulated AMD R9 Nano).
+//! 2. Prune to a 6-kernel shipped set with the decision-tree method.
+//! 3. Train a decision-tree runtime selector.
+//! 4. Select a kernel for an unseen shape and actually run it through
+//!    the SYCL-like queue, checking the result against a reference GEMM.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autokernel::core::{PipelineConfig, TuningPipeline};
+use autokernel::gemm::reference::{max_abs_diff, parallel_reference_gemm, test_matrices};
+use autokernel::gemm::{GemmShape, TiledGemmKernel};
+use autokernel::sim::{Buffer, DeviceType, Platform, Queue};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small mixed workload: conv-like (large M), FC-like (tiny M),
+    // and square shapes.
+    let shapes: Vec<(GemmShape, String)> = [
+        (12544, 27, 64),
+        (3136, 144, 24),
+        (784, 1152, 128),
+        (196, 2304, 256),
+        (49, 960, 160),
+        (1, 4096, 1000),
+        (8, 25088, 4096),
+        (64, 64, 64),
+        (512, 512, 512),
+        (1024, 1024, 1024),
+        (32, 4096, 4096),
+        (6272, 576, 128),
+        (2, 2048, 1000),
+        (128, 128, 1000),
+        (25088, 576, 128),
+        (3136, 576, 192),
+    ]
+    .iter()
+    .map(|&(m, k, n)| (GemmShape::new(m, k, n), "demo".to_string()))
+    .collect();
+
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu)?;
+
+    println!("collecting the performance dataset on {} ...", device.name);
+    let pipeline = TuningPipeline::run(&device, &shapes, PipelineConfig::default())?;
+
+    println!(
+        "\nshipped kernel set ({} of 640 configurations):",
+        pipeline.shipped_configs().len()
+    );
+    for cfg in pipeline.shipped_kernel_configs() {
+        println!("  {cfg}");
+    }
+    println!(
+        "\nachievable ceiling on held-out shapes: {:.1}% of optimal",
+        pipeline.achievable_ceiling() * 100.0
+    );
+    println!(
+        "selector score on held-out shapes:     {:.1}% of optimal",
+        pipeline.test_score()? * 100.0
+    );
+
+    // Use the selector on an unseen shape, then actually run the kernel.
+    let unseen = GemmShape::new(300, 700, 120);
+    let chosen = pipeline.select(&unseen)?;
+    println!("\nselected for unseen {unseen}: {chosen}");
+
+    let (a, b) = test_matrices(unseen, 7);
+    let mut expect = vec![0.0f32; unseen.m * unseen.n];
+    parallel_reference_gemm(unseen, &a, &b, &mut expect);
+
+    let (ba, bb) = (Buffer::from_vec(a), Buffer::from_vec(b));
+    let bc = Buffer::from_vec(vec![0.0f32; unseen.m * unseen.n]);
+    let kernel = TiledGemmKernel::new(chosen, unseen, ba, bb, bc.clone())?;
+    let queue = Queue::new(device);
+    let event = queue.submit(&kernel, kernel.preferred_range()?)?;
+
+    let err = max_abs_diff(&bc.to_vec(), &expect);
+    println!(
+        "ran {} in {:.1} simulated us ({:.0} GFLOP/s modelled), max |err| vs reference = {:.2e}",
+        event.kernel_name(),
+        event.duration_s() * 1e6,
+        event.cost().achieved_flops(unseen.flops()) / 1e9,
+        err
+    );
+    assert!(err < 1e-3, "kernel result must match the reference");
+    println!("\nquickstart OK");
+    Ok(())
+}

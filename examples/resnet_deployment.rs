@@ -1,0 +1,78 @@
+//! Domain scenario: shipping a compute library tuned for ResNet-50
+//! inference.
+//!
+//! Extracts every GEMM a ResNet-50 forward pass performs (im2col
+//! lowering), tunes a 6-kernel shipped set on them, and reports the
+//! per-layer performance the deployed library would achieve against the
+//! 640-kernel oracle — plus the library-size saving, which is the whole
+//! point of pruning.
+//!
+//! Run with: `cargo run --release --example resnet_deployment`
+
+use autokernel::core::{PipelineConfig, TuningPipeline};
+use autokernel::gemm::KernelConfig;
+use autokernel::sim::{DeviceType, Platform};
+use autokernel::workloads::{dataset::unique_gemms, resnet50};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = resnet50();
+    let shapes: Vec<_> = unique_gemms(&net, &[1, 4, 16, 32])
+        .into_iter()
+        .map(|s| (s, net.name.clone()))
+        .collect();
+    println!(
+        "{}: {} unique GEMM shapes across batch sizes 1/4/16/32",
+        net.name,
+        shapes.len()
+    );
+
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu)?;
+    let pipeline = TuningPipeline::run(&device, &shapes, PipelineConfig::default())?;
+
+    println!("\nshipped kernels:");
+    for cfg in pipeline.shipped_kernel_configs() {
+        println!("  {cfg}");
+    }
+
+    // Per-layer view over the held-out shapes.
+    let ds = pipeline.dataset();
+    let (_, test) = pipeline.split();
+    println!("\nheld-out layer GEMMs ({}):", test.len());
+    println!(
+        "{:<22} {:>18} {:>12} {:>10}",
+        "shape", "selected", "rel. perf", "GFLOP/s"
+    );
+    for &row in test {
+        let shape = ds.shapes[row];
+        let chosen = pipeline.select(&shape)?;
+        let rel = ds.normalized(row, chosen.index());
+        println!(
+            "{:<22} {:>18} {:>11.1}% {:>10.0}",
+            shape.to_string(),
+            chosen.to_string(),
+            rel * 100.0,
+            ds.gflops(row, chosen.index()),
+        );
+    }
+    println!(
+        "\nselector geomean on held-out layers: {:.1}% of optimal (ceiling {:.1}%)",
+        pipeline.test_score()? * 100.0,
+        pipeline.achievable_ceiling() * 100.0
+    );
+
+    // The library-size argument: 64 compile-time kernels vs the shipped
+    // compile-time variants (work-group shape is a runtime parameter).
+    let shipped_ct: std::collections::BTreeSet<(usize, usize, usize)> = pipeline
+        .shipped_kernel_configs()
+        .iter()
+        .map(|c| (c.tile_rows, c.tile_cols, c.acc_depth))
+        .collect();
+    println!(
+        "\nlibrary size: {} of {} compile-time kernel variants shipped ({}x smaller binary section)",
+        shipped_ct.len(),
+        KernelConfig::compile_time_variants().len(),
+        KernelConfig::compile_time_variants().len() / shipped_ct.len().max(1)
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Beyond brute force: the paper notes its exhaustive 640-point sweep
+//! "is not feasible for more general kernels that have significantly
+//! more parameters", pointing at basin hopping and evolutionary
+//! algorithms (Kernel Tuner). This example tunes one layer's GEMM with
+//! each strategy under a shrinking evaluation budget and shows how much
+//! of the brute-force optimum survives.
+//!
+//! Run with: `cargo run --release --example search_strategies`
+
+use autokernel::gemm::GemmShape;
+use autokernel::sim::DeviceSpec;
+use autokernel::tuner::{
+    BasinHopping, Evolutionary, GemmObjective, HillClimbing, RandomSearch, SearchStrategy,
+};
+
+fn main() {
+    let device = DeviceSpec::amd_r9_nano();
+    // The dominant ResNet layer shape.
+    let shape = GemmShape::new(784, 1152, 128);
+    let reference = GemmObjective::new(&device, shape);
+    let (best_cfg, optimum) = reference.brute_force_best();
+    println!(
+        "shape {shape}: brute-force optimum {best_cfg} at {:.2} us",
+        optimum * 1e6
+    );
+    println!("(brute force costs 640 evaluations)\n");
+
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(RandomSearch),
+        Box::new(HillClimbing),
+        Box::new(BasinHopping::default()),
+        Box::new(Evolutionary::default()),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>18} {:>10} {:>8}",
+        "strategy", "budget", "found", "us", "gap"
+    );
+    for budget in [40usize, 80, 160] {
+        for s in &strategies {
+            let obj = GemmObjective::new(&device, shape);
+            let r = s.tune(&obj, budget, 11);
+            println!(
+                "{:<16} {:>8} {:>18} {:>10.2} {:>7.1}%",
+                s.name(),
+                budget,
+                r.best.to_string(),
+                r.best_value * 1e6,
+                (r.best_value / optimum - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("gap = slowdown of the found configuration vs the brute-force optimum.");
+    println!("With a quarter of the brute-force budget the structured searches land");
+    println!("within a few percent — which is what makes ML-driven pruning viable for");
+    println!("kernels whose parameter spaces cannot be enumerated.");
+}

@@ -1,0 +1,97 @@
+//! Generalisation beyond CNNs: tune a library for a transformer
+//! (BERT-base) and compare the shipped kernel set against the
+//! CNN-trained deployment — attention's square, shallow-K GEMMs want
+//! different kernels than im2col's tall, deep-K ones, so a library
+//! tuned only on CNN shapes leaves performance behind on transformers.
+//!
+//! Run with: `cargo run --release --example transformer_tuning`
+
+use autokernel::core::evaluate::{achievable_score, selection_score};
+use autokernel::core::{PerformanceDataset, PipelineConfig, TuningPipeline};
+use autokernel::gemm::GemmShape;
+use autokernel::sim::{DeviceType, Platform};
+use autokernel::workloads::{bert_base, dataset::unique_gemms, paper_dataset};
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu)?;
+
+    // Transformer shapes: BERT-base at several sequence lengths.
+    let mut bert_shapes: BTreeSet<GemmShape> = BTreeSet::new();
+    for seq in [128usize, 256, 384, 512] {
+        bert_shapes.extend(unique_gemms(&bert_base(seq), &[1]));
+    }
+    let bert_tagged: Vec<(GemmShape, String)> = bert_shapes
+        .iter()
+        .map(|&s| (s, "BERT".to_string()))
+        .collect();
+    println!(
+        "BERT workload: {} unique GEMM shapes (seq 128..512)",
+        bert_tagged.len()
+    );
+
+    // Pipeline A: tuned on the transformer shapes themselves.
+    let bert_pipeline = TuningPipeline::run(&device, &bert_tagged, PipelineConfig::default())?;
+    println!("\ntuned-on-BERT shipped kernels:");
+    for cfg in bert_pipeline.shipped_kernel_configs() {
+        println!("  {cfg}");
+    }
+    println!(
+        "held-out: selector {:.1}% (ceiling {:.1}%)",
+        bert_pipeline.test_score()? * 100.0,
+        bert_pipeline.achievable_ceiling() * 100.0
+    );
+
+    // Pipeline B: the CNN deployment (paper dataset), evaluated on BERT.
+    let cnn_tagged: Vec<(GemmShape, String)> = paper_dataset()
+        .into_iter()
+        .flat_map(|n| {
+            n.shapes
+                .into_iter()
+                .map(move |s| (s, n.network.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let cnn_pipeline = TuningPipeline::run(&device, &cnn_tagged, PipelineConfig::default())?;
+
+    // Score both shipped sets against the BERT ground truth.
+    let bert_ds = PerformanceDataset::collect(&device, &bert_tagged)?;
+    let rows: Vec<usize> = (0..bert_ds.n_shapes()).collect();
+    let bert_set = achievable_score(&bert_ds, &rows, bert_pipeline.shipped_configs());
+    let cnn_set = achievable_score(&bert_ds, &rows, cnn_pipeline.shipped_configs());
+    let cnn_selected: Vec<usize> = rows
+        .iter()
+        .map(|&i| cnn_pipeline.select(&bert_ds.shapes[i]).map(|c| c.index()))
+        .collect::<Result<_, _>>()?;
+    let cnn_sel_score = selection_score(&bert_ds, &rows, &cnn_selected);
+
+    println!("\non the BERT shapes (all {} of them):", rows.len());
+    println!(
+        "  BERT-tuned kernel set, oracle:  {:.1}% of optimal",
+        bert_set * 100.0
+    );
+    println!(
+        "  CNN-tuned kernel set,  oracle:  {:.1}% of optimal",
+        cnn_set * 100.0
+    );
+    println!(
+        "  CNN-tuned selector, end-to-end: {:.1}% of optimal",
+        cnn_sel_score * 100.0
+    );
+
+    let overlap: BTreeSet<usize> = bert_pipeline
+        .shipped_configs()
+        .iter()
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .intersection(&cnn_pipeline.shipped_configs().iter().copied().collect())
+        .copied()
+        .collect();
+    println!(
+        "\nshipped-set overlap CNN vs BERT: {}/{} kernels — retuning per workload domain matters.",
+        overlap.len(),
+        bert_pipeline.shipped_configs().len()
+    );
+    Ok(())
+}

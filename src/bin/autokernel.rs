@@ -1,0 +1,245 @@
+//! `autokernel` — command-line front end for the tuning pipeline.
+//!
+//! ```text
+//! autokernel dataset [--device <name>] [--out <file>]
+//!     collect the 170-shape paper dataset and write it as JSON
+//! autokernel tune [--device <name>] [--budget <n>] [--prune <method>]
+//!                 [--selector <kind>] [--export <file>] [--save-tree <file>]
+//!     run the full pipeline and report scores
+//! autokernel inspect [--device <name>]
+//!     print the Figure 2 / Figure 3 structure headlines
+//! autokernel devices
+//!     list the simulated devices
+//! ```
+
+use autokernel::core::codegen::CompiledTree;
+use autokernel::core::{
+    PerformanceDataset, PipelineConfig, PruneMethod, SelectorKind, TuningPipeline,
+};
+use autokernel::mlkit::Pca;
+use autokernel::sim::{DeviceSpec, Platform};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .clone();
+        flags.insert(key.to_string(), value);
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn device_by_flag(flags: &HashMap<String, String>) -> Result<DeviceSpec, String> {
+    let name = flags.get("device").map(String::as_str).unwrap_or("nano");
+    Platform::standard()
+        .device_by_name(name)
+        .map(|d| (*d).clone())
+        .map_err(|_| format!("unknown device '{name}' (try: nano, desktop, embedded, cpu)"))
+}
+
+fn prune_by_name(name: &str) -> Result<PruneMethod, String> {
+    Ok(match name {
+        "topn" => PruneMethod::TopN,
+        "kmeans" => PruneMethod::KMeans,
+        "pca-kmeans" => PruneMethod::PcaKMeans,
+        "hdbscan" => PruneMethod::Hdbscan,
+        "tree" => PruneMethod::DecisionTree,
+        other => {
+            return Err(format!(
+                "unknown prune method '{other}' (topn|kmeans|pca-kmeans|hdbscan|tree)"
+            ))
+        }
+    })
+}
+
+fn selector_by_name(name: &str) -> Result<SelectorKind, String> {
+    Ok(match name {
+        "tree" => SelectorKind::DecisionTree,
+        "forest" => SelectorKind::RandomForest,
+        "1nn" => SelectorKind::OneNearestNeighbor,
+        "3nn" => SelectorKind::ThreeNearestNeighbors,
+        "linear-svm" => SelectorKind::LinearSvm,
+        "radial-svm" => SelectorKind::RadialSvm,
+        other => {
+            return Err(format!(
+                "unknown selector '{other}' (tree|forest|1nn|3nn|linear-svm|radial-svm)"
+            ))
+        }
+    })
+}
+
+fn cmd_dataset(flags: HashMap<String, String>) -> Result<(), String> {
+    let device = device_by_flag(&flags)?;
+    eprintln!("collecting 170 x 640 dataset on {} ...", device.name);
+    let ds = PerformanceDataset::collect_paper_dataset(&device).map_err(|e| e.to_string())?;
+    let json = ds.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} bytes to {path}", json.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_tune(flags: HashMap<String, String>) -> Result<(), String> {
+    let device = device_by_flag(&flags)?;
+    let config = PipelineConfig {
+        budget: flags
+            .get("budget")
+            .map(|b| b.parse::<usize>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(6),
+        prune: prune_by_name(flags.get("prune").map(String::as_str).unwrap_or("tree"))?,
+        selector: selector_by_name(flags.get("selector").map(String::as_str).unwrap_or("tree"))?,
+        ..PipelineConfig::default()
+    };
+
+    eprintln!(
+        "tuning on {} (budget {}, prune {}, selector {}) ...",
+        device.name,
+        config.budget,
+        config.prune.name(),
+        config.selector.name()
+    );
+    let shapes: Vec<_> = autokernel::workloads::paper_dataset()
+        .into_iter()
+        .flat_map(|n| {
+            n.shapes
+                .into_iter()
+                .map(move |s| (s, n.network.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let pipeline = TuningPipeline::run(&device, &shapes, config).map_err(|e| e.to_string())?;
+
+    println!("shipped kernels ({}):", pipeline.shipped_configs().len());
+    for cfg in pipeline.shipped_kernel_configs() {
+        println!("  {cfg}");
+    }
+    println!(
+        "held-out ceiling:  {:.2}%",
+        pipeline.achievable_ceiling() * 100.0
+    );
+    println!(
+        "held-out selector: {:.2}%",
+        pipeline.test_score().map_err(|e| e.to_string())? * 100.0
+    );
+
+    if let Some(path) = flags.get("export") {
+        let src = pipeline.export_rust().map_err(|e| e.to_string())?;
+        std::fs::write(path, src).map_err(|e| e.to_string())?;
+        eprintln!("nested-if selector source written to {path}");
+    }
+    if let Some(path) = flags.get("report") {
+        let md = autokernel::core::report::markdown_report(&pipeline).map_err(|e| e.to_string())?;
+        std::fs::write(path, md).map_err(|e| e.to_string())?;
+        eprintln!("markdown report written to {path}");
+    }
+    if let Some(path) = flags.get("save-tree") {
+        let tree = CompiledTree::from_selector(pipeline.selector()).map_err(|e| e.to_string())?;
+        std::fs::write(path, tree.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("compiled tree written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(flags: HashMap<String, String>) -> Result<(), String> {
+    let device = device_by_flag(&flags)?;
+    let ds = PerformanceDataset::collect_paper_dataset(&device).map_err(|e| e.to_string())?;
+    let counts = ds.optimal_counts();
+    let mut nz: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
+    nz.sort_unstable_by(|a, b| b.cmp(a));
+    println!("device:            {}", device.name);
+    println!("shapes x configs:  {} x {}", ds.n_shapes(), ds.n_configs());
+    println!("distinct optima:   {}", nz.len());
+    println!(
+        "dominant config:   {} wins ({:.1}x runner-up)",
+        nz[0],
+        nz[0] as f64 / nz.get(1).copied().unwrap_or(1).max(1) as f64
+    );
+    let mut pca = Pca::new(20);
+    pca.fit(&ds.normalized_matrix())
+        .map_err(|e| e.to_string())?;
+    let mut cum = 0.0;
+    let ratios = pca.explained_variance_ratio().map_err(|e| e.to_string())?;
+    for threshold in [0.80, 0.90, 0.95] {
+        let mut needed = ratios.len();
+        cum = 0.0;
+        for (i, r) in ratios.iter().enumerate() {
+            cum += r;
+            if cum >= threshold {
+                needed = i + 1;
+                break;
+            }
+        }
+        println!(
+            "PCA {:.0}% variance: {} components",
+            threshold * 100.0,
+            needed
+        );
+    }
+    let _ = cum;
+    Ok(())
+}
+
+fn cmd_devices() {
+    for d in Platform::standard().devices() {
+        println!(
+            "{:<34} {:?}  {} CUs x {}-wide waves, {:.1} TFLOP/s, {:.0} GB/s",
+            d.name,
+            d.device_type,
+            d.compute_units,
+            d.wave_width,
+            d.peak_flops / 1e12,
+            d.mem_bandwidth / 1e9
+        );
+    }
+}
+
+const USAGE: &str = "usage: autokernel <dataset|tune|inspect|devices> [--flag value ...]
+  dataset   --device <nano|desktop|embedded|cpu>  --out <file>
+  tune      --device <...> --budget <n> --prune <topn|kmeans|pca-kmeans|hdbscan|tree>
+            --selector <tree|forest|1nn|3nn|linear-svm|radial-svm>
+            --export <file.rs> --save-tree <file.json> --report <file.md>
+  inspect   --device <...>
+  devices";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "dataset" => parse_flags(&args[1..]).and_then(cmd_dataset),
+        "tune" => parse_flags(&args[1..]).and_then(cmd_tune),
+        "inspect" => parse_flags(&args[1..]).and_then(cmd_inspect),
+        "devices" => {
+            cmd_devices();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # autokernel
+//!
+//! Umbrella crate for the automated-kernel-selection study: re-exports the
+//! public API of every sub-crate so examples and downstream users can
+//! depend on a single crate.
+//!
+//! - [`core`] — the selection pipeline (dataset, pruning, selection,
+//!   deployment codegen).
+//! - [`sim`] — the SYCL-like runtime and device performance models.
+//! - [`gemm`] — the tiled GEMM kernel family.
+//! - [`workloads`] — neural-network workloads and their GEMM lowering.
+//! - [`mlkit`] — the from-scratch machine-learning toolkit.
+//! - [`tuner`] — search strategies (random, hill climbing, basin
+//!   hopping, evolutionary) for spaces too large to brute-force.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use autokernel_core as core;
+pub use autokernel_gemm as gemm;
+pub use autokernel_mlkit as mlkit;
+pub use autokernel_sycl_sim as sim;
+pub use autokernel_tuner as tuner;
+pub use autokernel_workloads as workloads;

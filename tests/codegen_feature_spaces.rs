@@ -1,0 +1,96 @@
+//! Deployment codegen must be faithful in *both* feature spaces: the
+//! compiled nested-`if` tree and the emitted source embed either the raw
+//! sizes or the standardisation constants, and each must agree with its
+//! estimator everywhere.
+
+use autokernel::core::codegen::{emit_rust_source, CompiledTree};
+use autokernel::core::select::{FeatureSpace, Selector};
+use autokernel::core::{PerformanceDataset, PruneMethod};
+use autokernel::gemm::GemmShape;
+use autokernel::sim::DeviceSpec;
+
+fn dataset() -> PerformanceDataset {
+    let shapes: Vec<(GemmShape, String)> = [
+        (64, 64, 64),
+        (512, 512, 512),
+        (1, 4096, 1000),
+        (12544, 27, 64),
+        (196, 2304, 256),
+        (3136, 144, 24),
+        (49, 960, 160),
+        (784, 1152, 128),
+        (32, 4096, 4096),
+        (2, 2048, 1000),
+        (6272, 576, 128),
+        (1024, 1024, 1024),
+    ]
+    .iter()
+    .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+    .collect();
+    PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap()
+}
+
+fn probe_grid() -> Vec<GemmShape> {
+    let mut shapes = Vec::new();
+    for m in [1usize, 5, 100, 3000, 80000] {
+        for k in [1usize, 27, 1000, 9216] {
+            for n in [1usize, 64, 1000] {
+                shapes.push(GemmShape::new(m, k, n));
+            }
+        }
+    }
+    shapes
+}
+
+#[test]
+fn compiled_tree_faithful_in_both_feature_spaces() {
+    let ds = dataset();
+    let train: Vec<usize> = (0..ds.n_shapes()).collect();
+    let configs = PruneMethod::DecisionTree.select(&ds, &train, 5, 3).unwrap();
+    for space in [FeatureSpace::RawSizes, FeatureSpace::ScaledLog] {
+        let sel = Selector::train_in_space(
+            autokernel::core::SelectorKind::DecisionTree,
+            &ds,
+            &train,
+            &configs,
+            3,
+            space,
+        )
+        .unwrap();
+        let compiled = CompiledTree::from_selector(&sel).unwrap();
+        for shape in probe_grid() {
+            assert_eq!(
+                compiled.select(&shape),
+                sel.select_shape(&shape).unwrap(),
+                "{space:?} divergence on {shape}"
+            );
+        }
+        // The emitted source reflects the space: log2 appears only for
+        // the scaled variant.
+        let src = emit_rust_source(&compiled, &configs);
+        match space {
+            FeatureSpace::RawSizes => assert!(!src.contains("log2")),
+            FeatureSpace::ScaledLog => assert!(src.contains("log2")),
+        }
+    }
+}
+
+#[test]
+fn persisted_tree_stays_faithful_after_reload() {
+    let ds = dataset();
+    let train: Vec<usize> = (0..ds.n_shapes()).collect();
+    let configs = PruneMethod::KMeans.select(&ds, &train, 4, 9).unwrap();
+    let sel = Selector::train(
+        autokernel::core::SelectorKind::DecisionTree,
+        &ds,
+        &train,
+        &configs,
+        9,
+    )
+    .unwrap();
+    let compiled = CompiledTree::from_selector(&sel).unwrap();
+    let reloaded = CompiledTree::from_json(&compiled.to_json()).unwrap();
+    for shape in probe_grid() {
+        assert_eq!(reloaded.select(&shape), sel.select_shape(&shape).unwrap());
+    }
+}

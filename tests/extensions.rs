@@ -1,0 +1,168 @@
+//! Integration tests for the beyond-the-paper extensions: feature-space
+//! ablation, regression selection, cross-validation, search strategies
+//! and the Winograd lowering — each asserting the finding its bench
+//! target reports.
+
+use autokernel::core::crossval::{cross_validate_pruning, cross_validate_selector};
+use autokernel::core::evaluate::selection_score;
+use autokernel::core::regression::{RegressionParams, RegressionSelector};
+use autokernel::core::select::{FeatureSpace, Selector};
+use autokernel::core::{PerformanceDataset, PruneMethod, SelectorKind};
+use autokernel::mlkit::model_selection::train_test_split;
+use autokernel::sim::DeviceSpec;
+use autokernel::tuner::{BasinHopping, GemmObjective, HillClimbing, Objective, SearchStrategy};
+use autokernel::workloads::conv::{direct_conv, input_len, output_len, weight_len};
+use autokernel::workloads::winograd::winograd_conv;
+use autokernel::workloads::ConvLayer;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static PerformanceDataset {
+    static DS: OnceLock<PerformanceDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        PerformanceDataset::collect_paper_dataset(&DeviceSpec::amd_r9_nano())
+            .expect("dataset collects")
+    })
+}
+
+#[test]
+fn scaling_rescues_the_rbf_svm_but_not_the_tree() {
+    let ds = dataset();
+    let split = train_test_split(ds.n_shapes(), 0.2, 42);
+    let configs = PruneMethod::DecisionTree
+        .select(ds, &split.train, 8, 7)
+        .unwrap();
+
+    let score = |kind: SelectorKind, space: FeatureSpace| {
+        let sel = Selector::train_in_space(kind, ds, &split.train, &configs, 7, space).unwrap();
+        selection_score(ds, &split.test, &sel.select_rows(ds, &split.test).unwrap())
+    };
+
+    let rbf_raw = score(SelectorKind::RadialSvm, FeatureSpace::RawSizes);
+    let rbf_scaled = score(SelectorKind::RadialSvm, FeatureSpace::ScaledLog);
+    assert!(
+        rbf_scaled > rbf_raw + 0.15,
+        "scaling should rescue the RBF SVM: {rbf_raw:.3} -> {rbf_scaled:.3}"
+    );
+
+    let tree_raw = score(SelectorKind::DecisionTree, FeatureSpace::RawSizes);
+    let tree_scaled = score(SelectorKind::DecisionTree, FeatureSpace::ScaledLog);
+    assert!(
+        (tree_raw - tree_scaled).abs() < 1e-9,
+        "trees are invariant to monotone transforms: {tree_raw:.6} vs {tree_scaled:.6}"
+    );
+}
+
+#[test]
+fn regression_selection_is_competitive_with_classification() {
+    let ds = dataset();
+    let split = train_test_split(ds.n_shapes(), 0.2, 42);
+    let configs = PruneMethod::DecisionTree
+        .select(ds, &split.train, 8, 7)
+        .unwrap();
+
+    let clf = Selector::train(SelectorKind::DecisionTree, ds, &split.train, &configs, 7).unwrap();
+    let clf_score = selection_score(ds, &split.test, &clf.select_rows(ds, &split.test).unwrap());
+
+    let reg =
+        RegressionSelector::train(ds, &split.train, &configs, RegressionParams::default()).unwrap();
+    let reg_score = selection_score(ds, &split.test, &reg.select_rows(ds, &split.test).unwrap());
+
+    assert!(
+        reg_score > clf_score - 0.03,
+        "regression ({reg_score:.3}) should be competitive with classification ({clf_score:.3})"
+    );
+}
+
+#[test]
+fn cross_validation_confirms_the_figure4_ordering() {
+    // Across folds, clustering-based pruning beats top-N at budget 5.
+    let ds = dataset();
+    let tree = cross_validate_pruning(ds, PruneMethod::DecisionTree, 5, 5, 3).unwrap();
+    let topn = cross_validate_pruning(ds, PruneMethod::TopN, 5, 5, 3).unwrap();
+    assert!(
+        tree.mean > topn.mean + 0.05,
+        "tree CV mean {:.3} should beat top-N {:.3}",
+        tree.mean,
+        topn.mean
+    );
+    // And the end-to-end selector CV stays below the pruning ceiling.
+    let sel = cross_validate_selector(
+        ds,
+        PruneMethod::DecisionTree,
+        SelectorKind::DecisionTree,
+        5,
+        5,
+        3,
+    )
+    .unwrap();
+    assert!(sel.mean <= tree.mean + 1e-9);
+    assert!(
+        sel.mean > 0.5,
+        "selector CV mean {:.3} suspiciously low",
+        sel.mean
+    );
+}
+
+#[test]
+fn structured_search_recovers_the_brute_force_optimum_cheaply() {
+    let device = DeviceSpec::amd_r9_nano();
+    let shapes = [
+        autokernel::gemm::GemmShape::new(784, 1152, 128),
+        autokernel::gemm::GemmShape::new(12544, 27, 64),
+    ];
+    for shape in shapes {
+        let reference = GemmObjective::new(&device, shape);
+        let (_, optimum) = reference.brute_force_best();
+        for strategy in [
+            &HillClimbing as &dyn SearchStrategy,
+            &BasinHopping::default(),
+        ] {
+            let obj = GemmObjective::new(&device, shape);
+            let r = strategy.tune(&obj, 200, 13);
+            assert!(
+                r.best_value <= optimum * 1.10,
+                "{} on {shape}: {:.3}x off the optimum",
+                strategy.name(),
+                r.best_value / optimum
+            );
+            assert!(obj.evaluations() <= 200);
+        }
+    }
+}
+
+#[test]
+fn winograd_lowering_is_numerically_equivalent_in_the_full_stack() {
+    // A ResNet-like 3x3 layer: direct convolution vs the Winograd path.
+    let layer = ConvLayer::standard(8, 16, 3, 1, 1, 14);
+    let batch = 2;
+    let input: Vec<f32> = (0..input_len(&layer, batch))
+        .map(|i| ((i % 17) as f32 - 8.0) / 8.0)
+        .collect();
+    let weights: Vec<f32> = (0..weight_len(&layer))
+        .map(|i| ((i % 13) as f32 - 6.0) / 13.0)
+        .collect();
+    let mut direct = vec![0.0f32; output_len(&layer, batch)];
+    let mut wino = vec![0.0f32; output_len(&layer, batch)];
+    direct_conv(&layer, batch, &input, &weights, &mut direct);
+    winograd_conv(&layer, batch, &input, &weights, &mut wino);
+    let err = direct
+        .iter()
+        .zip(&wino)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(err < 1e-3, "winograd disagrees with direct conv: {err}");
+}
+
+#[test]
+fn library_size_report_reflects_actual_pruning() {
+    use autokernel::core::libsize::LibrarySizeModel;
+    let ds = dataset();
+    let split = train_test_split(ds.n_shapes(), 0.2, 42);
+    let configs = PruneMethod::DecisionTree
+        .select(ds, &split.train, 6, 7)
+        .unwrap();
+    let report = LibrarySizeModel::default().report(&configs);
+    assert_eq!(report.full_variants, 64);
+    assert!(report.shipped_variants <= configs.len());
+    assert!(report.kernel_section_shrink() >= 64.0 / 6.0);
+}

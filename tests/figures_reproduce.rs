@@ -1,0 +1,199 @@
+//! Integration tests asserting the comparative findings of Figure 4 and
+//! Table I hold on the regenerated dataset: who wins, by roughly what
+//! factor, and where the crossovers fall.
+
+use autokernel::core::evaluate::{achievable_score, selection_score};
+use autokernel::core::select::Selector;
+use autokernel::core::{PerformanceDataset, PruneMethod, SelectorKind};
+use autokernel::mlkit::model_selection::train_test_split;
+use autokernel::sim::DeviceSpec;
+use std::sync::OnceLock;
+
+const SEED: u64 = 42;
+
+fn dataset() -> &'static PerformanceDataset {
+    static DS: OnceLock<PerformanceDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        PerformanceDataset::collect_paper_dataset(&DeviceSpec::amd_r9_nano())
+            .expect("dataset collects")
+    })
+}
+
+fn split() -> (Vec<usize>, Vec<usize>) {
+    let s = train_test_split(dataset().n_shapes(), 0.2, SEED);
+    (s.train, s.test)
+}
+
+#[test]
+fn fig4_clustering_beats_naive_at_small_budgets() {
+    // Paper: "when the number of configurations is very limited, the
+    // clustering methods all perform significantly better than the
+    // naive method".
+    let ds = dataset();
+    let (train, test) = split();
+    for budget in [4usize, 5] {
+        let naive = achievable_score(
+            ds,
+            &test,
+            &PruneMethod::TopN.select(ds, &train, budget, 7).unwrap(),
+        );
+        for method in [
+            PruneMethod::KMeans,
+            PruneMethod::PcaKMeans,
+            PruneMethod::DecisionTree,
+        ] {
+            let s = achievable_score(ds, &test, &method.select(ds, &train, budget, 7).unwrap());
+            assert!(
+                s > naive + 0.05,
+                "{} ({s:.3}) should clearly beat top-N ({naive:.3}) at budget {budget}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_all_methods_reach_90_percent_by_budget_15() {
+    // Paper: "as more configurations were allowed all techniques
+    // improved, achieving around 95% of the optimal performance".
+    let ds = dataset();
+    let (train, test) = split();
+    for method in PruneMethod::all() {
+        let s = achievable_score(ds, &test, &method.select(ds, &train, 15, 7).unwrap());
+        assert!(
+            s > 0.90,
+            "{} only reaches {s:.3} at budget 15",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn fig4_decision_tree_wins_from_budget_6() {
+    // Paper: "the decision tree consistently provided the best results
+    // when 6 or more kernel configurations were allowed" — allow a
+    // small tolerance for near-ties.
+    let ds = dataset();
+    let (train, test) = split();
+    for budget in [6usize, 8, 10, 15] {
+        let tree = achievable_score(
+            ds,
+            &test,
+            &PruneMethod::DecisionTree
+                .select(ds, &train, budget, 7)
+                .unwrap(),
+        );
+        for method in PruneMethod::all() {
+            let s = achievable_score(ds, &test, &method.select(ds, &train, budget, 7).unwrap());
+            assert!(
+                tree >= s - 0.025,
+                "at budget {budget} {} ({s:.3}) beats the tree ({tree:.3}) by too much",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_decision_tree_peak_is_around_96_percent() {
+    // Paper's best case: 96.6% of optimal.
+    let ds = dataset();
+    let (train, test) = split();
+    let peak = (4..=15)
+        .map(|b| {
+            achievable_score(
+                ds,
+                &test,
+                &PruneMethod::DecisionTree.select(ds, &train, b, 7).unwrap(),
+            )
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        (0.93..=1.0).contains(&peak),
+        "tree peak {peak:.3} outside the 0.93..1.0 band"
+    );
+}
+
+#[test]
+fn table1_no_classifier_reaches_its_ceiling() {
+    // Paper: ceilings 93-96.6% but no model achieves over 89%.
+    let ds = dataset();
+    let (train, test) = split();
+    for budget in [6usize, 8] {
+        let configs = PruneMethod::DecisionTree
+            .select(ds, &train, budget, 7)
+            .unwrap();
+        let ceiling = achievable_score(ds, &test, &configs);
+        for kind in SelectorKind::all() {
+            let sel = Selector::train(kind, ds, &train, &configs, 7).unwrap();
+            let chosen = sel.select_rows(ds, &test).unwrap();
+            let score = selection_score(ds, &test, &chosen);
+            assert!(
+                score <= ceiling + 1e-9,
+                "{} ({score:.3}) exceeds the ceiling ({ceiling:.3})",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_radial_svm_collapses() {
+    // Paper: RadialSVM sits at ~55% for every budget — the collapse of
+    // an unscaled RBF kernel. Ours lands in the same regime (constant,
+    // far below the tree).
+    let ds = dataset();
+    let (train, test) = split();
+    let mut scores = Vec::new();
+    for budget in [5usize, 6, 8, 15] {
+        let configs = PruneMethod::DecisionTree
+            .select(ds, &train, budget, 7)
+            .unwrap();
+        let sel = Selector::train(SelectorKind::RadialSvm, ds, &train, &configs, 7).unwrap();
+        let chosen = sel.select_rows(ds, &test).unwrap();
+        scores.push(selection_score(ds, &test, &chosen));
+    }
+    for s in &scores {
+        assert!(*s < 0.75, "radial SVM should collapse, got {s:.3}");
+    }
+    // Near-constant across budgets (the paper shows 54.95/55.01/55.01/55.01).
+    let spread = scores.iter().cloned().fold(0.0f64, f64::max)
+        - scores.iter().cloned().fold(1.0f64, f64::min);
+    assert!(
+        spread < 0.05,
+        "collapse should be budget-independent, spread {spread:.3}"
+    );
+}
+
+#[test]
+fn table1_decision_tree_beats_knn_and_svms() {
+    // Paper's ordering: the tree outperforms or matches everything
+    // except (sometimes) the forest.
+    let ds = dataset();
+    let (train, test) = split();
+    let configs = PruneMethod::DecisionTree.select(ds, &train, 8, 7).unwrap();
+    let score = |kind: SelectorKind| {
+        let sel = Selector::train(kind, ds, &train, &configs, 7).unwrap();
+        selection_score(ds, &test, &sel.select_rows(ds, &test).unwrap())
+    };
+    let tree = score(SelectorKind::DecisionTree);
+    for kind in [
+        SelectorKind::OneNearestNeighbor,
+        SelectorKind::ThreeNearestNeighbors,
+        SelectorKind::LinearSvm,
+        SelectorKind::RadialSvm,
+    ] {
+        let s = score(kind);
+        assert!(
+            tree >= s - 0.01,
+            "{} ({s:.3}) beats the tree ({tree:.3})",
+            kind.name()
+        );
+    }
+    // And the forest is at least in the same league.
+    let forest = score(SelectorKind::RandomForest);
+    assert!(
+        (tree - forest).abs() < 0.05,
+        "tree {tree:.3} vs forest {forest:.3}"
+    );
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration tests of the tuning pipeline, the deployment
+//! codegen and the dynamic-autotuner baseline, spanning every crate.
+
+use autokernel::core::autotune::DynamicAutotuner;
+use autokernel::core::codegen::CompiledTree;
+use autokernel::core::{PipelineConfig, PruneMethod, SelectorKind, TuningPipeline};
+use autokernel::gemm::reference::{max_abs_diff, parallel_reference_gemm, test_matrices};
+use autokernel::gemm::{GemmShape, TiledGemmKernel};
+use autokernel::sim::{Buffer, DeviceSpec, DeviceType, Platform, Queue};
+
+fn demo_shapes() -> Vec<(GemmShape, String)> {
+    [
+        (12544, 27, 64),
+        (3136, 144, 24),
+        (784, 1152, 128),
+        (196, 2304, 256),
+        (49, 960, 160),
+        (1, 4096, 1000),
+        (8, 25088, 4096),
+        (64, 64, 64),
+        (512, 512, 512),
+        (1024, 1024, 1024),
+        (32, 4096, 4096),
+        (6272, 576, 128),
+        (2, 2048, 1000),
+        (128, 128, 1000),
+        (25088, 576, 128),
+        (3136, 576, 192),
+        (16, 9216, 4096),
+        (100352, 27, 64),
+        (392, 4608, 512),
+        (196, 512, 2048),
+    ]
+    .iter()
+    .map(|&(m, k, n)| (GemmShape::new(m, k, n), "demo".to_string()))
+    .collect()
+}
+
+#[test]
+fn pipeline_select_then_execute_matches_reference() {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    let pipeline = TuningPipeline::run(&device, &demo_shapes(), PipelineConfig::default()).unwrap();
+
+    let unseen = GemmShape::new(123, 456, 78);
+    let cfg = pipeline.select(&unseen).unwrap();
+    assert!(pipeline.shipped_kernel_configs().contains(&cfg));
+
+    let (a, b) = test_matrices(unseen, 3);
+    let mut expect = vec![0.0f32; unseen.m * unseen.n];
+    parallel_reference_gemm(unseen, &a, &b, &mut expect);
+
+    let bc = Buffer::from_vec(vec![0.0f32; unseen.m * unseen.n]);
+    let kernel = TiledGemmKernel::new(
+        cfg,
+        unseen,
+        Buffer::from_vec(a),
+        Buffer::from_vec(b),
+        bc.clone(),
+    )
+    .unwrap();
+    let queue = Queue::new(device);
+    let event = queue
+        .submit(&kernel, kernel.preferred_range().unwrap())
+        .unwrap();
+    assert!(event.duration_s() > 0.0);
+    assert!(max_abs_diff(&bc.to_vec(), &expect) < 1e-3);
+}
+
+#[test]
+fn compiled_selector_equals_estimator_on_a_shape_grid() {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    let pipeline = TuningPipeline::run(&device, &demo_shapes(), PipelineConfig::default()).unwrap();
+    let compiled = CompiledTree::from_selector(pipeline.selector()).unwrap();
+    for m in [1usize, 3, 64, 500, 12544, 200000] {
+        for k in [1usize, 27, 576, 4096] {
+            for n in [1usize, 24, 512, 4096] {
+                let shape = GemmShape::new(m, k, n);
+                assert_eq!(
+                    compiled.select(&shape),
+                    pipeline.selector().select_shape(&shape).unwrap(),
+                    "divergence on {shape}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_prune_method_and_selector_combination_runs() {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    for prune in PruneMethod::all() {
+        for selector in [SelectorKind::DecisionTree, SelectorKind::OneNearestNeighbor] {
+            let pipeline = TuningPipeline::run(
+                &device,
+                &demo_shapes(),
+                PipelineConfig {
+                    budget: 5,
+                    prune,
+                    selector,
+                    ..PipelineConfig::default()
+                },
+            )
+            .unwrap();
+            let score = pipeline.test_score().unwrap();
+            let ceiling = pipeline.achievable_ceiling();
+            assert!(
+                score > 0.0 && score <= ceiling + 1e-12,
+                "{} + {}: score {score} ceiling {ceiling}",
+                prune.name(),
+                selector.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn autotuner_converges_to_dataset_best() {
+    // The dynamic autotuner's cached choice must equal the dataset's
+    // per-shape argmin (they price launches identically).
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    let ds = autokernel::core::PerformanceDataset::collect(&device, &demo_shapes()).unwrap();
+    let mut at = DynamicAutotuner::new(&device, vec![]);
+    for (i, shape) in ds.shapes.iter().enumerate() {
+        let decision = at.decide(*shape);
+        assert_eq!(decision.config, ds.best_config(i), "shape {shape}");
+    }
+}
+
+#[test]
+fn pruned_autotuner_trials_cost_less_than_full() {
+    let platform = Platform::standard();
+    let device = platform.device_by_type(DeviceType::Gpu).unwrap();
+    let pipeline = TuningPipeline::run(
+        &device,
+        &demo_shapes(),
+        PipelineConfig {
+            budget: 8,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let shape = GemmShape::new(777, 333, 111);
+    let mut full = DynamicAutotuner::new(&device, vec![]);
+    let mut pruned = DynamicAutotuner::new(&device, pipeline.shipped_configs().to_vec());
+    let d_full = full.decide(shape);
+    let d_pruned = pruned.decide(shape);
+    assert!(d_pruned.trial_cost_s < d_full.trial_cost_s / 10.0);
+}
+
+#[test]
+fn dataset_round_trips_through_json() {
+    let device = DeviceSpec::amd_r9_nano();
+    let ds = autokernel::core::PerformanceDataset::collect(&device, &demo_shapes()[..4]).unwrap();
+    let back = autokernel::core::PerformanceDataset::from_json(&ds.to_json()).unwrap();
+    assert_eq!(back.shapes, ds.shapes);
+    for i in 0..ds.n_shapes() {
+        for j in (0..ds.n_configs()).step_by(97) {
+            let (a, b) = (back.raw_seconds(i, j), ds.raw_seconds(i, j));
+            // serde_json's float path may be off by one ULP.
+            assert!((a - b).abs() <= a.abs() * 1e-14, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_works_on_every_standard_device() {
+    let platform = Platform::standard();
+    for device in platform.devices() {
+        let pipeline =
+            TuningPipeline::run(device, &demo_shapes(), PipelineConfig::default()).unwrap();
+        let score = pipeline.test_score().unwrap();
+        assert!(score > 0.3, "{}: score {score}", device.name);
+    }
+}
