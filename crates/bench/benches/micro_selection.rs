@@ -6,15 +6,22 @@
 //!
 //! Compares the cost of one selection decision across classifier
 //! families, plus the compiled (nested-`if`) decision tree a library
-//! would actually ship.
+//! would actually ship, and the serving layer on top: the sharded
+//! decision cache (`selection_cache` group, warm-hit vs model
+//! inference — the headline is the cached/uncached ratio printed after
+//! the group) and parallel batch throughput (`selection_throughput`
+//! group, decisions/second via `Throughput::Elements`).
 
 use autokernel_bench::{paper_dataset, standard_split, MODEL_SEED};
+use autokernel_core::cache::CachedSelector;
 use autokernel_core::codegen::CompiledTree;
 use autokernel_core::select::Selector;
 use autokernel_core::{PruneMethod, SelectorKind};
 use autokernel_gemm::GemmShape;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn bench_selection_latency(c: &mut Criterion) {
     let ds = paper_dataset();
@@ -53,9 +60,104 @@ fn bench_selection_latency(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_selection_cache(c: &mut Criterion) {
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let configs = PruneMethod::DecisionTree
+        .select(&ds, &split.train, 8, MODEL_SEED)
+        .unwrap();
+    // The forest is the most expensive model to consult — the regime
+    // where caching pays the most.
+    let sel = Arc::new(
+        Selector::train(
+            SelectorKind::RandomForest,
+            &ds,
+            &split.train,
+            &configs,
+            MODEL_SEED,
+        )
+        .unwrap(),
+    );
+    let probe = GemmShape::new(3136, 576, 192);
+
+    let mut group = c.benchmark_group("selection_cache");
+    group.bench_function("uncached_forest", |bench| {
+        bench.iter(|| black_box(sel.select_shape(black_box(&probe)).unwrap()));
+    });
+    let cached = CachedSelector::new(Arc::clone(&sel));
+    cached.select(&probe).unwrap(); // warm the one probe shape
+    group.bench_function("cached_forest_warm", |bench| {
+        bench.iter(|| black_box(cached.select(black_box(&probe)).unwrap()));
+    });
+    group.finish();
+
+    // Headline number for the serving layer: how much a warm hit saves.
+    let reps = 3000u32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(sel.select_shape(black_box(&probe)).unwrap());
+    }
+    let uncached_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(cached.select(black_box(&probe)).unwrap());
+    }
+    let cached_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    println!(
+        "selection_cache/speedup: warm hit {cached_ns:.0} ns vs model {uncached_ns:.0} ns -> {:.0}x",
+        uncached_ns / cached_ns.max(1.0)
+    );
+}
+
+fn bench_selection_throughput(c: &mut Criterion) {
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let configs = PruneMethod::DecisionTree
+        .select(&ds, &split.train, 8, MODEL_SEED)
+        .unwrap();
+    // Forest again: batch parallelism only pays when one decision costs
+    // microseconds — for the ~100 ns tree, thread fan-out loses.
+    let sel = Arc::new(
+        Selector::train(
+            SelectorKind::RandomForest,
+            &ds,
+            &split.train,
+            &configs,
+            MODEL_SEED,
+        )
+        .unwrap(),
+    );
+    // A serving batch: 256 decisions over a 16-shape working set.
+    let working_set: Vec<GemmShape> = (0..16)
+        .map(|i| GemmShape::new(64 + i * 31, 128 + i * 7, 32 + i * 13))
+        .collect();
+    let batch: Vec<GemmShape> = (0..256)
+        .map(|i| working_set[i % working_set.len()])
+        .collect();
+
+    let mut group = c.benchmark_group("selection_throughput");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("sequential_uncached", |bench| {
+        bench.iter(|| {
+            for shape in &batch {
+                black_box(sel.select_shape(black_box(shape)).unwrap());
+            }
+        });
+    });
+    group.bench_function("parallel_uncached_select_batch", |bench| {
+        bench.iter(|| black_box(sel.select_batch(black_box(&batch)).unwrap()));
+    });
+    let cached = CachedSelector::new(Arc::clone(&sel));
+    cached.warm(&working_set).unwrap();
+    group.bench_function("parallel_cached_select_batch", |bench| {
+        bench.iter(|| black_box(cached.select_batch(black_box(&batch)).unwrap()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_selection_latency
+    targets = bench_selection_latency, bench_selection_cache, bench_selection_throughput
 );
 criterion_main!(benches);

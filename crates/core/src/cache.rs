@@ -1,0 +1,483 @@
+//! Concurrent serving layer: a sharded shape→configuration decision
+//! cache with selection telemetry.
+//!
+//! The paper's pitch for decision trees is *deployment latency*: the
+//! selector sits on the hot path of every GEMM dispatch. In a serving
+//! system the same handful of layer shapes recurs millions of times, so
+//! the model only ever needs to run once per distinct shape — after
+//! that the decision is a hash-map lookup. [`CachedSelector`] wraps a
+//! trained [`Selector`] with exactly that memoisation:
+//!
+//! * the cache is split into [`DEFAULT_SHARDS`] independent
+//!   [`RwLock`]-protected shards, indexed by the shape's
+//!   [`GemmShape::stable_hash`], so read-mostly traffic from many
+//!   threads never contends on a single lock;
+//! * every decision updates a lock-free [`SelectionTelemetry`] block —
+//!   hit/miss counters, per-shipped-configuration pick counts and
+//!   latency accumulators — cheap enough to leave on in production and
+//!   exactly what you need to see whether the shipped set still matches
+//!   the traffic mix.
+
+use crate::select::Selector;
+use crate::Result;
+use autokernel_gemm::GemmShape;
+use parking_lot::RwLock;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default shard count: enough to make lock collisions rare at typical
+/// host thread counts without bloating the cache's footprint.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A sharded concurrent map from GEMM shape to the chosen global
+/// configuration index.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<RwLock<HashMap<GemmShape, usize>>>,
+}
+
+impl ShardedCache {
+    /// Create a cache with `n_shards` independent shards.
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, usize>> {
+        // stable_hash is FNV-style; fold the high bits in so shard
+        // choice isn't at the mercy of the low bits alone.
+        let h = shape.stable_hash();
+        let idx = ((h ^ (h >> 32)) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Look up a cached decision (read lock on one shard only).
+    pub fn get(&self, shape: &GemmShape) -> Option<usize> {
+        self.shard_of(shape).read().get(shape).copied()
+    }
+
+    /// Store a decision. Returns the previous value, if any.
+    pub fn insert(&self, shape: GemmShape, config_index: usize) -> Option<usize> {
+        self.shard_of(&shape).write().insert(shape, config_index)
+    }
+
+    /// Number of distinct shapes cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no decision has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drop every cached decision (e.g. after retraining the selector).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Lock-free counters describing the serving layer's behaviour.
+///
+/// All counters are monotonic and updated with relaxed atomics: the
+/// numbers are diagnostics, not synchronisation points. `hits + misses`
+/// always equals the total number of `select` calls that completed.
+#[derive(Debug)]
+pub struct SelectionTelemetry {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_nanos: AtomicU64,
+    miss_nanos: AtomicU64,
+    /// One slot per shipped configuration, in `Selector::configs()`
+    /// order, counting how often each was picked.
+    picks: Vec<AtomicU64>,
+    /// Global config index per slot (frozen copy of the shipped set).
+    shipped: Vec<usize>,
+}
+
+impl SelectionTelemetry {
+    fn new(shipped: &[usize]) -> Self {
+        SelectionTelemetry {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_nanos: AtomicU64::new(0),
+            miss_nanos: AtomicU64::new(0),
+            picks: shipped.iter().map(|_| AtomicU64::new(0)).collect(),
+            shipped: shipped.to_vec(),
+        }
+    }
+
+    fn record(&self, hit: bool, nanos: u64, config_index: usize) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_nanos.fetch_add(nanos, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.miss_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        if let Some(slot) = self.shipped.iter().position(|&c| c == config_index) {
+            self.picks[slot].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Selections answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Selections that ran the model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total completed selections (`hits + misses`).
+    pub fn total(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when nothing was selected yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Mean latency of cache hits, in nanoseconds.
+    pub fn mean_hit_nanos(&self) -> f64 {
+        let hits = self.hits();
+        if hits == 0 {
+            0.0
+        } else {
+            self.hit_nanos.load(Ordering::Relaxed) as f64 / hits as f64
+        }
+    }
+
+    /// Mean latency of cache misses (model inference), in nanoseconds.
+    pub fn mean_miss_nanos(&self) -> f64 {
+        let misses = self.misses();
+        if misses == 0 {
+            0.0
+        } else {
+            self.miss_nanos.load(Ordering::Relaxed) as f64 / misses as f64
+        }
+    }
+
+    /// `(global config index, times picked)` per shipped configuration,
+    /// in shipped order.
+    pub fn picks(&self) -> Vec<(usize, u64)> {
+        self.shipped
+            .iter()
+            .zip(&self.picks)
+            .map(|(&c, n)| (c, n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// An owned, consistent-enough copy for reporting/serialisation.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            hits: self.hits(),
+            misses: self.misses(),
+            mean_hit_nanos: self.mean_hit_nanos(),
+            mean_miss_nanos: self.mean_miss_nanos(),
+            picks: self
+                .picks()
+                .into_iter()
+                .map(|(config_index, count)| PickCount {
+                    config_index,
+                    count,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// How often one shipped configuration was chosen.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PickCount {
+    /// Global kernel configuration index.
+    pub config_index: usize,
+    /// Number of selections that chose it.
+    pub count: u64,
+}
+
+/// A point-in-time copy of [`SelectionTelemetry`], serialisable for
+/// reports.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Selections answered from the cache.
+    pub hits: u64,
+    /// Selections that ran the model.
+    pub misses: u64,
+    /// Mean cache-hit latency in nanoseconds.
+    pub mean_hit_nanos: f64,
+    /// Mean model-inference latency in nanoseconds.
+    pub mean_miss_nanos: f64,
+    /// Pick counts per shipped configuration.
+    pub picks: Vec<PickCount>,
+}
+
+/// The outcome of one cached selection, for threading into launch
+/// traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionOutcome {
+    /// Global kernel configuration index chosen.
+    pub config_index: usize,
+    /// Whether the decision came from the cache.
+    pub cache_hit: bool,
+}
+
+impl From<SelectionOutcome> for autokernel_sycl_sim::trace::LaunchDecision {
+    fn from(o: SelectionOutcome) -> Self {
+        autokernel_sycl_sim::trace::LaunchDecision {
+            config_index: o.config_index,
+            cache_hit: o.cache_hit,
+        }
+    }
+}
+
+/// A [`Selector`] wrapped with the sharded decision cache and
+/// telemetry. Cheap to share across threads (`&self` everywhere).
+pub struct CachedSelector {
+    selector: Arc<Selector>,
+    cache: ShardedCache,
+    telemetry: SelectionTelemetry,
+}
+
+impl CachedSelector {
+    /// Wrap `selector` with a [`DEFAULT_SHARDS`]-way cache.
+    pub fn new(selector: Arc<Selector>) -> Self {
+        Self::with_shards(selector, DEFAULT_SHARDS)
+    }
+
+    /// Wrap `selector` with an explicit shard count.
+    pub fn with_shards(selector: Arc<Selector>, n_shards: usize) -> Self {
+        let telemetry = SelectionTelemetry::new(selector.configs());
+        CachedSelector {
+            selector,
+            cache: ShardedCache::new(n_shards),
+            telemetry,
+        }
+    }
+
+    /// Select a configuration index for `shape`, memoised. Identical to
+    /// [`Selector::select_shape`] in its results — only faster on
+    /// repeated shapes.
+    pub fn select(&self, shape: &GemmShape) -> Result<usize> {
+        Ok(self.select_outcome(shape)?.config_index)
+    }
+
+    /// Like [`CachedSelector::select`], also reporting whether the
+    /// decision came from the cache (for launch tracing).
+    pub fn select_outcome(&self, shape: &GemmShape) -> Result<SelectionOutcome> {
+        let start = Instant::now();
+        if let Some(config_index) = self.cache.get(shape) {
+            self.telemetry
+                .record(true, start.elapsed().as_nanos() as u64, config_index);
+            return Ok(SelectionOutcome {
+                config_index,
+                cache_hit: true,
+            });
+        }
+        let config_index = self.selector.select_shape(shape)?;
+        self.cache.insert(*shape, config_index);
+        self.telemetry
+            .record(false, start.elapsed().as_nanos() as u64, config_index);
+        Ok(SelectionOutcome {
+            config_index,
+            cache_hit: false,
+        })
+    }
+
+    /// Select for many shapes in parallel (rayon), through the cache.
+    pub fn select_batch(&self, shapes: &[GemmShape]) -> Result<Vec<usize>> {
+        shapes.par_iter().map(|s| self.select(s)).collect()
+    }
+
+    /// Run the model for every shape up front so later traffic is all
+    /// cache hits. Warm-up counts as misses in the telemetry.
+    pub fn warm(&self, shapes: &[GemmShape]) -> Result<()> {
+        self.select_batch(shapes).map(|_| ())
+    }
+
+    /// The wrapped selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// The live telemetry block.
+    pub fn telemetry(&self) -> &SelectionTelemetry {
+        &self.telemetry
+    }
+
+    /// Number of distinct shapes currently cached.
+    pub fn cached_shapes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The underlying cache (for shard-level inspection).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Forget every cached decision, keeping telemetry history.
+    pub fn invalidate(&self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PerformanceDataset;
+    use crate::prune::PruneMethod;
+    use crate::select::{Selector, SelectorKind};
+    use autokernel_sycl_sim::DeviceSpec;
+
+    fn trained() -> Arc<Selector> {
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+            (1024, 1024, 1024),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        let ds = PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::TopN.select(&ds, &train, 5, 0).unwrap();
+        Arc::new(Selector::train(SelectorKind::DecisionTree, &ds, &train, &configs, 0).unwrap())
+    }
+
+    #[test]
+    fn cached_agrees_with_uncached() {
+        let sel = trained();
+        let cached = CachedSelector::new(Arc::clone(&sel));
+        for shape in [
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(300, 300, 300),
+            GemmShape::new(7, 4096, 1000),
+        ] {
+            let direct = sel.select_shape(&shape).unwrap();
+            assert_eq!(cached.select(&shape).unwrap(), direct);
+            // Second call must come from the cache and still agree.
+            assert_eq!(cached.select(&shape).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_and_picks() {
+        let cached = CachedSelector::new(trained());
+        let shapes: Vec<GemmShape> = (1..=5).map(|i| GemmShape::new(i * 32, 128, 64)).collect();
+        for shape in &shapes {
+            cached.select(shape).unwrap();
+        }
+        for shape in &shapes {
+            cached.select(shape).unwrap();
+            cached.select(shape).unwrap();
+        }
+        let t = cached.telemetry();
+        assert_eq!(t.misses(), 5);
+        assert_eq!(t.hits(), 10);
+        assert_eq!(t.total(), 15);
+        assert!((t.hit_rate() - 10.0 / 15.0).abs() < 1e-12);
+        let picked: u64 = t.picks().iter().map(|&(_, n)| n).sum();
+        assert_eq!(picked, 15, "every selection lands in a shipped slot");
+        assert_eq!(cached.cached_shapes(), 5);
+    }
+
+    #[test]
+    fn outcome_reports_cache_hit_flag() {
+        let cached = CachedSelector::new(trained());
+        let shape = GemmShape::new(640, 640, 640);
+        let first = cached.select_outcome(&shape).unwrap();
+        let second = cached.select_outcome(&shape).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.config_index, second.config_index);
+    }
+
+    #[test]
+    fn invalidate_forces_remodelling() {
+        let cached = CachedSelector::new(trained());
+        let shape = GemmShape::new(96, 96, 96);
+        cached.select(&shape).unwrap();
+        assert_eq!(cached.cached_shapes(), 1);
+        cached.invalidate();
+        assert_eq!(cached.cached_shapes(), 0);
+        let again = cached.select_outcome(&shape).unwrap();
+        assert!(!again.cache_hit);
+        assert_eq!(cached.telemetry().misses(), 2);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_warms_cache() {
+        let sel = trained();
+        let cached = CachedSelector::with_shards(Arc::clone(&sel), 4);
+        let shapes: Vec<GemmShape> = (1..=12).map(|i| GemmShape::new(i * 17, 256, 96)).collect();
+        let batch = cached.select_batch(&shapes).unwrap();
+        for (shape, &idx) in shapes.iter().zip(&batch) {
+            assert_eq!(sel.select_shape(shape).unwrap(), idx);
+        }
+        assert_eq!(cached.cached_shapes(), shapes.len());
+        // Everything is warm now: a second batch is pure hits.
+        let before = cached.telemetry().hits();
+        cached.select_batch(&shapes).unwrap();
+        assert_eq!(cached.telemetry().hits(), before + shapes.len() as u64);
+    }
+
+    #[test]
+    fn sharded_cache_basics() {
+        let cache = ShardedCache::new(8);
+        assert_eq!(cache.shard_count(), 8);
+        assert!(cache.is_empty());
+        let s = GemmShape::new(10, 20, 30);
+        assert_eq!(cache.get(&s), None);
+        assert_eq!(cache.insert(s, 42), None);
+        assert_eq!(cache.insert(s, 43), Some(42));
+        assert_eq!(cache.get(&s), Some(43));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let cache = ShardedCache::new(0);
+        assert_eq!(cache.shard_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_serialises() {
+        let cached = CachedSelector::new(trained());
+        cached.select(&GemmShape::new(50, 60, 70)).unwrap();
+        let snap = cached.telemetry().snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.misses, 1);
+        assert_eq!(back.picks.len(), cached.selector().configs().len());
+    }
+}

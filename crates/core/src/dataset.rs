@@ -95,10 +95,16 @@ impl PerformanceDataset {
 
     /// Normalised performance of `config` on `shape`:
     /// `best_time / time`, in (0, 1].
+    ///
+    /// A measurement only counts if it is finite and strictly positive;
+    /// anything else (a zero or negative recorded time, an overflow to
+    /// infinity, a NaN — e.g. from a hand-edited or truncated JSON
+    /// dataset) scores 0.0 rather than poisoning the whole row with
+    /// `inf`/`NaN` ratios. A row with no valid measurement normalises
+    /// to all zeros.
     pub fn normalized(&self, shape: usize, config: usize) -> f64 {
         let row = &self.raw_seconds[shape];
-        let best = row.iter().copied().fold(f64::INFINITY, f64::min);
-        best / row[config]
+        normalize(best_valid(row), row[config])
     }
 
     /// The full normalised matrix (`n_shapes × 640`).
@@ -106,9 +112,9 @@ impl PerformanceDataset {
         let cols = self.n_configs();
         let mut m = Matrix::zeros(self.n_shapes(), cols);
         for (i, row) in self.raw_seconds.iter().enumerate() {
-            let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let best = best_valid(row);
             for (j, &t) in row.iter().enumerate() {
-                m[(i, j)] = best / t;
+                m[(i, j)] = normalize(best, t);
             }
         }
         m
@@ -120,9 +126,9 @@ impl PerformanceDataset {
         let mut m = Matrix::zeros(rows.len(), cols);
         for (out_i, &i) in rows.iter().enumerate() {
             let row = &self.raw_seconds[i];
-            let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let best = best_valid(row);
             for (j, &t) in row.iter().enumerate() {
-                m[(out_i, j)] = best / t;
+                m[(out_i, j)] = normalize(best, t);
             }
         }
         m
@@ -218,6 +224,26 @@ impl PerformanceDataset {
     }
 }
 
+/// Fastest *valid* (finite, strictly positive) time in a row, or `None`
+/// when the row is empty or holds no valid measurement.
+fn best_valid(row: &[f64]) -> Option<f64> {
+    let best = row
+        .iter()
+        .copied()
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    best.is_finite().then_some(best)
+}
+
+/// `best / t` for a valid measurement, clamped into [0, 1]; 0.0 when
+/// the measurement (or the whole row) is invalid.
+fn normalize(best: Option<f64>, t: f64) -> f64 {
+    match best {
+        Some(best) if t.is_finite() && t > 0.0 => (best / t).clamp(0.0, 1.0),
+        _ => 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +335,61 @@ mod tests {
                 assert!(g > 0.0 && g <= peak * 1.05, "gflops {g} vs peak {peak}");
             }
         }
+    }
+
+    #[test]
+    fn zero_and_negative_times_do_not_poison_normalisation() {
+        let mut ds = small_dataset();
+        // Corrupt two measurements the way a truncated/hand-edited JSON
+        // dataset would: a zero and a negative recorded time.
+        ds.raw_seconds[0][5] = 0.0;
+        ds.raw_seconds[0][7] = -3.0e-4;
+        assert_eq!(ds.normalized(0, 5), 0.0);
+        assert_eq!(ds.normalized(0, 7), 0.0);
+        let m = ds.normalized_matrix();
+        for j in 0..ds.n_configs() {
+            let v = m[(0, j)];
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "value {v}");
+        }
+        // The valid measurements still normalise against the valid best.
+        assert!(m.row(0).iter().any(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn nan_and_infinite_times_score_zero() {
+        let mut ds = small_dataset();
+        ds.raw_seconds[1][0] = f64::NAN;
+        ds.raw_seconds[1][1] = f64::INFINITY;
+        assert_eq!(ds.normalized(1, 0), 0.0);
+        assert_eq!(ds.normalized(1, 1), 0.0);
+        let m = ds.normalized_matrix_of(&[1]);
+        for j in 0..ds.n_configs() {
+            assert!(m[(0, j)].is_finite());
+        }
+    }
+
+    #[test]
+    fn row_without_valid_measurements_normalises_to_zeros() {
+        let mut ds = small_dataset();
+        for t in ds.raw_seconds[2].iter_mut() {
+            *t = 0.0;
+        }
+        for j in [0usize, 100, 639] {
+            assert_eq!(ds.normalized(2, j), 0.0);
+        }
+        let m = ds.normalized_matrix();
+        assert!(m.row(2).iter().all(|&v| v == 0.0));
+        // Other rows are unaffected.
+        assert!(m.row(0).iter().any(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn best_valid_handles_empty_rows() {
+        assert_eq!(best_valid(&[]), None);
+        assert_eq!(best_valid(&[0.0, -1.0, f64::NAN]), None);
+        assert_eq!(best_valid(&[2.0, 1.0, 0.0]), Some(1.0));
+        assert_eq!(normalize(None, 1.0), 0.0);
+        assert_eq!(normalize(Some(1.0), 2.0), 0.5);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod autotune;
+pub mod cache;
 pub mod codegen;
 pub mod crossval;
 pub mod dataset;
@@ -40,6 +41,9 @@ pub mod regression;
 pub mod report;
 pub mod select;
 
+pub use cache::{
+    CachedSelector, SelectionOutcome, SelectionTelemetry, ShardedCache, TelemetrySnapshot,
+};
 pub use dataset::PerformanceDataset;
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;

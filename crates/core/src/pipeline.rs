@@ -1,6 +1,7 @@
 //! The end-to-end tuning pipeline: collect → split → prune → train →
 //! evaluate → deploy, tying Sections II-IV together behind one call.
 
+use crate::cache::{CachedSelector, SelectionTelemetry};
 use crate::codegen::{emit_rust_source, CompiledTree};
 use crate::dataset::PerformanceDataset;
 use crate::evaluate;
@@ -10,6 +11,7 @@ use crate::Result;
 use autokernel_gemm::{GemmShape, KernelConfig};
 use autokernel_mlkit::model_selection::train_test_split;
 use autokernel_sycl_sim::DeviceSpec;
+use std::sync::Arc;
 
 /// Pipeline hyper-parameters.
 #[derive(Debug, Clone)]
@@ -64,7 +66,10 @@ pub struct TuningPipeline {
     train_rows: Vec<usize>,
     test_rows: Vec<usize>,
     shipped: Vec<usize>,
-    selector: Selector,
+    /// Shared with `serving` so the cached and uncached paths are
+    /// provably the same model.
+    selector: Arc<Selector>,
+    serving: CachedSelector,
     config: PipelineConfig,
 }
 
@@ -75,19 +80,21 @@ impl TuningPipeline {
         let shipped = config
             .prune
             .select(&dataset, &split.train, config.budget, config.seed)?;
-        let selector = Selector::train(
+        let selector = Arc::new(Selector::train(
             config.selector,
             &dataset,
             &split.train,
             &shipped,
             config.seed,
-        )?;
+        )?);
+        let serving = CachedSelector::new(Arc::clone(&selector));
         Ok(TuningPipeline {
             dataset,
             train_rows: split.train,
             test_rows: split.test,
             shipped,
             selector,
+            serving,
             config,
         })
     }
@@ -115,10 +122,40 @@ impl TuningPipeline {
             .collect()
     }
 
-    /// Select a configuration for an arbitrary shape.
+    /// Select a configuration for an arbitrary shape (always runs the
+    /// model; see [`TuningPipeline::select_cached`] for serving).
     pub fn select(&self, shape: &GemmShape) -> Result<KernelConfig> {
         let idx = self.selector.select_shape(shape)?;
         Ok(KernelConfig::from_index(idx).expect("selector returns valid indices"))
+    }
+
+    /// Select a configuration through the concurrent serving cache:
+    /// identical results to [`TuningPipeline::select`], but repeated
+    /// shapes skip model inference and update the telemetry counters.
+    pub fn select_cached(&self, shape: &GemmShape) -> Result<KernelConfig> {
+        let idx = self.serving.select(shape)?;
+        Ok(KernelConfig::from_index(idx).expect("selector returns valid indices"))
+    }
+
+    /// Select configurations for many shapes in parallel, through the
+    /// serving cache.
+    pub fn select_batch(&self, shapes: &[GemmShape]) -> Result<Vec<KernelConfig>> {
+        Ok(self
+            .serving
+            .select_batch(shapes)?
+            .into_iter()
+            .map(|idx| KernelConfig::from_index(idx).expect("selector returns valid indices"))
+            .collect())
+    }
+
+    /// The serving cache wrapped around the trained selector.
+    pub fn serving(&self) -> &CachedSelector {
+        &self.serving
+    }
+
+    /// Live serving telemetry (hits, misses, pick counts, latencies).
+    pub fn telemetry(&self) -> &SelectionTelemetry {
+        self.serving.telemetry()
     }
 
     /// Best geometric-mean performance *achievable* with the shipped set
@@ -258,6 +295,47 @@ mod tests {
         )
         .unwrap();
         assert!(p.export_rust().is_err());
+    }
+
+    #[test]
+    fn cached_select_agrees_with_uncached_and_counts() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        let probes: Vec<GemmShape> = (1..=6).map(|i| GemmShape::new(i * 50, 200, 100)).collect();
+        for probe in &probes {
+            assert_eq!(
+                p.select(probe).unwrap(),
+                p.select_cached(probe).unwrap(),
+                "cache must be a pure memoisation"
+            );
+            // Warm now: repeat must hit.
+            p.select_cached(probe).unwrap();
+        }
+        let t = p.telemetry();
+        assert_eq!(t.misses(), probes.len() as u64);
+        assert_eq!(t.hits(), probes.len() as u64);
+        assert_eq!(t.total(), t.hits() + t.misses());
+    }
+
+    #[test]
+    fn pipeline_batch_returns_shipped_kernels() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        let probes: Vec<GemmShape> = (1..=10).map(|i| GemmShape::new(i * 31, 128, 512)).collect();
+        let chosen = p.select_batch(&probes).unwrap();
+        assert_eq!(chosen.len(), probes.len());
+        let shipped = p.shipped_kernel_configs();
+        for cfg in chosen {
+            assert!(shipped.contains(&cfg));
+        }
     }
 
     #[test]

@@ -15,17 +15,22 @@ pub struct TrainTestSplit {
 /// shuffling with `seed`. The paper's split (170 → 136/34) corresponds to
 /// `test_fraction = 0.2`.
 ///
-/// Guarantees at least one sample on each side when `n >= 2`.
+/// Guarantees at least one sample on each side when `n >= 2`. With
+/// fewer than two samples no meaningful split exists, so everything
+/// goes to `train` and `test` is empty (rather than, say, rounding a
+/// large `test_fraction` up and handing the only sample to `test`,
+/// which would leave nothing to fit on).
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> TrainTestSplit {
     let mut idx: Vec<usize> = (0..n).collect();
+    if n < 2 {
+        return TrainTestSplit {
+            train: idx,
+            test: Vec::new(),
+        };
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
-    let mut n_test = (n as f64 * test_fraction.clamp(0.0, 1.0)).round() as usize;
-    if n >= 2 {
-        n_test = n_test.clamp(1, n - 1);
-    } else {
-        n_test = n_test.min(n);
-    }
+    let n_test = ((n as f64 * test_fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, n - 1);
     let test = idx[..n_test].to_vec();
     let train = idx[n_test..].to_vec();
     TrainTestSplit { train, test }
@@ -94,6 +99,17 @@ mod tests {
                 let s = train_test_split(n, frac, 1);
                 assert!(!s.train.is_empty(), "empty train at n={n} frac={frac}");
                 assert!(!s.test.is_empty(), "empty test at n={n} frac={frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_all_train() {
+        for n in [0usize, 1] {
+            for frac in [0.0, 0.5, 1.0] {
+                let s = train_test_split(n, frac, 9);
+                assert_eq!(s.train, (0..n).collect::<Vec<_>>(), "n={n} frac={frac}");
+                assert!(s.test.is_empty(), "n={n} frac={frac}");
             }
         }
     }

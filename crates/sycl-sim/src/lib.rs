@@ -31,7 +31,7 @@ pub mod trace;
 pub use device::{DeviceSpec, DeviceType};
 pub use perf::{KernelCost, KernelProfile};
 pub use runtime::{Buffer, Context, Event, NDRange, Platform, Queue, SimKernel};
-pub use trace::TraceRecorder;
+pub use trace::{LaunchDecision, TraceRecorder};
 
 /// Errors produced by the simulated runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]

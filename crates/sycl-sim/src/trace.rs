@@ -5,11 +5,27 @@
 use crate::runtime::Event;
 use std::collections::BTreeMap;
 
-/// A recorded launch: queue label plus the completed event.
+/// Which selection-service decision produced a kernel launch.
+///
+/// Produced by the selection layer upstream (autokernel-core's cached
+/// selector) and attached to trace entries so a timeline shows not just
+/// *what* ran but *why that kernel was chosen* — and whether the
+/// decision was served from the shape cache or cost a model inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDecision {
+    /// Global kernel configuration index the selector chose.
+    pub config_index: usize,
+    /// Whether the decision came from the selection cache.
+    pub cache_hit: bool,
+}
+
+/// A recorded launch: queue label plus the completed event, optionally
+/// annotated with the selector decision that produced it.
 #[derive(Debug, Clone)]
 struct TraceEntry {
     queue: String,
     event: Event,
+    decision: Option<LaunchDecision>,
 }
 
 /// Collects events and renders timelines / summaries.
@@ -29,7 +45,36 @@ impl TraceRecorder {
         self.entries.push(TraceEntry {
             queue: queue.into(),
             event,
+            decision: None,
         });
+    }
+
+    /// Record a completed event together with the selector decision
+    /// that chose its kernel configuration.
+    pub fn record_with_decision(
+        &mut self,
+        queue: impl Into<String>,
+        event: Event,
+        decision: LaunchDecision,
+    ) {
+        self.entries.push(TraceEntry {
+            queue: queue.into(),
+            event,
+            decision: Some(decision),
+        });
+    }
+
+    /// Number of entries carrying a [`LaunchDecision`].
+    pub fn decided_launches(&self) -> usize {
+        self.entries.iter().filter(|e| e.decision.is_some()).count()
+    }
+
+    /// Of the decision-annotated entries, how many were cache hits.
+    pub fn cache_hit_launches(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.decision, Some(d) if d.cache_hit))
+            .count()
     }
 
     /// Number of recorded events.
@@ -90,8 +135,15 @@ impl TraceRecorder {
             if i > 0 {
                 out.push(',');
             }
+            let decision_args = match &e.decision {
+                Some(d) => format!(
+                    ",\"config_index\":{},\"cache_hit\":{}",
+                    d.config_index, d.cache_hit
+                ),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{{\"name\":{name:?},\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":1,\"args\":{{\"occupancy\":{occ:.3},\"utilization\":{util:.3}}}}}",
+                "{{\"name\":{name:?},\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":1,\"args\":{{\"occupancy\":{occ:.3},\"utilization\":{util:.3}{decision_args}}}}}",
                 name = e.event.kernel_name(),
                 ts = e.event.start_s() * 1e6,
                 dur = e.event.duration_s() * 1e6,
@@ -187,6 +239,41 @@ mod tests {
         assert_eq!(trace.total_busy_s(), 0.0);
         let parsed: serde_json::Value = serde_json::from_str(&trace.to_chrome_trace()).unwrap();
         assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn decisions_flow_into_chrome_trace_args() {
+        let queue = Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano()));
+        let k = Noop {
+            buf: Buffer::from_vec(vec![0.0; 64]),
+        };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let mut trace = TraceRecorder::new();
+        trace.record_with_decision(
+            "serve",
+            queue.submit(&k, r).unwrap(),
+            LaunchDecision {
+                config_index: 137,
+                cache_hit: false,
+            },
+        );
+        trace.record_with_decision(
+            "serve",
+            queue.submit(&k, r).unwrap(),
+            LaunchDecision {
+                config_index: 137,
+                cache_hit: true,
+            },
+        );
+        trace.record("serve", queue.submit(&k, r).unwrap());
+        assert_eq!(trace.decided_launches(), 2);
+        assert_eq!(trace.cache_hit_launches(), 1);
+        let parsed: serde_json::Value = serde_json::from_str(&trace.to_chrome_trace()).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["args"]["config_index"], 137);
+        assert_eq!(events[0]["args"]["cache_hit"], false);
+        assert_eq!(events[1]["args"]["cache_hit"], true);
+        assert!(events[2]["args"]["config_index"].is_null());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub fn perturb(config: &KernelConfig, strength: usize, rng: &mut StdRng) -> Kern
         WORK_GROUPS.len(),
     ];
     for _ in 0..strength.max(1) {
-        let gene = rng.random_range(0..4);
+        let gene = rng.random_range(0..4usize);
         g[gene] = rng.random_range(0..ranges[gene]);
     }
     decode(&g)

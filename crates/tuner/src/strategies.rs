@@ -301,8 +301,12 @@ impl SearchStrategy for Evolutionary {
                 let pb = space::encode(&pick(&mut rng));
                 let mut child = space::crossover(&pa, &pb, &mut rng);
                 // Mutation.
-                let ranges =
-                    [TILE_SIZES.len(), TILE_SIZES.len(), TILE_SIZES.len(), WORK_GROUPS.len()];
+                let ranges = [
+                    TILE_SIZES.len(),
+                    TILE_SIZES.len(),
+                    TILE_SIZES.len(),
+                    WORK_GROUPS.len(),
+                ];
                 for (gene, range) in child.iter_mut().zip(ranges) {
                     if rng.random::<f64>() < self.mutation_rate {
                         *gene = rng.random_range(0..range);

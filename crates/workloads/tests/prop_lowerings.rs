@@ -1,9 +1,7 @@
 //! Property tests: every lowering of a convolution computes the same
 //! function, for arbitrary layer geometries.
 
-use autokernel_workloads::conv::{
-    direct_conv, im2col_conv, input_len, output_len, weight_len,
-};
+use autokernel_workloads::conv::{direct_conv, im2col_conv, input_len, output_len, weight_len};
 use autokernel_workloads::winograd::{supports_winograd, winograd_conv, winograd_gemm};
 use autokernel_workloads::ConvLayer;
 use proptest::prelude::*;
@@ -21,12 +19,22 @@ fn filled(len: usize, seed: u64) -> Vec<f32> {
 }
 
 fn max_err(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Arbitrary standard conv layers whose geometry is valid (output >= 1).
 fn arb_layer() -> impl Strategy<Value = ConvLayer> {
-    (1usize..5, 1usize..7, prop_oneof![Just(1usize), Just(3), Just(5)], 1usize..3, 0usize..3, 5usize..14)
+    (
+        1usize..5,
+        1usize..7,
+        prop_oneof![Just(1usize), Just(3), Just(5)],
+        1usize..3,
+        0usize..3,
+        5usize..14,
+    )
         .prop_filter_map("valid geometry", |(cin, cout, k, s, p, size)| {
             let layer = ConvLayer::standard(cin, cout, k, s, p, size);
             (size + 2 * p >= k).then_some(layer)

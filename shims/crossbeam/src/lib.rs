@@ -1,0 +1,89 @@
+//! Offline shim for `crossbeam`: the scoped-thread API
+//! (`crossbeam::thread::scope`) layered over `std::thread::scope`.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// Result of joining a scoped thread (mirrors `std::thread::Result`).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handed to the closure passed to [`scope`]; spawn scoped
+    /// threads through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing [`scope`] call. As in
+        /// crossbeam, the closure receives the scope again so it can
+        /// spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns once every spawned thread has finished.
+    ///
+    /// Unlike crossbeam this propagates child panics as a panic (via
+    /// `std::thread::scope`) rather than an `Err`, which is equivalent
+    /// for callers that `.unwrap()` the result — as this workspace does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handles() {
+        let out: Vec<usize> = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..3).map(|i| s.spawn(move |_| i * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

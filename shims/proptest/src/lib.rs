@@ -1,0 +1,352 @@
+//! Offline shim for `proptest`: the strategy combinators and runner
+//! macros this workspace uses. Values are sampled with the in-repo
+//! `rand` shim from a seed derived from the test name, so runs are
+//! deterministic. There is **no shrinking**: a failing case reports its
+//! message and panics without input minimisation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a property-test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!`; retried without counting.
+    Reject,
+}
+
+/// Deterministic RNG for a named property test.
+pub fn runner_rng(test_name: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Drive one property: generate inputs from `strategy`, run `case`,
+/// panic on the first failure. Called by the `proptest!` expansion.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = runner_rng(name);
+    let mut executed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(200);
+    while executed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let Some(value) = strategy.generate(&mut rng) else {
+            continue; // strategy-level rejection (prop_filter_map)
+        };
+        match case(value) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest property `{name}` failed after {executed} passing cases: {msg}");
+            }
+        }
+    }
+    assert!(
+        executed > 0,
+        "proptest property `{name}`: generator rejected every input ({attempts} attempts)"
+    );
+}
+
+/// Everything a `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not the
+/// process) so the runner can report the inputs' context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (retried without counting towards `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test runner macro. Supports an optional leading
+/// `#![proptest_config(...)]`, and per-test arguments of both forms:
+/// `name in strategy` and `name: Type` (the latter meaning `any::<T>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg);
+            meta = ($(#[$meta])*);
+            name = $name;
+            norm = [];
+            args = [$($args)*];
+            body = $body;
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    // `name in strategy, ...`
+    (
+        cfg = ($cfg:expr); meta = ($($meta:tt)*); name = $name:ident;
+        norm = [$($norm:tt)*];
+        args = [$arg:ident in $strat:expr, $($rest:tt)*];
+        body = $body:block;
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg); meta = ($($meta)*); name = $name;
+            norm = [$($norm)* ($arg, ($strat))];
+            args = [$($rest)*];
+            body = $body;
+        }
+    };
+    // trailing `name in strategy`
+    (
+        cfg = ($cfg:expr); meta = ($($meta:tt)*); name = $name:ident;
+        norm = [$($norm:tt)*];
+        args = [$arg:ident in $strat:expr];
+        body = $body:block;
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg); meta = ($($meta)*); name = $name;
+            norm = [$($norm)* ($arg, ($strat))];
+            args = [];
+            body = $body;
+        }
+    };
+    // `name: Type, ...` sugar for `any::<Type>()`
+    (
+        cfg = ($cfg:expr); meta = ($($meta:tt)*); name = $name:ident;
+        norm = [$($norm:tt)*];
+        args = [$arg:ident : $ty:ty, $($rest:tt)*];
+        body = $body:block;
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg); meta = ($($meta)*); name = $name;
+            norm = [$($norm)* ($arg, ($crate::strategy::any::<$ty>()))];
+            args = [$($rest)*];
+            body = $body;
+        }
+    };
+    // trailing `name: Type`
+    (
+        cfg = ($cfg:expr); meta = ($($meta:tt)*); name = $name:ident;
+        norm = [$($norm:tt)*];
+        args = [$arg:ident : $ty:ty];
+        body = $body:block;
+    ) => {
+        $crate::__proptest_one! {
+            cfg = ($cfg); meta = ($($meta)*); name = $name;
+            norm = [$($norm)* ($arg, ($crate::strategy::any::<$ty>()))];
+            args = [];
+            body = $body;
+        }
+    };
+    // all arguments normalised: emit the test fn
+    (
+        cfg = ($cfg:expr); meta = ($($meta:tt)*); name = $name:ident;
+        norm = [$(($arg:ident, ($strat:expr)))+];
+        args = [];
+        body = $body:block;
+    ) => {
+        $($meta)*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn typed_args_work(seed: u64, flag: bool) {
+            let _ = (seed, flag);
+            prop_assert_eq!(seed, seed);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(1usize..5, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| (1..5).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1usize), Just(3), Just(5)]) {
+            prop_assert!(k == 1 || k == 3 || k == 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            &(0usize..10,),
+            |(_n,)| Err(crate::TestCaseError::Fail("nope".into())),
+        );
+    }
+
+    #[test]
+    fn flat_map_and_filter_map() {
+        let strat = (1usize..4, 1usize..4)
+            .prop_flat_map(|(a, b)| crate::collection::vec(0usize..10, (a * b)..=(a * b)))
+            .prop_filter_map("nonempty", |v| (!v.is_empty()).then_some(v.len()));
+        let mut rng = crate::runner_rng("flat_map_and_filter_map");
+        for _ in 0..50 {
+            let n = strat.generate(&mut rng).unwrap();
+            assert!((1..=9).contains(&n));
+        }
+    }
+}

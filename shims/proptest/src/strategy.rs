@@ -1,0 +1,288 @@
+//! Strategy trait and combinators for the proptest shim.
+//!
+//! A strategy produces `Option<Value>`: `None` signals a strategy-level
+//! rejection (e.g. `prop_filter_map` declining an input), which the
+//! runner retries without counting against the case budget.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange};
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The produced input type.
+    type Value;
+
+    /// Draw one value, or `None` to reject this attempt.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform produced values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each produced value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (the reason string is kept
+    /// for API parity; it is not reported by this shim).
+    fn prop_filter<F>(self, _reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Filter and transform in one step: `None` rejects the input.
+    fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S2::Value> {
+        let first = self.inner.generate(rng)?;
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(&self.pred)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        self.inner.generate(rng)
+    }
+}
+
+/// Uniform choice over boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $range:ty),* $(,)?) => {$(
+        impl Strategy for $range {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(<$range as SampleRange<$t>>::sample(self.clone(), rng))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    usize => std::ops::Range<usize>,
+    u64 => std::ops::Range<u64>,
+    u32 => std::ops::Range<u32>,
+    i64 => std::ops::Range<i64>,
+    i32 => std::ops::Range<i32>,
+    usize => std::ops::RangeInclusive<usize>,
+    u64 => std::ops::RangeInclusive<u64>,
+    u32 => std::ops::RangeInclusive<u32>,
+    i64 => std::ops::RangeInclusive<i64>,
+    i32 => std::ops::RangeInclusive<i32>,
+    f64 => std::ops::Range<f64>,
+);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Types usable as plain `name: Type` proptest arguments.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_std!(u64, u32, usize, bool);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> i64 {
+        rng.random::<u64>() as i64
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut StdRng) -> i32 {
+        rng.random::<u32>() as i32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite values across a broad magnitude range; proptest proper
+        // samples special values too, but in-repo properties only need
+        // ordinary finite floats.
+        (rng.random::<f64>() - 0.5) * 2.0e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        (rng.random::<f32>() - 0.5) * 2.0e6
+    }
+}
+
+/// Strategy form of [`Arbitrary`] (`any::<T>()`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// An unconstrained strategy for `T` (used for `name: Type` arguments).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline shim for `rayon`: the data-parallel iterator surface this
+//! workspace uses (`par_iter`, `into_par_iter`, `par_chunks_mut` with
+//! `map` / `enumerate` / `for_each` / `collect`), executed with real
+//! threads via `std::thread::scope`.
+//!
+//! Unlike rayon this is *eager* with static partitioning: each adapter
+//! materialises its input, splits it into one contiguous chunk per
+//! worker thread, and joins before returning. Ordering of results is
+//! preserved. That is semantically equivalent for the pure closures used
+//! here, at the cost of rayon's work stealing.
+
+use std::ops::Range;
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Run `f` over `items` on up to [`thread_count`] threads, preserving
+/// input order in the output.
+fn run_par<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialised list of items whose
+/// consuming adapters run on multiple threads.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Par<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Par {
+            items: run_par(self.items, f),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_par(self.items, f);
+    }
+
+    /// Collect the (already computed, ordered) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `par_iter` over slices (and anything derefing to one, e.g. `Vec`).
+pub trait ParallelSliceRef<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of length
+    /// `chunk` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk: usize) -> Par<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> Par<&mut [T]> {
+        Par {
+            items: self.chunks_mut(chunk).collect(),
+        }
+    }
+}
+
+/// `into_par_iter` over owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> Par<usize> {
+        Par {
+            items: self.collect(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut, ParallelSliceRef};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let out: Vec<usize> = (0..37usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 37);
+        assert_eq!(out[36], 37);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_all_chunks() {
+        let mut v = vec![0u32; 100];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[99], 100usize.div_ceil(7) as u32);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuit_semantics() {
+        let v: Vec<usize> = (0..10).collect();
+        let ok: Result<Vec<usize>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The in-memory JSON-like data model shared by the `serde` and
+//! `serde_json` shims.
+
+/// A JSON value. Numbers are stored as `f64` (all numbers serialised by
+/// this workspace fit exactly: indices, sizes and simulated seconds).
+/// Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Look up a field of an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but produces a descriptive error, for derived
+    /// `Deserialize` impls.
+    pub fn get_field(&self, key: &str) -> Result<&Value, crate::Error> {
+        self.get(key)
+            .ok_or_else(|| crate::Error::msg(format!("missing field `{key}`")))
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Object field access; missing keys index to `Null` (as in
+    /// `serde_json`), so chained lookups don't panic.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Array element access; out-of-range indexes to `Null`.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_num_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+impl_num_eq!(u32, u64, usize, i32, i64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("a".into(), Value::Num(1.0)),
+            (
+                "items".into(),
+                Value::Array(vec![Value::Str("x".into()), Value::Bool(true)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn index_and_accessors() {
+        let v = sample();
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["items"][0], "x");
+        assert_eq!(v["items"][1], true);
+        assert!(v["missing"].is_null());
+        assert!(v["items"][99].is_null());
+        assert_eq!(v["items"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn numeric_equality_across_types() {
+        let n = Value::Num(640.0);
+        assert_eq!(n, 640u64);
+        assert_eq!(n, 640usize);
+        assert_eq!(n, 640i32);
+        assert_eq!(n, 640.0f64);
+        assert!(n.as_u64() == Some(640));
+        assert!(Value::Num(1.5).as_u64().is_none());
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shapes this workspace actually
+//! declares — non-generic structs with named fields, tuple structs, and
+//! enums with unit / tuple / struct variants. No `#[serde(...)]`
+//! attribute support (none is used in-repo).
+//!
+//! Implemented directly on `proc_macro::TokenStream` because the usual
+//! helper crates (`syn`, `quote`) are unavailable offline. The parser
+//! extracts just the type name and the field/variant names; the
+//! generated code leans on type inference to pick the right
+//! `Serialize`/`Deserialize` impls for field types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), including the
+    /// `#[doc = "..."]` form doc comments lower to.
+    fn skip_attributes(&mut self) {
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Count / name the fields inside a brace or paren group.
+fn parse_fields(group: &proc_macro::Group) -> Result<Fields, String> {
+    match group.delimiter() {
+        Delimiter::Brace => {
+            let mut c = Cursor::new(group.stream());
+            let mut names = Vec::new();
+            while c.peek().is_some() {
+                c.skip_attributes();
+                c.skip_visibility();
+                let name = c.expect_ident()?;
+                match c.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, found {other:?}")),
+                }
+                // Skip the type: consume until a comma at angle-depth 0.
+                let mut angle: i32 = 0;
+                loop {
+                    match c.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) => {
+                            let ch = p.as_char();
+                            if ch == '<' {
+                                angle += 1;
+                            } else if ch == '>' {
+                                angle -= 1;
+                            } else if ch == ',' && angle == 0 {
+                                c.pos += 1;
+                                break;
+                            }
+                            c.pos += 1;
+                        }
+                        Some(_) => c.pos += 1,
+                    }
+                }
+                names.push(name);
+            }
+            Ok(Fields::Named(names))
+        }
+        Delimiter::Parenthesis => {
+            let mut count = 0usize;
+            let mut angle: i32 = 0;
+            let mut any = false;
+            for t in group.stream() {
+                any = true;
+                if let TokenTree::Punct(p) = &t {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        angle += 1;
+                    } else if ch == '>' {
+                        angle -= 1;
+                    } else if ch == ',' && angle == 0 {
+                        count += 1;
+                    }
+                }
+            }
+            Ok(Fields::Tuple(if any { count + 1 } else { 0 }))
+        }
+        _ => Err("unsupported field group".into()),
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(ts);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) => {
+                let fields = parse_fields(g)?;
+                Ok(Input::Struct { name, fields })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.skip_attributes();
+                let vname = vc.expect_ident()?;
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) => {
+                        let f = parse_fields(g)?;
+                        vc.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = vc.peek() {
+                    if p.as_char() == ',' {
+                        vc.pos += 1;
+                    }
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("serde_derive shim: cannot derive for `{other}`")),
+    }
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![{}])",
+                                binds.join(", "),
+                                obj_entry(vn, &payload)
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![{}])",
+                                fields.join(", "),
+                                obj_entry(
+                                    vn,
+                                    &format!(
+                                        "::serde::Value::Object(::std::vec![{}])",
+                                        entries.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{ \
+                           ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({items})), \
+                           __other => ::std::result::Result::Err(::serde::Error::msg( \
+                             format!(\"expected {n}-element array for {name}, got {{__other:?}}\"))), \
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}( \
+                               ::serde::Deserialize::from_value(__payload)?))"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __payload {{ \
+                                   ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vn}({items})), \
+                                   __other => ::std::result::Result::Err(::serde::Error::msg( \
+                                     format!(\"bad payload for {name}::{vn}: {{__other:?}}\"))), \
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value( \
+                                           __payload.get_field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     match __v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::Error::msg( \
+                           format!(\"unknown {name} variant `{{__other}}`\"))), \
+                       }}, \
+                       ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                         let (__tag, __payload) = &__entries[0]; \
+                         match __tag.as_str() {{ \
+                           {tagged_arms} \
+                           __other => ::std::result::Result::Err(::serde::Error::msg( \
+                             format!(\"unknown {name} variant `{{__other}}`\"))), \
+                         }} \
+                       }} \
+                       __other => ::std::result::Result::Err(::serde::Error::msg( \
+                         format!(\"cannot deserialize {name} from {{__other:?}}\"))), \
+                     }} \
+                   }} \
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(", "))
+                },
+            )
+        }
+    }
+}
+
+fn derive(ts: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(ts) {
+        Ok(input) => gen(&input)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(ts: TokenStream) -> TokenStream {
+    derive(ts, gen_serialize)
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(ts: TokenStream) -> TokenStream {
+    derive(ts, gen_deserialize)
+}

@@ -1,14 +1,47 @@
 //! Property-based integration tests: invariants that must hold for
 //! arbitrary shapes and configurations across the whole stack.
 
+use autokernel::core::cache::CachedSelector;
+use autokernel::core::{PerformanceDataset, PruneMethod, Selector, SelectorKind};
 use autokernel::gemm::config::{KernelConfig, WORK_GROUPS};
 use autokernel::gemm::reference::{max_abs_diff, reference_gemm, test_matrices};
 use autokernel::gemm::{model, GemmShape, TiledGemmKernel};
 use autokernel::sim::{perf, Buffer, DeviceSpec, DeviceType, Platform, Queue};
 use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 fn arb_shape() -> impl Strategy<Value = GemmShape> {
     (1usize..200, 1usize..300, 1usize..200).prop_map(|(m, k, n)| GemmShape::new(m, k, n))
+}
+
+/// A selector trained once and shared across property cases (training
+/// is far too slow to repeat per case, and the properties only concern
+/// inference).
+fn shared_selector() -> Arc<Selector> {
+    static SEL: OnceLock<Arc<Selector>> = OnceLock::new();
+    Arc::clone(SEL.get_or_init(|| {
+        let shapes: Vec<(GemmShape, String)> = [
+            (64, 64, 64),
+            (512, 512, 512),
+            (1, 4096, 1000),
+            (12544, 27, 64),
+            (196, 2304, 256),
+            (3136, 144, 24),
+            (49, 960, 160),
+            (784, 1152, 128),
+            (32, 4096, 4096),
+            (2, 2048, 1000),
+            (6272, 576, 128),
+            (1024, 1024, 1024),
+        ]
+        .iter()
+        .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+        .collect();
+        let ds = PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap();
+        let train: Vec<usize> = (0..ds.n_shapes()).collect();
+        let configs = PruneMethod::TopN.select(&ds, &train, 6, 0).unwrap();
+        Arc::new(Selector::train(SelectorKind::DecisionTree, &ds, &train, &configs, 0).unwrap())
+    }))
 }
 
 fn arb_config() -> impl Strategy<Value = KernelConfig> {
@@ -108,5 +141,43 @@ proptest! {
         }
         prop_assert_eq!(max_abs_diff(&outputs[0], &outputs[1]), 0.0);
         prop_assert_eq!(max_abs_diff(&outputs[0], &outputs[2]), 0.0);
+    }
+
+    /// The serving cache is a pure memoisation: for arbitrary shapes,
+    /// cold lookups, warm lookups and lookups after concurrent warm-up
+    /// from several threads all equal the uncached selector's answer.
+    #[test]
+    fn cached_selection_equals_uncached(shapes in proptest::collection::vec(arb_shape(), 1..8)) {
+        let selector = shared_selector();
+        let cached = CachedSelector::new(Arc::clone(&selector));
+        for shape in &shapes {
+            let direct = selector.select_shape(shape).unwrap();
+            prop_assert_eq!(cached.select(shape).unwrap(), direct, "cold lookup for {}", shape);
+            prop_assert_eq!(cached.select(shape).unwrap(), direct, "warm lookup for {}", shape);
+        }
+
+        // Concurrent warm-up of a fresh cache must not change decisions.
+        let fresh = CachedSelector::new(Arc::clone(&selector));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let fresh = &fresh;
+                let shapes = &shapes;
+                scope.spawn(move |_| {
+                    for shape in shapes {
+                        fresh.select(shape).unwrap();
+                    }
+                });
+            }
+        }).unwrap();
+        for shape in &shapes {
+            prop_assert_eq!(
+                fresh.select(shape).unwrap(),
+                selector.select_shape(shape).unwrap(),
+                "post-concurrent-warm-up lookup for {}",
+                shape
+            );
+        }
+        let t = fresh.telemetry();
+        prop_assert_eq!(t.hits() + t.misses(), t.total());
     }
 }
