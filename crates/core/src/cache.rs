@@ -105,6 +105,15 @@ pub struct SelectionTelemetry {
     picks: Vec<AtomicU64>,
     /// Global config index per slot (frozen copy of the shipped set).
     shipped: Vec<usize>,
+    // --- resilient-serving counters (all zero outside a
+    // `resilient::ResilientExecutor`) ---
+    resilient_launches: AtomicU64,
+    launch_failures: AtomicU64,
+    retries: AtomicU64,
+    breaker_trips: AtomicU64,
+    quarantine_skips: AtomicU64,
+    fallback_next_best: AtomicU64,
+    fallback_reference: AtomicU64,
 }
 
 impl SelectionTelemetry {
@@ -116,7 +125,42 @@ impl SelectionTelemetry {
             miss_nanos: AtomicU64::new(0),
             picks: shipped.iter().map(|_| AtomicU64::new(0)).collect(),
             shipped: shipped.to_vec(),
+            resilient_launches: AtomicU64::new(0),
+            launch_failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            quarantine_skips: AtomicU64::new(0),
+            fallback_next_best: AtomicU64::new(0),
+            fallback_reference: AtomicU64::new(0),
         }
+    }
+
+    pub(crate) fn record_resilient_launch(&self) {
+        self.resilient_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_launch_failure(&self) {
+        self.launch_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quarantine_skip(&self) {
+        self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fallback_next_best(&self) {
+        self.fallback_next_best.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fallback_reference(&self) {
+        self.fallback_reference.fetch_add(1, Ordering::Relaxed);
     }
 
     fn record(&self, hit: bool, nanos: u64, config_index: usize) {
@@ -177,6 +221,41 @@ impl SelectionTelemetry {
         }
     }
 
+    /// Launches completed through the resilient executor.
+    pub fn resilient_launches(&self) -> u64 {
+        self.resilient_launches.load(Ordering::Relaxed)
+    }
+
+    /// Individual failed launch attempts the executor absorbed.
+    pub fn launch_failures(&self) -> u64 {
+        self.launch_failures.load(Ordering::Relaxed)
+    }
+
+    /// Retries of the *same* configuration after a transient fault.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Circuit-breaker transitions into the open state.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips.load(Ordering::Relaxed)
+    }
+
+    /// Candidate configurations skipped because their breaker was open.
+    pub fn quarantine_skips(&self) -> u64 {
+        self.quarantine_skips.load(Ordering::Relaxed)
+    }
+
+    /// Launches served by a next-best shipped configuration.
+    pub fn fallback_next_best(&self) -> u64 {
+        self.fallback_next_best.load(Ordering::Relaxed)
+    }
+
+    /// Launches degraded all the way to the reference GEMM.
+    pub fn fallback_reference(&self) -> u64 {
+        self.fallback_reference.load(Ordering::Relaxed)
+    }
+
     /// `(global config index, times picked)` per shipped configuration,
     /// in shipped order.
     pub fn picks(&self) -> Vec<(usize, u64)> {
@@ -202,6 +281,13 @@ impl SelectionTelemetry {
                     count,
                 })
                 .collect(),
+            resilient_launches: self.resilient_launches(),
+            launch_failures: self.launch_failures(),
+            retries: self.retries(),
+            breaker_trips: self.breaker_trips(),
+            quarantine_skips: self.quarantine_skips(),
+            fallback_next_best: self.fallback_next_best(),
+            fallback_reference: self.fallback_reference(),
         }
     }
 }
@@ -229,6 +315,20 @@ pub struct TelemetrySnapshot {
     pub mean_miss_nanos: f64,
     /// Pick counts per shipped configuration.
     pub picks: Vec<PickCount>,
+    /// Launches completed through the resilient executor.
+    pub resilient_launches: u64,
+    /// Individual failed launch attempts absorbed.
+    pub launch_failures: u64,
+    /// Same-configuration retries after transient faults.
+    pub retries: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Candidates skipped while their breaker was open.
+    pub quarantine_skips: u64,
+    /// Launches served by a next-best shipped configuration.
+    pub fallback_next_best: u64,
+    /// Launches degraded to the reference GEMM.
+    pub fallback_reference: u64,
 }
 
 /// The outcome of one cached selection, for threading into launch
@@ -243,10 +343,7 @@ pub struct SelectionOutcome {
 
 impl From<SelectionOutcome> for autokernel_sycl_sim::trace::LaunchDecision {
     fn from(o: SelectionOutcome) -> Self {
-        autokernel_sycl_sim::trace::LaunchDecision {
-            config_index: o.config_index,
-            cache_hit: o.cache_hit,
-        }
+        autokernel_sycl_sim::trace::LaunchDecision::new(o.config_index, o.cache_hit)
     }
 }
 

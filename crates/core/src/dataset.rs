@@ -150,10 +150,13 @@ impl PerformanceDataset {
     /// the position within `allowed` as well as the config index.
     pub fn best_config_among(&self, shape: usize, allowed: &[usize]) -> Option<(usize, usize)> {
         let row = &self.raw_seconds[shape];
+        // total_cmp: a NaN timing (corrupt import) must not panic the
+        // serving path; NaN sorts above every real time, so it simply
+        // never wins.
         allowed
             .iter()
             .enumerate()
-            .min_by(|(_, &a), (_, &b)| row[a].partial_cmp(&row[b]).unwrap())
+            .min_by(|(_, &a), (_, &b)| row[a].total_cmp(&row[b]))
             .map(|(pos, &cfg)| (pos, cfg))
     }
 

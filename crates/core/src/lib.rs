@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod prune;
 pub mod regression;
 pub mod report;
+pub mod resilient;
 pub mod select;
 
 pub use cache::{
@@ -48,6 +49,9 @@ pub use dataset::PerformanceDataset;
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;
 pub use regression::{RegressionParams, RegressionSelector};
+pub use resilient::{
+    BreakerState, CircuitBreaker, FailureRecord, LaunchReport, ResilientExecutor, ResilientPolicy,
+};
 pub use select::{Selector, SelectorKind};
 
 /// Errors from the selection pipeline.
@@ -59,6 +63,9 @@ pub enum CoreError {
     Sim(autokernel_sycl_sim::SimError),
     /// Dataset construction or indexing problem.
     Dataset(String),
+    /// A selector produced a configuration index outside the global
+    /// 640-config space — a corrupted model artefact, not a user error.
+    BadConfigIndex(usize),
 }
 
 impl std::fmt::Display for CoreError {
@@ -67,6 +74,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
             CoreError::Sim(e) => write!(f, "simulator error: {e}"),
             CoreError::Dataset(s) => write!(f, "dataset error: {s}"),
+            CoreError::BadConfigIndex(i) => {
+                write!(f, "config index {i} outside the kernel configuration space")
+            }
         }
     }
 }

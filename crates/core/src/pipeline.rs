@@ -6,11 +6,12 @@ use crate::codegen::{emit_rust_source, CompiledTree};
 use crate::dataset::PerformanceDataset;
 use crate::evaluate;
 use crate::prune::PruneMethod;
+use crate::resilient::{ResilientExecutor, ResilientPolicy};
 use crate::select::{Selector, SelectorKind};
-use crate::Result;
+use crate::{CoreError, Result};
 use autokernel_gemm::{GemmShape, KernelConfig};
 use autokernel_mlkit::model_selection::train_test_split;
-use autokernel_sycl_sim::DeviceSpec;
+use autokernel_sycl_sim::{DeviceSpec, Queue};
 use std::sync::Arc;
 
 /// Pipeline hyper-parameters.
@@ -69,7 +70,7 @@ pub struct TuningPipeline {
     /// Shared with `serving` so the cached and uncached paths are
     /// provably the same model.
     selector: Arc<Selector>,
-    serving: CachedSelector,
+    serving: Arc<CachedSelector>,
     config: PipelineConfig,
 }
 
@@ -87,7 +88,7 @@ impl TuningPipeline {
             &shipped,
             config.seed,
         )?);
-        let serving = CachedSelector::new(Arc::clone(&selector));
+        let serving = Arc::new(CachedSelector::new(Arc::clone(&selector)));
         Ok(TuningPipeline {
             dataset,
             train_rows: split.train,
@@ -126,7 +127,7 @@ impl TuningPipeline {
     /// model; see [`TuningPipeline::select_cached`] for serving).
     pub fn select(&self, shape: &GemmShape) -> Result<KernelConfig> {
         let idx = self.selector.select_shape(shape)?;
-        Ok(KernelConfig::from_index(idx).expect("selector returns valid indices"))
+        KernelConfig::from_index(idx).ok_or(CoreError::BadConfigIndex(idx))
     }
 
     /// Select a configuration through the concurrent serving cache:
@@ -134,23 +135,39 @@ impl TuningPipeline {
     /// shapes skip model inference and update the telemetry counters.
     pub fn select_cached(&self, shape: &GemmShape) -> Result<KernelConfig> {
         let idx = self.serving.select(shape)?;
-        Ok(KernelConfig::from_index(idx).expect("selector returns valid indices"))
+        KernelConfig::from_index(idx).ok_or(CoreError::BadConfigIndex(idx))
     }
 
     /// Select configurations for many shapes in parallel, through the
     /// serving cache.
     pub fn select_batch(&self, shapes: &[GemmShape]) -> Result<Vec<KernelConfig>> {
-        Ok(self
-            .serving
+        self.serving
             .select_batch(shapes)?
             .into_iter()
-            .map(|idx| KernelConfig::from_index(idx).expect("selector returns valid indices"))
-            .collect())
+            .map(|idx| KernelConfig::from_index(idx).ok_or(CoreError::BadConfigIndex(idx)))
+            .collect()
     }
 
     /// The serving cache wrapped around the trained selector.
-    pub fn serving(&self) -> &CachedSelector {
+    pub fn serving(&self) -> &Arc<CachedSelector> {
         &self.serving
+    }
+
+    /// Build a [`ResilientExecutor`] serving this pipeline's model on
+    /// `queue`, with the fallback chain ranked by the shipped set's mean
+    /// normalised performance on the *training* rows (never the held-out
+    /// ones: ranking is part of the deployed artefact).
+    pub fn resilient_executor(&self, queue: Queue, policy: ResilientPolicy) -> ResilientExecutor {
+        let m = self.dataset.normalized_matrix_of(&self.train_rows);
+        let mut means = vec![0.0f64; self.dataset.n_configs()];
+        for i in 0..m.rows() {
+            for (mean, &v) in means.iter_mut().zip(m.row(i)) {
+                *mean += v;
+            }
+        }
+        let mut ranked = self.shipped.clone();
+        ranked.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
+        ResilientExecutor::new(Arc::clone(&self.serving), queue, ranked, policy)
     }
 
     /// Live serving telemetry (hits, misses, pick counts, latencies).

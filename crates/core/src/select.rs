@@ -127,10 +127,12 @@ impl Selector {
             .iter()
             .map(|&i| {
                 ds.best_config_among(i, configs)
-                    .expect("non-empty configs")
-                    .1
+                    .map(|(_, cfg)| cfg)
+                    .ok_or_else(|| {
+                        CoreError::Dataset(format!("no best config for training row {i}"))
+                    })
             })
-            .collect();
+            .collect::<Result<_>>()?;
 
         let (mut x, scaler) = match space {
             FeatureSpace::RawSizes => (ds.raw_features_of(train), None),
@@ -209,7 +211,7 @@ impl Selector {
             FeatureSpace::RawSizes => shape.features(),
             FeatureSpace::ScaledLog => shape.log_features(),
         };
-        let m = Matrix::from_rows(&[raw.to_vec()]).expect("single feature row");
+        let m = Matrix::from_rows(&[raw.to_vec()])?;
         let m = match &self.scaler {
             Some(s) => s.transform(&m)?,
             None => m,

@@ -26,4 +26,5 @@ pub mod shape;
 pub use batched::BatchedGemmKernel;
 pub use config::{KernelConfig, WorkGroup, TILE_SIZES, WORK_GROUPS};
 pub use kernel::TiledGemmKernel;
+pub use reference::ReferenceGemmKernel;
 pub use shape::GemmShape;

@@ -1,6 +1,9 @@
 //! Reference GEMM implementations used to validate the kernel family.
 
 use crate::shape::GemmShape;
+use autokernel_sycl_sim::perf::KernelProfile;
+use autokernel_sycl_sim::runtime::{Buffer, NDRange, SimKernel};
+use autokernel_sycl_sim::{DeviceSpec, Result, SimError};
 use rayon::prelude::*;
 
 /// Straightforward row-major reference: `C = A · B`.
@@ -72,6 +75,83 @@ pub fn test_matrices(shape: GemmShape, seed: u64) -> (Vec<f32>, Vec<f32>) {
     )
 }
 
+/// The launchable wrapper around [`parallel_reference_gemm`]: the
+/// terminal rung of the resilient fallback chain. It carries no tiling
+/// configuration, stages nothing through local memory, and asks for a
+/// modest fixed work-group — so it launches on *every* shipped device
+/// and computes the exact answer, at untuned-baseline speed.
+pub struct ReferenceGemmKernel {
+    shape: GemmShape,
+    a: Buffer<f32>,
+    b: Buffer<f32>,
+    c: Buffer<f32>,
+}
+
+impl ReferenceGemmKernel {
+    /// Bind the reference kernel to its operands.
+    ///
+    /// Fails if buffer lengths disagree with `shape`.
+    pub fn new(shape: GemmShape, a: Buffer<f32>, b: Buffer<f32>, c: Buffer<f32>) -> Result<Self> {
+        if a.len() != shape.m * shape.k
+            || b.len() != shape.k * shape.n
+            || c.len() != shape.m * shape.n
+        {
+            return Err(SimError::BadLaunch(format!(
+                "buffer sizes do not match shape {shape}"
+            )));
+        }
+        Ok(ReferenceGemmKernel { shape, a, b, c })
+    }
+
+    /// The launch range this kernel wants: one work-item per C element,
+    /// padded to 8×8 groups (small enough for every shipped device).
+    pub fn preferred_range(&self) -> Result<NDRange> {
+        NDRange::padded([self.shape.m, self.shape.n], [8, 8])
+    }
+
+    /// The problem shape this kernel is bound to.
+    pub fn shape(&self) -> &GemmShape {
+        &self.shape
+    }
+}
+
+impl SimKernel for ReferenceGemmKernel {
+    fn name(&self) -> String {
+        format!("gemm_reference_{}", self.shape)
+    }
+
+    fn profile(&self, _device: &DeviceSpec, _range: &NDRange) -> KernelProfile {
+        let k = self.shape.k as f64;
+        // One work-item per C element: 2k flops, streaming a full row of
+        // A and column of B with no local-memory reuse and strided B
+        // access — the untuned cost a naive kernel pays.
+        KernelProfile {
+            flops_per_item: 2.0 * k,
+            bytes_per_item: 4.0 * (2.0 * k + 1.0),
+            cache_reuse: 0.5,
+            registers_per_item: 16,
+            lds_bytes_per_group: 0,
+            coalescing: 1.0,
+            useful_items: (self.shape.m * self.shape.n) as f64,
+            ilp: 0.3,
+        }
+    }
+
+    fn execute(&self, _range: &NDRange) -> Result<()> {
+        let a = self.a.read();
+        let b = self.b.read();
+        let mut c = self.c.write();
+        parallel_reference_gemm(self.shape, &a, &b, &mut c);
+        Ok(())
+    }
+
+    fn noise_seed(&self) -> u64 {
+        // A stable stream distinct from every tiled configuration.
+        0xbead_c0de
+            ^ ((self.shape.m as u64) << 40 | (self.shape.n as u64) << 20 | self.shape.k as u64)
+    }
+}
+
 /// Maximum absolute elementwise difference between two buffers.
 pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
     x.iter()
@@ -125,6 +205,47 @@ mod tests {
             parallel_reference_gemm(shape, &a, &b, &mut c2);
             assert_eq!(max_abs_diff(&c1, &c2), 0.0, "shape {shape}");
         }
+    }
+
+    #[test]
+    fn reference_kernel_launches_and_matches_reference() {
+        use autokernel_sycl_sim::{DeviceSpec, Platform, Queue};
+        let shape = GemmShape::new(13, 29, 7);
+        let (a, b) = test_matrices(shape, 77);
+        let mut expect = vec![0.0f32; shape.m * shape.n];
+        reference_gemm(shape, &a, &b, &mut expect);
+
+        let kc = Buffer::from_vec(vec![0.0f32; shape.m * shape.n]);
+        let kernel =
+            ReferenceGemmKernel::new(shape, Buffer::from_vec(a), Buffer::from_vec(b), kc.clone())
+                .unwrap();
+        // Launches even on the most constrained shipped device.
+        for dev in Platform::standard().devices() {
+            let queue = Queue::new(dev.clone());
+            let range = kernel.preferred_range().unwrap();
+            let ev = queue.submit(&kernel, range).unwrap();
+            assert!(ev.duration_s() > 0.0);
+        }
+        assert_eq!(max_abs_diff(&kc.to_vec(), &expect), 0.0);
+        assert!(
+            kernel.name().contains("gemm_reference"),
+            "{}",
+            kernel.name()
+        );
+        assert_eq!(*kernel.shape(), shape);
+        // LDS-free profile: no device can reject it for local memory.
+        let nano = DeviceSpec::amd_r9_nano();
+        let range = kernel.preferred_range().unwrap();
+        assert_eq!(kernel.profile(&nano, &range).lds_bytes_per_group, 0);
+    }
+
+    #[test]
+    fn reference_kernel_rejects_mismatched_buffers() {
+        let shape = GemmShape::new(4, 4, 4);
+        let ok = Buffer::from_vec(vec![0.0f32; 16]);
+        let bad = Buffer::from_vec(vec![0.0f32; 15]);
+        assert!(ReferenceGemmKernel::new(shape, bad, ok.clone(), ok.clone()).is_err());
+        assert!(ReferenceGemmKernel::new(shape, ok.clone(), ok.clone(), ok).is_ok());
     }
 
     #[test]

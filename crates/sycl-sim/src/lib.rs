@@ -24,25 +24,91 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod perf;
 pub mod runtime;
 pub mod trace;
 
 pub use device::{DeviceSpec, DeviceType};
+pub use fault::{FaultError, FaultKind, FaultPlan};
 pub use perf::{KernelCost, KernelProfile};
-pub use runtime::{Buffer, Context, Event, NDRange, Platform, Queue, SimKernel};
-pub use trace::{LaunchDecision, TraceRecorder};
+pub use runtime::{
+    validate_launch, Buffer, CompletionStatus, Context, Event, NDRange, Platform, Queue, SimKernel,
+};
+pub use trace::{FallbackLevel, LaunchDecision, TraceRecorder};
+
+/// Which device capacity a launch over-subscribed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Work-group size above `DeviceSpec::max_work_group_size`.
+    WorkGroupSize,
+    /// Work-group size above the device's total SIMD lane count.
+    Lanes,
+    /// Per-group local memory above `DeviceSpec::lds_bytes_per_cu`.
+    Lds,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceKind::WorkGroupSize => write!(f, "work-group size"),
+            ResourceKind::Lanes => write!(f, "SIMD lanes"),
+            ResourceKind::Lds => write!(f, "local memory bytes"),
+        }
+    }
+}
+
+/// A launch rejected because a configuration demands more of a device
+/// resource than the device has — the typed replacement for the old
+/// stringly `BadLaunch` work-group check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceExhaustion {
+    /// The over-subscribed resource.
+    pub resource: ResourceKind,
+    /// What the launch asked for.
+    pub requested: usize,
+    /// What the device offers.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for ResourceExhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} exceeds device limit {}",
+            self.resource, self.requested, self.limit
+        )
+    }
+}
 
 /// Errors produced by the simulated runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// No device of the requested type exists on the platform.
     NoSuchDevice(String),
-    /// An ND-range was invalid (zero-sized, or local exceeding device
-    /// limits).
+    /// An ND-range was invalid (zero-sized, or global not a multiple of
+    /// local).
     BadRange(String),
-    /// Kernel rejected the launch configuration.
+    /// Kernel rejected the launch configuration (e.g. operand buffers
+    /// disagreeing with the problem shape).
     BadLaunch(String),
+    /// The launch over-subscribes a device resource (work-group limit,
+    /// lane count, local memory) — rejected at submit time.
+    Exhausted(ResourceExhaustion),
+    /// An injected runtime fault (see [`fault::FaultPlan`]).
+    Fault(FaultError),
+}
+
+impl SimError {
+    /// Whether retrying the *same* launch may succeed: injected
+    /// transient faults are retryable, structural rejections
+    /// (bad ranges, resource exhaustion) are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SimError::Fault(f) => f.kind.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -51,6 +117,8 @@ impl std::fmt::Display for SimError {
             SimError::NoSuchDevice(s) => write!(f, "no such device: {s}"),
             SimError::BadRange(s) => write!(f, "bad nd-range: {s}"),
             SimError::BadLaunch(s) => write!(f, "bad launch: {s}"),
+            SimError::Exhausted(e) => write!(f, "resource exhausted: {e}"),
+            SimError::Fault(e) => write!(f, "injected fault: {e}"),
         }
     }
 }

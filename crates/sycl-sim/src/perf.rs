@@ -46,7 +46,7 @@ pub struct KernelProfile {
 }
 
 /// The model's verdict for one launch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct KernelCost {
     /// Total estimated execution time in seconds.
     pub total_s: f64,

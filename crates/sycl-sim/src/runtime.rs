@@ -7,8 +7,9 @@
 //! device model, advancing a per-queue simulated clock.
 
 use crate::device::DeviceSpec;
+use crate::fault::{FaultError, FaultKind, FaultPlan};
 use crate::perf::{self, KernelCost, KernelProfile};
-use crate::{Result, SimError};
+use crate::{ResourceExhaustion, ResourceKind, Result, SimError};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
 
@@ -151,6 +152,61 @@ pub trait SimKernel: Send + Sync {
     }
 }
 
+/// How a launch recorded by an [`Event`] ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompletionStatus {
+    /// The kernel ran to completion.
+    Complete,
+    /// The launch died to an injected fault of the given kind; the
+    /// event's duration is the device time the failure consumed.
+    Failed(FaultKind),
+}
+
+impl CompletionStatus {
+    /// Short stable label used in trace annotations.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompletionStatus::Complete => "complete",
+            CompletionStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Check a launch's resource demands against a device *before* pricing
+/// it: work-group size against the device's group limit and total SIMD
+/// lane count, and per-group local memory against the LDS capacity of a
+/// compute unit. Queues call this at submit time; selection layers can
+/// call it directly to pre-screen a candidate configuration.
+pub fn validate_launch(
+    device: &DeviceSpec,
+    profile: &KernelProfile,
+    range: &NDRange,
+) -> Result<()> {
+    let local = range.local_size();
+    if local > device.max_work_group_size {
+        return Err(SimError::Exhausted(ResourceExhaustion {
+            resource: ResourceKind::WorkGroupSize,
+            requested: local,
+            limit: device.max_work_group_size,
+        }));
+    }
+    if local > device.total_lanes() {
+        return Err(SimError::Exhausted(ResourceExhaustion {
+            resource: ResourceKind::Lanes,
+            requested: local,
+            limit: device.total_lanes(),
+        }));
+    }
+    if profile.lds_bytes_per_group > device.lds_bytes_per_cu {
+        return Err(SimError::Exhausted(ResourceExhaustion {
+            resource: ResourceKind::Lds,
+            requested: profile.lds_bytes_per_group,
+            limit: device.lds_bytes_per_cu,
+        }));
+    }
+    Ok(())
+}
+
 /// A completed launch with simulated profiling information, the analogue
 /// of a SYCL event with `info::event_profiling`.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,9 +215,32 @@ pub struct Event {
     start_s: f64,
     end_s: f64,
     cost: KernelCost,
+    status: CompletionStatus,
 }
 
 impl Event {
+    /// An event recording a *failed* launch: the span it occupied on the
+    /// device clock with a zeroed cost breakdown (nothing useful ran).
+    pub fn failed(kernel_name: String, start_s: f64, end_s: f64, kind: FaultKind) -> Self {
+        Event {
+            kernel_name,
+            start_s,
+            end_s,
+            cost: KernelCost::default(),
+            status: CompletionStatus::Failed(kind),
+        }
+    }
+
+    /// How the launch ended.
+    pub fn status(&self) -> CompletionStatus {
+        self.status
+    }
+
+    /// Whether this event records a failed launch.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status, CompletionStatus::Failed(_))
+    }
+
     /// Simulated submission-to-completion duration in seconds.
     pub fn duration_s(&self) -> f64 {
         self.end_s - self.start_s
@@ -214,6 +293,7 @@ impl Context {
             clock_s: self.clock_s.clone(),
             noise_amplitude: 0.03,
             execute_host: true,
+            fault_plan: None,
         }
     }
 
@@ -237,6 +317,11 @@ impl Context {
 }
 
 /// An in-order queue bound to one device.
+///
+/// Cloning is shallow in the ways that matter: the clone shares the
+/// original's device, simulated clock, and fault plan, so a cloned
+/// queue's submissions serialise on the same timeline.
+#[derive(Clone)]
 pub struct Queue {
     device: Arc<DeviceSpec>,
     clock_s: Arc<Mutex<f64>>,
@@ -245,6 +330,8 @@ pub struct Queue {
     /// When false, kernel bodies are skipped and only timing is modelled
     /// (used for large benchmark sweeps where results are not consumed).
     execute_host: bool,
+    /// Optional injected-fault schedule consulted at submit time.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Queue {
@@ -271,9 +358,43 @@ impl Queue {
         self
     }
 
+    /// Attach a fault plan: every subsequent submission is adjudicated
+    /// by `plan` before it runs. An inert plan (all rates zero, no
+    /// doomed kernels) leaves behaviour bit-identical to no plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// A clone of this queue with fault injection disabled — same
+    /// device, same shared clock. The resilient executor's terminal
+    /// fallback runs here, modelling a host-side safe path that device
+    /// faults cannot reach.
+    pub fn without_faults(&self) -> Queue {
+        Queue {
+            fault_plan: None,
+            ..self.clone()
+        }
+    }
+
+    /// The fault plan attached to this queue, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
+    }
+
     /// The device this queue targets.
     pub fn device(&self) -> &DeviceSpec {
         &self.device
+    }
+
+    /// Advance this queue's simulated clock by `seconds` — how a
+    /// resilient caller models backoff between retries without
+    /// sleeping the host thread.
+    pub fn wait(&self, seconds: f64) {
+        if seconds > 0.0 {
+            let mut clock = self.clock_s.lock();
+            *clock += seconds;
+        }
     }
 
     /// Submit a kernel over `range`; returns its completion event.
@@ -289,17 +410,32 @@ impl Queue {
         range: NDRange,
         deps: &[Event],
     ) -> Result<Event> {
-        if range.local_size() > self.device.max_work_group_size {
-            return Err(SimError::BadLaunch(format!(
-                "work-group of {} exceeds device limit {}",
-                range.local_size(),
-                self.device.max_work_group_size
-            )));
+        let profile = kernel.profile(&self.device, &range);
+        validate_launch(&self.device, &profile, &range)?;
+        if let Some(plan) = &self.fault_plan {
+            let occupancy = perf::occupancy(&self.device, &profile, &range);
+            let name = kernel.name();
+            if let Some((kind, consumed, submission)) = plan.decide(&name, occupancy, &self.device)
+            {
+                // The failed launch still occupies the device: charge
+                // the consumed time to the shared clock so retries and
+                // fallbacks pay for the failure they recover from.
+                let mut clock = self.clock_s.lock();
+                let dep_end = deps.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
+                let start = clock.max(dep_end);
+                *clock = start + consumed;
+                return Err(SimError::Fault(FaultError {
+                    kind,
+                    kernel: name,
+                    submission,
+                    at_s: start,
+                    consumed_s: consumed,
+                }));
+            }
         }
         if self.execute_host {
             kernel.execute(&range)?;
         }
-        let profile = kernel.profile(&self.device, &range);
         let (cost, duration) = self.price(&profile, &range, kernel.noise_seed());
 
         let mut clock = self.clock_s.lock();
@@ -312,6 +448,7 @@ impl Queue {
             start_s: start,
             end_s: end,
             cost,
+            status: CompletionStatus::Complete,
         })
     }
 
@@ -527,7 +664,112 @@ mod tests {
         let buf = Buffer::from_vec(vec![0.0f32; 4]);
         let k = DoubleKernel { buf };
         let r = NDRange::new([512, 1], [512, 1]).unwrap();
-        assert!(matches!(queue.submit(&k, r), Err(SimError::BadLaunch(_))));
+        match queue.submit(&k, r) {
+            Err(SimError::Exhausted(e)) => {
+                assert_eq!(e.resource, crate::ResourceKind::WorkGroupSize);
+                assert_eq!(e.requested, 512);
+                assert_eq!(e.limit, 256);
+            }
+            other => panic!("expected resource exhaustion, got {other:?}"),
+        }
+    }
+
+    /// A kernel claiming more LDS per group than any device offers.
+    struct LdsHogKernel;
+
+    impl SimKernel for LdsHogKernel {
+        fn name(&self) -> String {
+            "lds_hog".into()
+        }
+        fn profile(&self, _device: &DeviceSpec, _range: &NDRange) -> KernelProfile {
+            KernelProfile {
+                flops_per_item: 1.0,
+                bytes_per_item: 4.0,
+                cache_reuse: 0.0,
+                registers_per_item: 8,
+                lds_bytes_per_group: 1 << 30,
+                coalescing: 1.0,
+                useful_items: 64.0,
+                ilp: 1.0,
+            }
+        }
+        fn execute(&self, _range: &NDRange) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn launch_rejected_when_lds_exceeds_device() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_name("nano").unwrap();
+        let queue = Queue::timing_only(dev);
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        match queue.submit(&LdsHogKernel, r) {
+            Err(SimError::Exhausted(e)) => assert_eq!(e.resource, crate::ResourceKind::Lds),
+            other => panic!("expected LDS exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_injects_and_charges_the_clock() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_name("nano").unwrap();
+        let plan = Arc::new(FaultPlan::new(3).doom_kernels_matching("double"));
+        let queue = Queue::timing_only(dev).with_fault_plan(plan);
+        let buf = Buffer::from_vec(vec![0.0f32; 64]);
+        let k = DoubleKernel { buf };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let before = queue.now_s();
+        match queue.submit(&k, r) {
+            Err(SimError::Fault(f)) => {
+                assert_eq!(f.kind, FaultKind::ResourceStarvation);
+                assert!(f.consumed_s > 0.0);
+                assert!((queue.now_s() - (before + f.consumed_s)).abs() < 1e-15);
+            }
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+        // The safe clone shares the clock but not the plan.
+        let safe = queue.without_faults();
+        assert!(safe.fault_plan().is_none());
+        assert!(safe.submit(&k, r).is_ok());
+        assert!((safe.now_s() - queue.now_s()).abs() < 1e-15, "shared clock");
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_no_plan() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_name("nano").unwrap();
+        let plain = Queue::timing_only(dev.clone());
+        let guarded = Queue::timing_only(dev).with_fault_plan(Arc::new(FaultPlan::none()));
+        let buf = Buffer::from_vec(vec![0.0f32; 64]);
+        let k = DoubleKernel { buf };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        for _ in 0..10 {
+            let a = plain.submit(&k, r).unwrap();
+            let b = guarded.submit(&k, r).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn queue_wait_advances_the_clock() {
+        let platform = Platform::standard();
+        let dev = platform.device_by_name("nano").unwrap();
+        let queue = Queue::timing_only(dev);
+        let t0 = queue.now_s();
+        queue.wait(1.5e-3);
+        assert!((queue.now_s() - (t0 + 1.5e-3)).abs() < 1e-15);
+        queue.wait(-1.0); // negative waits are ignored
+        assert!((queue.now_s() - (t0 + 1.5e-3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn failed_event_reports_status() {
+        let ev = Event::failed("k".into(), 1.0, 1.5, FaultKind::DeviceLost);
+        assert!(ev.is_failed());
+        assert_eq!(ev.status(), CompletionStatus::Failed(FaultKind::DeviceLost));
+        assert_eq!(ev.status().label(), "failed");
+        assert!((ev.duration_s() - 0.5).abs() < 1e-15);
     }
 
     #[test]

@@ -2,21 +2,80 @@
 //! as a Chrome-trace (`chrome://tracing` / Perfetto) JSON timeline —
 //! the profiling view a SYCL runtime would give you for a real run.
 
-use crate::runtime::Event;
+use crate::runtime::{CompletionStatus, Event};
 use std::collections::BTreeMap;
+
+/// How far down the resilient fallback chain a launch had to go before
+/// it completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// The selector's own pick ran.
+    Primary,
+    /// The pick failed (or was quarantined); the Nth-ranked alternative
+    /// shipped config ran instead (1 = first alternative tried).
+    NextBest(u8),
+    /// Every shipped config failed; the host-side reference GEMM ran.
+    Reference,
+}
+
+impl FallbackLevel {
+    /// Short stable label used in trace annotations
+    /// (`primary` / `next_best_N` / `reference`).
+    pub fn label(&self) -> String {
+        match self {
+            FallbackLevel::Primary => "primary".to_string(),
+            FallbackLevel::NextBest(n) => format!("next_best_{n}"),
+            FallbackLevel::Reference => "reference".to_string(),
+        }
+    }
+
+    /// Whether the launch was served by anything other than the
+    /// selector's pick.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, FallbackLevel::Primary)
+    }
+}
 
 /// Which selection-service decision produced a kernel launch.
 ///
 /// Produced by the selection layer upstream (autokernel-core's cached
 /// selector) and attached to trace entries so a timeline shows not just
-/// *what* ran but *why that kernel was chosen* — and whether the
-/// decision was served from the shape cache or cost a model inference.
+/// *what* ran but *why that kernel was chosen* — whether the decision
+/// was served from the shape cache, how many failed attempts preceded
+/// the completion, and how far down the fallback chain it landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchDecision {
-    /// Global kernel configuration index the selector chose.
+    /// Global index of the tiled configuration that served the launch
+    /// (the selector's pick on the primary path, the substitute on a
+    /// next-best fallback). When `fallback` is
+    /// [`FallbackLevel::Reference`] no tiled configuration ran, so this
+    /// holds the *selector's* pick for attribution.
     pub config_index: usize,
     /// Whether the decision came from the selection cache.
     pub cache_hit: bool,
+    /// Failed launch attempts absorbed before this one completed.
+    pub attempts: u32,
+    /// Where on the fallback chain the completing launch sat.
+    pub fallback: FallbackLevel,
+}
+
+impl LaunchDecision {
+    /// A plain decision: no failures, selector's pick ran directly.
+    pub fn new(config_index: usize, cache_hit: bool) -> Self {
+        LaunchDecision {
+            config_index,
+            cache_hit,
+            attempts: 0,
+            fallback: FallbackLevel::Primary,
+        }
+    }
+
+    /// Annotate with the retry/fallback outcome.
+    pub fn with_resilience(mut self, attempts: u32, fallback: FallbackLevel) -> Self {
+        self.attempts = attempts;
+        self.fallback = fallback;
+        self
+    }
 }
 
 /// A recorded launch: queue label plus the completed event, optionally
@@ -74,6 +133,20 @@ impl TraceRecorder {
         self.entries
             .iter()
             .filter(|e| matches!(e.decision, Some(d) if d.cache_hit))
+            .count()
+    }
+
+    /// Number of recorded events that are *failed* launches.
+    pub fn failed_launches(&self) -> usize {
+        self.entries.iter().filter(|e| e.event.is_failed()).count()
+    }
+
+    /// Of the decision-annotated entries, how many completed off the
+    /// primary path (next-best config or reference fallback).
+    pub fn degraded_launches(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.decision, Some(d) if d.fallback.is_degraded()))
             .count()
     }
 
@@ -137,13 +210,29 @@ impl TraceRecorder {
             }
             let decision_args = match &e.decision {
                 Some(d) => format!(
-                    ",\"config_index\":{},\"cache_hit\":{}",
-                    d.config_index, d.cache_hit
+                    ",\"config_index\":{},\"cache_hit\":{},\"attempts\":{},\"fallback\":{:?}",
+                    d.config_index,
+                    d.cache_hit,
+                    d.attempts,
+                    d.fallback.label()
                 ),
                 None => String::new(),
             };
+            let status_args = match e.event.status() {
+                CompletionStatus::Complete => String::new(),
+                CompletionStatus::Failed(kind) => {
+                    format!(",\"status\":\"failed\",\"fault\":{:?}", kind.label())
+                }
+            };
+            // Failed launches render in their own category so Perfetto
+            // colours them apart from completed kernels.
+            let cat = if e.event.is_failed() {
+                "kernel_fault"
+            } else {
+                "kernel"
+            };
             out.push_str(&format!(
-                "{{\"name\":{name:?},\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":1,\"args\":{{\"occupancy\":{occ:.3},\"utilization\":{util:.3}{decision_args}}}}}",
+                "{{\"name\":{name:?},\"cat\":{cat:?},\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":1,\"args\":{{\"occupancy\":{occ:.3},\"utilization\":{util:.3}{decision_args}{status_args}}}}}",
                 name = e.event.kernel_name(),
                 ts = e.event.start_s() * 1e6,
                 dur = e.event.duration_s() * 1e6,
@@ -162,7 +251,7 @@ mod tests {
     use super::*;
     use crate::device::DeviceSpec;
     use crate::perf::KernelProfile;
-    use crate::runtime::{Buffer, NDRange, Queue, SimKernel};
+    use crate::runtime::{Buffer, Event, NDRange, Queue, SimKernel};
     use crate::Result;
     use std::sync::Arc;
 
@@ -252,28 +341,60 @@ mod tests {
         trace.record_with_decision(
             "serve",
             queue.submit(&k, r).unwrap(),
-            LaunchDecision {
-                config_index: 137,
-                cache_hit: false,
-            },
+            LaunchDecision::new(137, false),
         );
         trace.record_with_decision(
             "serve",
             queue.submit(&k, r).unwrap(),
-            LaunchDecision {
-                config_index: 137,
-                cache_hit: true,
-            },
+            LaunchDecision::new(137, true).with_resilience(2, FallbackLevel::NextBest(1)),
         );
         trace.record("serve", queue.submit(&k, r).unwrap());
         assert_eq!(trace.decided_launches(), 2);
         assert_eq!(trace.cache_hit_launches(), 1);
+        assert_eq!(trace.degraded_launches(), 1);
         let parsed: serde_json::Value = serde_json::from_str(&trace.to_chrome_trace()).unwrap();
         let events = parsed["traceEvents"].as_array().unwrap();
         assert_eq!(events[0]["args"]["config_index"], 137);
         assert_eq!(events[0]["args"]["cache_hit"], false);
+        assert_eq!(events[0]["args"]["attempts"], 0);
+        assert_eq!(events[0]["args"]["fallback"], "primary");
         assert_eq!(events[1]["args"]["cache_hit"], true);
+        assert_eq!(events[1]["args"]["attempts"], 2);
+        assert_eq!(events[1]["args"]["fallback"], "next_best_1");
         assert!(events[2]["args"]["config_index"].is_null());
+    }
+
+    #[test]
+    fn failed_events_render_with_fault_annotations() {
+        use crate::fault::FaultKind;
+        let mut trace = TraceRecorder::new();
+        trace.record(
+            "serve",
+            Event::failed("gemm_bad".into(), 1.0e-3, 1.5e-3, FaultKind::KernelTimeout),
+        );
+        let queue = Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano()));
+        let k = Noop {
+            buf: Buffer::from_vec(vec![0.0; 64]),
+        };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        trace.record("serve", queue.submit(&k, r).unwrap());
+        assert_eq!(trace.failed_launches(), 1);
+        let parsed: serde_json::Value = serde_json::from_str(&trace.to_chrome_trace()).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["cat"], "kernel_fault");
+        assert_eq!(events[0]["args"]["status"], "failed");
+        assert_eq!(events[0]["args"]["fault"], "kernel_timeout");
+        assert_eq!(events[1]["cat"], "kernel");
+        assert!(events[1]["args"]["status"].is_null());
+    }
+
+    #[test]
+    fn fallback_labels_are_stable() {
+        assert_eq!(FallbackLevel::Primary.label(), "primary");
+        assert_eq!(FallbackLevel::NextBest(3).label(), "next_best_3");
+        assert_eq!(FallbackLevel::Reference.label(), "reference");
+        assert!(!FallbackLevel::Primary.is_degraded());
+        assert!(FallbackLevel::Reference.is_degraded());
     }
 
     #[test]

@@ -12,4 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-injection suite (cargo test -q --test resilient_executor)"
+cargo test -q --test resilient_executor
+
+echo "==> resilient serving example (cargo run --release --example resilient_serving)"
+cargo run --release --example resilient_serving
+
 echo "All checks passed."
