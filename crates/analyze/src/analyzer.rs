@@ -1,0 +1,378 @@
+//! Static analysis of the 640-point kernel configuration space.
+//!
+//! [`KernelSpaceAnalyzer`] classifies every [`KernelConfig`] against a
+//! device *without running anything*: a config is `Invalid` when the
+//! shared resource model ([`autokernel_sycl_sim::resources`]) proves the
+//! runtime would reject its launch, `Degraded` when it launches but
+//! cannot keep enough waves resident to hide memory latency, and
+//! `Valid` otherwise. A second pass flags *dominated* configurations —
+//! same compile-time tile, pointwise no better on any static resource
+//! axis than a sibling work-group shape, strictly worse on at least one.
+//!
+//! Validity is **shape-independent** by construction: the three checks
+//! in [`check_launch`] read only the work-group size and the per-group
+//! LDS demand, both functions of the configuration alone. The analyzer
+//! therefore evaluates a single canonical shape and its `Invalid`
+//! verdicts hold for *every* shape — the agreement property test in
+//! `tests/static_analysis.rs` pins this.
+
+use autokernel_gemm::{model, GemmShape, KernelConfig};
+use autokernel_sycl_sim::resources::{check_launch, footprint, ResourceFootprint};
+use autokernel_sycl_sim::{DeviceSpec, ResourceKind, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Occupancy below which a launchable configuration is flagged
+/// [`Verdict::Degraded`]: under a quarter of the device's resident-wave
+/// budget leaves too little latency hiding to be competitive.
+pub const DEGRADED_OCCUPANCY: f64 = 0.25;
+
+/// The analyzer's judgement of one configuration on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Launchable with healthy occupancy.
+    Valid,
+    /// The runtime would reject the launch: the configuration demands
+    /// more of `resource` than the device has. Mirrors
+    /// [`autokernel_sycl_sim::ResourceExhaustion`] exactly.
+    Invalid {
+        /// The over-subscribed resource.
+        resource: ResourceKind,
+        /// What the launch would request.
+        requested: usize,
+        /// What the device offers.
+        limit: usize,
+    },
+    /// Launchable, but occupancy falls below [`DEGRADED_OCCUPANCY`].
+    Degraded {
+        /// The achieved fraction of the resident-wave budget.
+        occupancy: f64,
+    },
+}
+
+impl Verdict {
+    /// Whether the runtime would reject this configuration at submit.
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, Verdict::Invalid { .. })
+    }
+
+    /// Stable diagnostic rule id for reporting.
+    pub fn rule_id(&self) -> &'static str {
+        match self {
+            Verdict::Valid => "valid",
+            Verdict::Invalid {
+                resource: ResourceKind::WorkGroupSize,
+                ..
+            } => "invalid-work-group",
+            Verdict::Invalid {
+                resource: ResourceKind::Lanes,
+                ..
+            } => "invalid-lanes",
+            Verdict::Invalid {
+                resource: ResourceKind::Lds,
+                ..
+            } => "invalid-lds",
+            Verdict::Degraded { .. } => "degraded-occupancy",
+        }
+    }
+}
+
+/// Everything the analyzer knows about one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigAnalysis {
+    /// Stable index into [`KernelConfig::all`].
+    pub config_index: usize,
+    /// Display name (`T4x8A2_WG16x16`).
+    pub name: String,
+    /// The validity/degradation verdict.
+    pub verdict: Verdict,
+    /// Static resource demands and modelled occupancy.
+    pub footprint: ResourceFootprint,
+    /// Modelled DRAM coalescing efficiency at the canonical shape.
+    pub coalescing: f64,
+    /// Modelled cache-reuse fraction at the canonical shape.
+    pub cache_reuse: f64,
+    /// Index of a sibling configuration that dominates this one
+    /// (pointwise no worse on every axis, strictly better on one), if
+    /// the dominance pass found one.
+    pub dominated_by: Option<usize>,
+}
+
+impl ConfigAnalysis {
+    /// Whether the dominance pass flagged this configuration.
+    pub fn is_dominated(&self) -> bool {
+        self.dominated_by.is_some()
+    }
+}
+
+/// The full analysis of one device's view of the configuration space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceAnalysis {
+    /// Display name of the analysed device.
+    pub device: String,
+    /// Canonical GEMM shape the shape-dependent axes were evaluated at.
+    pub shape: GemmShape,
+    /// Per-configuration results, ordered by [`KernelConfig::index`].
+    pub configs: Vec<ConfigAnalysis>,
+}
+
+impl SpaceAnalysis {
+    /// Count of configurations with the given predicate.
+    fn count(&self, f: impl Fn(&ConfigAnalysis) -> bool) -> usize {
+        self.configs.iter().filter(|c| f(c)).count()
+    }
+
+    /// Configurations the runtime would accept with healthy occupancy.
+    pub fn valid_count(&self) -> usize {
+        self.count(|c| matches!(c.verdict, Verdict::Valid))
+    }
+
+    /// Configurations the runtime would reject at submit.
+    pub fn invalid_count(&self) -> usize {
+        self.count(|c| c.verdict.is_invalid())
+    }
+
+    /// Launchable configurations with starved occupancy.
+    pub fn degraded_count(&self) -> usize {
+        self.count(|c| matches!(c.verdict, Verdict::Degraded { .. }))
+    }
+
+    /// Configurations flagged by the dominance pass.
+    pub fn dominated_count(&self) -> usize {
+        self.count(ConfigAnalysis::is_dominated)
+    }
+
+    /// `mask[i]` is true iff config `i` is statically invalid — the
+    /// pre-prune mask the tuning pipeline consumes.
+    pub fn invalid_mask(&self) -> Vec<bool> {
+        self.configs
+            .iter()
+            .map(|c| c.verdict.is_invalid())
+            .collect()
+    }
+
+    /// `mask[i]` is true iff config `i` is dominated by a sibling.
+    pub fn dominated_mask(&self) -> Vec<bool> {
+        self.configs
+            .iter()
+            .map(ConfigAnalysis::is_dominated)
+            .collect()
+    }
+}
+
+/// Offline analyzer for the GEMM kernel configuration space.
+///
+/// ```
+/// use autokernel_analyze::KernelSpaceAnalyzer;
+/// use autokernel_sycl_sim::DeviceSpec;
+///
+/// let analysis = KernelSpaceAnalyzer::new(DeviceSpec::edge_dsp())
+///     .analyze()
+///     .unwrap();
+/// assert_eq!(analysis.configs.len(), 640);
+/// assert!(analysis.invalid_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelSpaceAnalyzer {
+    device: DeviceSpec,
+    shape: GemmShape,
+}
+
+impl KernelSpaceAnalyzer {
+    /// Analyzer for `device` at the canonical 1024³ shape.
+    pub fn new(device: DeviceSpec) -> Self {
+        KernelSpaceAnalyzer {
+            device,
+            shape: GemmShape::new(1024, 1024, 1024),
+        }
+    }
+
+    /// Override the canonical shape (validity verdicts do not depend on
+    /// it; the degradation and dominance axes do).
+    pub fn with_shape(mut self, shape: GemmShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// The device under analysis.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Classify every configuration and run the dominance pass.
+    pub fn analyze(&self) -> Result<SpaceAnalysis, SimError> {
+        let all = KernelConfig::all();
+        let mut configs = Vec::with_capacity(all.len());
+        for cfg in &all {
+            let range = model::launch_range(cfg, &self.shape)?;
+            let profile = model::profile(cfg, &self.shape, &self.device);
+            let fp = footprint(&self.device, &profile, &range);
+            let verdict = match check_launch(&self.device, &profile, &range) {
+                Err(e) => Verdict::Invalid {
+                    resource: e.resource,
+                    requested: e.requested,
+                    limit: e.limit,
+                },
+                Ok(()) if fp.occupancy < DEGRADED_OCCUPANCY => Verdict::Degraded {
+                    occupancy: fp.occupancy,
+                },
+                Ok(()) => Verdict::Valid,
+            };
+            configs.push(ConfigAnalysis {
+                config_index: cfg.index(),
+                name: cfg.to_string(),
+                verdict,
+                footprint: fp,
+                coalescing: model::coalescing(cfg, &self.device, &self.shape),
+                cache_reuse: model::cache_reuse(cfg, &self.shape),
+                dominated_by: None,
+            });
+        }
+        mark_dominated(&all, &mut configs);
+        Ok(SpaceAnalysis {
+            device: self.device.name.clone(),
+            shape: self.shape,
+            configs,
+        })
+    }
+}
+
+/// Dominance pass: within each compile-time tile (same `tile_rows`,
+/// `tile_cols`, `acc_depth` — so identical per-item work and register
+/// demand), configuration `a` dominates `b` when `a` is pointwise no
+/// worse on every static axis — LDS demand, modelled occupancy,
+/// coalescing, cache reuse — and strictly better on at least one.
+/// Invalid configurations neither dominate nor are marked dominated
+/// (they are already pruned outright).
+fn mark_dominated(all: &[KernelConfig], configs: &mut [ConfigAnalysis]) {
+    for b in 0..configs.len() {
+        if configs[b].verdict.is_invalid() {
+            continue;
+        }
+        for a in 0..configs.len() {
+            if a == b || configs[a].verdict.is_invalid() {
+                continue;
+            }
+            let same_tile = all[a].tile_rows == all[b].tile_rows
+                && all[a].tile_cols == all[b].tile_cols
+                && all[a].acc_depth == all[b].acc_depth;
+            if !same_tile {
+                continue;
+            }
+            let (ca, cb) = (&configs[a], &configs[b]);
+            let no_worse = ca.footprint.lds_bytes_per_group <= cb.footprint.lds_bytes_per_group
+                && ca.footprint.occupancy >= cb.footprint.occupancy
+                && ca.coalescing >= cb.coalescing
+                && ca.cache_reuse >= cb.cache_reuse;
+            let strictly_better = ca.footprint.lds_bytes_per_group
+                < cb.footprint.lds_bytes_per_group
+                || ca.footprint.occupancy > cb.footprint.occupancy
+                || ca.coalescing > cb.coalescing
+                || ca.cache_reuse > cb.cache_reuse;
+            if no_worse && strictly_better {
+                configs[b].dominated_by = Some(configs[a].config_index);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nano_space_is_fully_launchable() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::amd_r9_nano())
+            .analyze()
+            .unwrap();
+        assert_eq!(analysis.configs.len(), KernelConfig::count());
+        assert_eq!(analysis.invalid_count(), 0);
+        // Register-hungry 8×8 tiles still degrade occupancy.
+        assert!(analysis.degraded_count() > 0);
+    }
+
+    #[test]
+    fn edge_dsp_rejects_large_groups_lanes_and_lds() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::edge_dsp())
+            .analyze()
+            .unwrap();
+        let rule = |id: &str| {
+            analysis
+                .configs
+                .iter()
+                .filter(|c| c.verdict.rule_id() == id)
+                .count()
+        };
+        assert!(rule("invalid-work-group") > 0, "256-item groups over limit");
+        assert!(rule("invalid-lanes") > 0, "128-item groups over 64 lanes");
+        assert!(rule("invalid-lds") > 0, "big staging tiles over 8 KiB");
+        assert!(analysis.valid_count() > 0, "some configs must survive");
+    }
+
+    #[test]
+    fn verdicts_agree_with_runtime_validation() {
+        use autokernel_sycl_sim::validate_launch;
+        let device = DeviceSpec::edge_dsp();
+        let analysis = KernelSpaceAnalyzer::new(device.clone()).analyze().unwrap();
+        let shape = GemmShape::new(1024, 1024, 1024);
+        for (cfg, result) in KernelConfig::all().iter().zip(&analysis.configs) {
+            let range = model::launch_range(cfg, &shape).unwrap();
+            let profile = model::profile(cfg, &shape, &device);
+            let runtime = validate_launch(&device, &profile, &range);
+            match (&result.verdict, runtime) {
+                (
+                    Verdict::Invalid {
+                        resource,
+                        requested,
+                        limit,
+                    },
+                    Err(SimError::Exhausted(e)),
+                ) => {
+                    assert_eq!(*resource, e.resource);
+                    assert_eq!(*requested, e.requested);
+                    assert_eq!(*limit, e.limit);
+                }
+                (Verdict::Valid | Verdict::Degraded { .. }, Ok(())) => {}
+                (v, r) => panic!("{}: analyzer {v:?} vs runtime {r:?}", cfg),
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_flags_a_strictly_worse_sibling() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::amd_r9_nano())
+            .analyze()
+            .unwrap();
+        assert!(analysis.dominated_count() > 0);
+        // A dominator must share the compile-time tile and be at least
+        // as good everywhere.
+        for c in analysis.configs.iter().filter(|c| c.is_dominated()) {
+            let d = &analysis.configs[c.dominated_by.unwrap()];
+            let (ka, kb) = (
+                KernelConfig::from_index(d.config_index).unwrap(),
+                KernelConfig::from_index(c.config_index).unwrap(),
+            );
+            assert_eq!(
+                (ka.tile_rows, ka.tile_cols, ka.acc_depth),
+                (kb.tile_rows, kb.tile_cols, kb.acc_depth)
+            );
+            assert!(!d.verdict.is_invalid());
+            assert!(d.footprint.lds_bytes_per_group <= c.footprint.lds_bytes_per_group);
+            assert!(d.footprint.occupancy >= c.footprint.occupancy);
+            assert!(d.coalescing >= c.coalescing);
+            assert!(d.cache_reuse >= c.cache_reuse);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_never_flagged_dominated() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::edge_dsp())
+            .analyze()
+            .unwrap();
+        for c in &analysis.configs {
+            if c.verdict.is_invalid() {
+                assert!(c.dominated_by.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # autokernel-analyze
+//!
+//! Static analysis for the kernel-selection system, in two prongs:
+//!
+//! 1. **Kernel-space analysis** ([`analyzer`]) — every configuration in
+//!    the 640-point GEMM space is checked against a device's resource
+//!    limits *offline*, using the exact predicate the simulated runtime
+//!    applies at submit time ([`autokernel_sycl_sim::resources`]). Each
+//!    config is classified `Valid`, `Invalid{reason}` or
+//!    `Degraded{occupancy}`, and a dominance pass flags configurations
+//!    that a sibling work-group shape beats on every static resource
+//!    axis. [`report`] renders the findings as a SARIF 2.1.0 document
+//!    (`reports/kernel_space_analysis.json`).
+//! 2. **Hot-path lint** ([`lint`]) — a source-level scanner that bans
+//!    latent panics (`unwrap`/`expect`/`panic!`/`todo!`/
+//!    `unimplemented!`), NaN-hazardous `partial_cmp` and non-literal
+//!    slice indexing from the serving modules, with
+//!    `// lint:allow(<rule>)` escape hatches.
+//!
+//! The motivating observation (tritonBLAS, arXiv:2512.04226; Lawson,
+//! arXiv:1904.05347) is that much of a kernel configuration space can
+//! be ranked or rejected *analytically* — before any benchmark runs —
+//! and that doing so cheaply pays for itself many times over in a
+//! tuning sweep. The `TuningPipeline` consumes [`analyzer`] verdicts to
+//! pre-prune statically invalid configurations, and the resilient
+//! executor refuses to place them in its fallback chain.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod lint;
+pub mod report;
+
+pub use analyzer::{
+    ConfigAnalysis, KernelSpaceAnalyzer, SpaceAnalysis, Verdict, DEGRADED_OCCUPANCY,
+};
+pub use lint::{lint_file, lint_source, Rule, Violation, HOT_PATH_FILES};
+pub use report::{render_report, sarif_report, TOOL_NAME};

@@ -1,0 +1,245 @@
+//! SARIF-shaped diagnostics for kernel-space analyses.
+//!
+//! The report follows the SARIF 2.1.0 envelope — `runs[]`, each with a
+//! `tool.driver` carrying rule descriptors and a `results[]` list — so
+//! standard viewers can render it, while `properties` bags carry the
+//! domain payload (config indices, resource demands, occupancy). One
+//! run per analysed device; only findings (invalid, degraded or
+//! dominated configurations) appear as results, with the full-space
+//! summary counts in the run's `properties`.
+//!
+//! Built directly from ordered [`Value`] trees rather than derived
+//! serialisation so the field order — and therefore the golden file in
+//! `tests/static_analysis.rs` — is deterministic.
+
+use crate::analyzer::{SpaceAnalysis, Verdict};
+use serde_json::Value;
+
+/// Tool name recorded in each SARIF run.
+pub const TOOL_NAME: &str = "kernel-space-analyzer";
+
+fn s(v: impl Into<String>) -> Value {
+    Value::Str(v.into())
+}
+
+fn n(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn int(v: usize) -> Value {
+    Value::Num(v as f64)
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn rule_descriptor(id: &str, text: &str) -> Value {
+    obj(vec![
+        ("id", s(id)),
+        ("shortDescription", obj(vec![("text", s(text))])),
+    ])
+}
+
+fn rules() -> Value {
+    Value::Array(vec![
+        rule_descriptor(
+            "invalid-work-group",
+            "Work-group size exceeds the device's work-group limit; the runtime rejects the launch.",
+        ),
+        rule_descriptor(
+            "invalid-lanes",
+            "Work-group size exceeds the device's total SIMD lane count; the runtime rejects the launch.",
+        ),
+        rule_descriptor(
+            "invalid-lds",
+            "Per-group local memory demand exceeds the device's LDS capacity; the runtime rejects the launch.",
+        ),
+        rule_descriptor(
+            "degraded-occupancy",
+            "Launchable, but register/LDS pressure starves wavefront occupancy below the degradation threshold.",
+        ),
+        rule_descriptor(
+            "dominated",
+            "A sibling work-group shape of the same compile-time tile is pointwise no worse on every static resource axis and strictly better on at least one.",
+        ),
+    ])
+}
+
+fn location(name: &str, index: usize) -> Value {
+    obj(vec![(
+        "logicalLocations",
+        Value::Array(vec![obj(vec![
+            ("name", s(name)),
+            ("kind", s("kernelConfig")),
+            ("index", int(index)),
+        ])]),
+    )])
+}
+
+fn result(
+    rule_id: &str,
+    level: &str,
+    text: String,
+    name: &str,
+    index: usize,
+    props: Vec<(&str, Value)>,
+) -> Value {
+    let mut properties = vec![("configIndex", int(index))];
+    properties.extend(props);
+    obj(vec![
+        ("ruleId", s(rule_id)),
+        ("level", s(level)),
+        ("message", obj(vec![("text", s(text))])),
+        ("locations", Value::Array(vec![location(name, index)])),
+        ("properties", obj(properties)),
+    ])
+}
+
+fn run(analysis: &SpaceAnalysis) -> Value {
+    let mut results = Vec::new();
+    for c in &analysis.configs {
+        match &c.verdict {
+            Verdict::Invalid {
+                resource,
+                requested,
+                limit,
+            } => results.push(result(
+                c.verdict.rule_id(),
+                "error",
+                format!(
+                    "{}: {} {} exceeds device limit {}",
+                    c.name, resource, requested, limit
+                ),
+                &c.name,
+                c.config_index,
+                vec![
+                    ("resource", s(resource.to_string())),
+                    ("requested", int(*requested)),
+                    ("limit", int(*limit)),
+                ],
+            )),
+            Verdict::Degraded { occupancy } => results.push(result(
+                c.verdict.rule_id(),
+                "warning",
+                format!(
+                    "{}: occupancy {:.3} below degradation threshold",
+                    c.name, occupancy
+                ),
+                &c.name,
+                c.config_index,
+                vec![("occupancy", n(*occupancy))],
+            )),
+            Verdict::Valid => {}
+        }
+        if let Some(by) = c.dominated_by {
+            let dominator = &analysis.configs[by];
+            results.push(result(
+                "dominated",
+                "note",
+                format!(
+                    "{}: dominated by {} (no better on any static resource axis)",
+                    c.name, dominator.name
+                ),
+                &c.name,
+                c.config_index,
+                vec![
+                    ("dominatedBy", int(by)),
+                    ("dominatedByName", s(dominator.name.clone())),
+                ],
+            ));
+        }
+    }
+
+    obj(vec![
+        (
+            "tool",
+            obj(vec![(
+                "driver",
+                obj(vec![
+                    ("name", s(TOOL_NAME)),
+                    ("version", s(env!("CARGO_PKG_VERSION"))),
+                    ("rules", rules()),
+                ]),
+            )]),
+        ),
+        (
+            "properties",
+            obj(vec![
+                ("device", s(analysis.device.clone())),
+                (
+                    "canonicalShape",
+                    s(format!(
+                        "{}x{}x{}",
+                        analysis.shape.m, analysis.shape.k, analysis.shape.n
+                    )),
+                ),
+                ("totalConfigs", int(analysis.configs.len())),
+                ("valid", int(analysis.valid_count())),
+                ("invalid", int(analysis.invalid_count())),
+                ("degraded", int(analysis.degraded_count())),
+                ("dominated", int(analysis.dominated_count())),
+            ]),
+        ),
+        ("results", Value::Array(results)),
+    ])
+}
+
+/// Assemble the SARIF document for a set of per-device analyses.
+pub fn sarif_report(analyses: &[SpaceAnalysis]) -> Value {
+    obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        ("runs", Value::Array(analyses.iter().map(run).collect())),
+    ])
+}
+
+/// Render the SARIF document as pretty-printed JSON.
+pub fn render_report(analyses: &[SpaceAnalysis]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&sarif_report(analyses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::KernelSpaceAnalyzer;
+    use autokernel_sycl_sim::DeviceSpec;
+
+    #[test]
+    fn report_carries_findings_and_summary() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::edge_dsp())
+            .analyze()
+            .unwrap();
+        let doc = sarif_report(std::slice::from_ref(&analysis));
+        assert_eq!(doc["version"].as_str(), Some("2.1.0"));
+        let runs = doc["runs"].as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run["tool"]["driver"]["name"].as_str(), Some(TOOL_NAME));
+        assert_eq!(run["properties"]["totalConfigs"].as_u64(), Some(640));
+        let results = run["results"].as_array().unwrap();
+        assert!(results.iter().any(|r| r["level"].as_str() == Some("error")));
+        // Every result names a config by its stable index.
+        for r in results {
+            assert!(r["properties"]["configIndex"].as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn rendered_json_parses_back() {
+        let analysis = KernelSpaceAnalyzer::new(DeviceSpec::amd_r9_nano())
+            .analyze()
+            .unwrap();
+        let text = render_report(std::slice::from_ref(&analysis)).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["version"].as_str(), Some("2.1.0"));
+    }
+}

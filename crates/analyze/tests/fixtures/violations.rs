@@ -1,0 +1,44 @@
+//! Deliberately violating fixture for the hot-path linter.
+//!
+//! This file lives under `tests/fixtures/` so Cargo never compiles it;
+//! it exists to prove the linter (and the `hotpath_lint` binary) flag
+//! each banned construct with the right rule id, honour the
+//! `lint:allow` escape hatch, and skip `#[cfg(test)]` code. Line
+//! numbers matter to `lint_fixtures.rs` — edit with care.
+
+use std::collections::HashMap;
+
+pub fn serve(xs: &[f64], i: usize, table: &HashMap<u32, f64>) -> f64 {
+    let first = table.get(&0).unwrap(); // line 12: no-unwrap
+    let second = table.get(&1).expect("missing key"); // line 13: no-expect
+    if xs.is_empty() {
+        panic!("empty input"); // line 15: no-panic
+    }
+    let head = xs[i]; // line 17: no-index
+    let _ = xs[i + 1].partial_cmp(&head); // line 18: no-partial-cmp + no-index
+    first + second + head
+}
+
+pub fn not_yet() {
+    todo!() // line 23: no-todo
+}
+
+pub fn never() {
+    unimplemented!() // line 27: no-unimplemented
+}
+
+pub fn suppressed(xs: &[f64], i: usize) -> f64 {
+    // lint:allow(no-index) -- bounds proven by the caller's contract
+    let a = xs[i];
+    let b = xs[i + 1]; // lint:allow(no-index)
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: inside #[cfg(test)]
+    }
+}

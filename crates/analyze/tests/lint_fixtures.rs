@@ -1,0 +1,73 @@
+//! Fixture tests for the hot-path linter: the deliberately violating
+//! file under `tests/fixtures/` (never compiled by Cargo) must produce
+//! exactly the expected rule hits, `lint:allow` must suppress, and
+//! `#[cfg(test)]` code must be exempt.
+
+use autokernel_analyze::{lint_file, Rule};
+use std::path::Path;
+
+fn fixture() -> Vec<autokernel_analyze::Violation> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations.rs");
+    lint_file(&path).expect("fixture file is readable")
+}
+
+#[test]
+fn fixture_violations_carry_the_right_rules_and_lines() {
+    let violations = fixture();
+    let got: Vec<(usize, &'static str)> =
+        violations.iter().map(|v| (v.line, v.rule.id())).collect();
+    assert_eq!(
+        got,
+        vec![
+            (12, "no-unwrap"),
+            (13, "no-expect"),
+            (15, "no-panic"),
+            (17, "no-index"),
+            (18, "no-partial-cmp"),
+            (18, "no-index"),
+            (23, "no-todo"),
+            (27, "no-unimplemented"),
+        ],
+        "full violation list: {violations:#?}"
+    );
+}
+
+#[test]
+fn lint_allow_suppresses_and_nothing_else_leaks() {
+    let violations = fixture();
+    // The `suppressed` function's two indexed accesses (lines 32-33)
+    // carry allow comments — neither may appear.
+    assert!(
+        violations.iter().all(|v| !(30..=35).contains(&v.line)),
+        "lint:allow must suppress the annotated lines: {violations:#?}"
+    );
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let violations = fixture();
+    // The trailing #[cfg(test)] module unwraps on line 41 — exempt.
+    assert!(
+        violations.iter().all(|v| v.line < 37),
+        "test-only code must not be linted: {violations:#?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == Rule::NoUnwrap),
+        "the same construct outside tests is still flagged"
+    );
+}
+
+#[test]
+fn snippets_point_at_the_offending_source() {
+    let violations = fixture();
+    let unwrap = violations
+        .iter()
+        .find(|v| v.rule == Rule::NoUnwrap)
+        .expect("unwrap violation present");
+    assert!(unwrap.snippet.contains("unwrap()"), "{}", unwrap.snippet);
+    assert!(unwrap.file.ends_with("violations.rs"));
+    // Display form is file:line: [rule] snippet — what the binary prints.
+    let line = unwrap.to_string();
+    assert!(line.contains(":12:"), "{line}");
+    assert!(line.contains("[no-unwrap]"), "{line}");
+}

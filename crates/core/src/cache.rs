@@ -53,6 +53,7 @@ impl ShardedCache {
         // choice isn't at the mercy of the low bits alone.
         let h = shape.stable_hash();
         let idx = ((h ^ (h >> 32)) as usize) % self.shards.len();
+        // lint:allow(no-index) idx is reduced modulo shards.len() above
         &self.shards[idx]
     }
 
@@ -114,6 +115,7 @@ pub struct SelectionTelemetry {
     quarantine_skips: AtomicU64,
     fallback_next_best: AtomicU64,
     fallback_reference: AtomicU64,
+    fallback_skipped_invalid: AtomicU64,
 }
 
 impl SelectionTelemetry {
@@ -132,6 +134,7 @@ impl SelectionTelemetry {
             quarantine_skips: AtomicU64::new(0),
             fallback_next_best: AtomicU64::new(0),
             fallback_reference: AtomicU64::new(0),
+            fallback_skipped_invalid: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +166,11 @@ impl SelectionTelemetry {
         self.fallback_reference.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fallback_skipped_invalid(&self) {
+        self.fallback_skipped_invalid
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record(&self, hit: bool, nanos: u64, config_index: usize) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -172,6 +180,7 @@ impl SelectionTelemetry {
             self.miss_nanos.fetch_add(nanos, Ordering::Relaxed);
         }
         if let Some(slot) = self.shipped.iter().position(|&c| c == config_index) {
+            // lint:allow(no-index) slot comes from position() over picks' twin
             self.picks[slot].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -256,6 +265,13 @@ impl SelectionTelemetry {
         self.fallback_reference.load(Ordering::Relaxed)
     }
 
+    /// Configurations excluded from the fallback chain (or skipped as a
+    /// primary pick) because static analysis proved them invalid or
+    /// dominated on the serving device.
+    pub fn fallback_skipped_invalid(&self) -> u64 {
+        self.fallback_skipped_invalid.load(Ordering::Relaxed)
+    }
+
     /// `(global config index, times picked)` per shipped configuration,
     /// in shipped order.
     pub fn picks(&self) -> Vec<(usize, u64)> {
@@ -288,6 +304,7 @@ impl SelectionTelemetry {
             quarantine_skips: self.quarantine_skips(),
             fallback_next_best: self.fallback_next_best(),
             fallback_reference: self.fallback_reference(),
+            fallback_skipped_invalid: self.fallback_skipped_invalid(),
         }
     }
 }
@@ -329,6 +346,9 @@ pub struct TelemetrySnapshot {
     pub fallback_next_best: u64,
     /// Launches degraded to the reference GEMM.
     pub fallback_reference: u64,
+    /// Configurations skipped because static analysis proved them
+    /// invalid or dominated.
+    pub fallback_skipped_invalid: u64,
 }
 
 /// The outcome of one cached selection, for threading into launch

@@ -27,41 +27,104 @@ pub struct PerformanceDataset {
     raw_seconds: Vec<Vec<f64>>,
 }
 
+/// What a static pre-prune of the benchmark sweep skipped and saved.
+///
+/// `sim_seconds_saved` is the simulated device time the skipped
+/// launches would have been priced at by a blind sweep — which *does*
+/// price statically invalid configurations ([`Queue::price`] applies
+/// no validity check), so without the mask they not only waste sweep
+/// time but can contaminate the dataset with timings for kernels the
+/// runtime would refuse to launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticPruneStats {
+    /// Configurations excluded by the mask (out of 640).
+    pub pruned_configs: usize,
+    /// Individual (shape, config) benchmark launches skipped.
+    pub skipped_launches: usize,
+    /// Simulated device seconds the skipped launches would have cost.
+    pub sim_seconds_saved: f64,
+}
+
 impl PerformanceDataset {
     /// Benchmark every configuration on every shape on `device`.
     ///
     /// Uses the timing-only path (the device model prices each launch
     /// without materialising operand buffers), parallelised over shapes.
     pub fn collect(device: &DeviceSpec, shapes: &[(GemmShape, String)]) -> Result<Self> {
+        let (dataset, _) = Self::collect_pruned(device, shapes, &[])?;
+        Ok(dataset)
+    }
+
+    /// [`PerformanceDataset::collect`], minus the configurations marked
+    /// in `skip_mask` (indexed by [`KernelConfig::index`]; an empty mask
+    /// skips nothing). Skipped entries are recorded as `f64::INFINITY`,
+    /// which the normalisation layer already maps to a 0.0 score, so
+    /// every consumer sees "never competitive" without a special case.
+    ///
+    /// This is how the tuning pipeline consumes the static analyzer's
+    /// verdicts: configurations proven unlaunchable are never priced,
+    /// and the returned [`StaticPruneStats`] reports what that saved.
+    pub fn collect_pruned(
+        device: &DeviceSpec,
+        shapes: &[(GemmShape, String)],
+        skip_mask: &[bool],
+    ) -> Result<(Self, StaticPruneStats)> {
         if shapes.is_empty() {
             return Err(CoreError::Dataset("no shapes to benchmark".into()));
         }
         let configs = KernelConfig::all();
+        if !skip_mask.is_empty() && skip_mask.len() != configs.len() {
+            return Err(CoreError::Dataset(format!(
+                "skip mask covers {} configs, space has {}",
+                skip_mask.len(),
+                configs.len()
+            )));
+        }
+        let skip = |j: usize| skip_mask.get(j).copied().unwrap_or(false);
         let dev = Arc::new(device.clone());
-        let raw_seconds: Vec<Vec<f64>> = shapes
+        let priced: Vec<(Vec<f64>, f64)> = shapes
             .par_iter()
             .map(|(shape, _)| {
                 let queue = Queue::timing_only(dev.clone());
-                configs
+                let mut saved_s = 0.0;
+                let row = configs
                     .iter()
-                    .map(|cfg| {
+                    .enumerate()
+                    .map(|(j, cfg)| {
                         let range =
                             model::launch_range(cfg, shape).expect("all configs are launchable");
                         let profile = model::profile(cfg, shape, &dev);
                         let (_, duration) =
                             queue.price(&profile, &range, model::noise_seed(cfg, shape));
-                        duration
+                        if skip(j) {
+                            saved_s += duration;
+                            f64::INFINITY
+                        } else {
+                            duration
+                        }
                     })
-                    .collect()
+                    .collect();
+                (row, saved_s)
             })
             .collect();
 
-        Ok(PerformanceDataset {
-            device: device.clone(),
-            shapes: shapes.iter().map(|(s, _)| *s).collect(),
-            networks: shapes.iter().map(|(_, n)| n.clone()).collect(),
-            raw_seconds,
-        })
+        let pruned_configs = (0..configs.len()).filter(|&j| skip(j)).count();
+        let stats = StaticPruneStats {
+            pruned_configs,
+            skipped_launches: pruned_configs * shapes.len(),
+            sim_seconds_saved: priced.iter().map(|(_, s)| s).sum(),
+        };
+        let raw_seconds = priced.into_iter().map(|(row, _)| row).collect();
+
+        Ok((
+            PerformanceDataset {
+                device: device.clone(),
+                shapes: shapes.iter().map(|(s, _)| *s).collect(),
+                networks: shapes.iter().map(|(_, n)| n.clone()).collect(),
+                raw_seconds,
+            },
+            stats,
+        ))
     }
 
     /// Convenience: collect the paper's 170-shape dataset on `device`.

@@ -45,7 +45,7 @@ pub mod select;
 pub use cache::{
     CachedSelector, SelectionOutcome, SelectionTelemetry, ShardedCache, TelemetrySnapshot,
 };
-pub use dataset::PerformanceDataset;
+pub use dataset::{PerformanceDataset, StaticPruneStats};
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;
 pub use regression::{RegressionParams, RegressionSelector};

@@ -3,12 +3,13 @@
 
 use crate::cache::{CachedSelector, SelectionTelemetry};
 use crate::codegen::{emit_rust_source, CompiledTree};
-use crate::dataset::PerformanceDataset;
+use crate::dataset::{PerformanceDataset, StaticPruneStats};
 use crate::evaluate;
 use crate::prune::PruneMethod;
 use crate::resilient::{ResilientExecutor, ResilientPolicy};
 use crate::select::{Selector, SelectorKind};
 use crate::{CoreError, Result};
+use autokernel_analyze::{KernelSpaceAnalyzer, SpaceAnalysis};
 use autokernel_gemm::{GemmShape, KernelConfig};
 use autokernel_mlkit::model_selection::train_test_split;
 use autokernel_sycl_sim::{DeviceSpec, Queue};
@@ -28,6 +29,11 @@ pub struct PipelineConfig {
     /// Master seed: split, clustering restarts and ensembles derive
     /// from it.
     pub seed: u64,
+    /// Pre-prune statically invalid configurations before benchmarking:
+    /// the kernel-space analyzer proves which launches the runtime
+    /// would reject, and the sweep never prices them (see
+    /// [`TuningPipeline::prune_stats`]).
+    pub static_prune: bool,
 }
 
 impl Default for PipelineConfig {
@@ -38,6 +44,7 @@ impl Default for PipelineConfig {
             selector: SelectorKind::DecisionTree,
             test_fraction: 0.2,
             seed: 42,
+            static_prune: true,
         }
     }
 }
@@ -71,12 +78,20 @@ pub struct TuningPipeline {
     /// provably the same model.
     selector: Arc<Selector>,
     serving: Arc<CachedSelector>,
+    /// Static view of the configuration space on the dataset's device —
+    /// consulted when building resilient fallback chains so a meltdown
+    /// can never fall back onto a statically unlaunchable kernel.
+    analysis: SpaceAnalysis,
+    prune_stats: Option<StaticPruneStats>,
     config: PipelineConfig,
 }
 
 impl TuningPipeline {
     /// Run the pipeline on an already-collected dataset.
     pub fn from_dataset(dataset: PerformanceDataset, config: PipelineConfig) -> Result<Self> {
+        let analysis = KernelSpaceAnalyzer::new(dataset.device.clone())
+            .analyze()
+            .map_err(CoreError::Sim)?;
         let split = train_test_split(dataset.n_shapes(), config.test_fraction, config.seed);
         let shipped = config
             .prune
@@ -96,18 +111,34 @@ impl TuningPipeline {
             shipped,
             selector,
             serving,
+            analysis,
+            prune_stats: None,
             config,
         })
     }
 
-    /// Collect the dataset for `shapes` on `device`, then run.
+    /// Collect the dataset for `shapes` on `device`, then run. With
+    /// `config.static_prune` set (the default), the kernel-space
+    /// analyzer runs first and the sweep never prices configurations it
+    /// proves unlaunchable — see [`TuningPipeline::prune_stats`].
     pub fn run(
         device: &DeviceSpec,
         shapes: &[(GemmShape, String)],
         config: PipelineConfig,
     ) -> Result<Self> {
-        let dataset = PerformanceDataset::collect(device, shapes)?;
-        Self::from_dataset(dataset, config)
+        if config.static_prune {
+            let analysis = KernelSpaceAnalyzer::new(device.clone())
+                .analyze()
+                .map_err(CoreError::Sim)?;
+            let (dataset, stats) =
+                PerformanceDataset::collect_pruned(device, shapes, &analysis.invalid_mask())?;
+            let mut pipeline = Self::from_dataset(dataset, config)?;
+            pipeline.prune_stats = Some(stats);
+            Ok(pipeline)
+        } else {
+            let dataset = PerformanceDataset::collect(device, shapes)?;
+            Self::from_dataset(dataset, config)
+        }
     }
 
     /// The shipped configuration indices.
@@ -167,7 +198,26 @@ impl TuningPipeline {
         }
         let mut ranked = self.shipped.clone();
         ranked.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
-        ResilientExecutor::new(Arc::clone(&self.serving), queue, ranked, policy)
+        ResilientExecutor::with_static_analysis(
+            Arc::clone(&self.serving),
+            queue,
+            ranked,
+            policy,
+            &self.analysis,
+        )
+    }
+
+    /// Static analysis of the full configuration space on the dataset's
+    /// device (the same verdicts `analyze_space` reports).
+    pub fn space_analysis(&self) -> &SpaceAnalysis {
+        &self.analysis
+    }
+
+    /// Benchmarking work avoided by static pre-pruning. `Some` only when
+    /// the pipeline was built via [`TuningPipeline::run`] with
+    /// `static_prune` enabled; `None` for pre-collected datasets.
+    pub fn prune_stats(&self) -> Option<&StaticPruneStats> {
+        self.prune_stats.as_ref()
     }
 
     /// Live serving telemetry (hits, misses, pick counts, latencies).

@@ -28,6 +28,7 @@
 
 use crate::cache::CachedSelector;
 use crate::{CoreError, Result};
+use autokernel_analyze::SpaceAnalysis;
 use autokernel_gemm::{GemmShape, KernelConfig, ReferenceGemmKernel, TiledGemmKernel};
 use autokernel_sycl_sim::perf::deterministic_noise;
 use autokernel_sycl_sim::trace::{FallbackLevel, LaunchDecision, TraceRecorder};
@@ -242,6 +243,10 @@ pub struct ResilientExecutor {
     /// Shipped configurations, best recorded performance first; the
     /// fallback chain tries them in this order.
     ranking: Vec<usize>,
+    /// `invalid[i]` marks config `i` statically unlaunchable on the
+    /// serving device. Empty when no analysis was supplied (legacy
+    /// [`ResilientExecutor::new`] path): every config is then trusted.
+    invalid: Vec<bool>,
     breakers: HashMap<usize, CircuitBreaker>,
 }
 
@@ -269,8 +274,49 @@ impl ResilientExecutor {
             safe_queue,
             policy,
             ranking,
+            invalid: Vec::new(),
             breakers,
         }
+    }
+
+    /// Like [`ResilientExecutor::new`], but consults a static
+    /// [`SpaceAnalysis`] of the serving device first: configurations the
+    /// analyzer proved unlaunchable are removed from the fallback chain
+    /// (wasting zero attempts on launches the runtime must reject), and
+    /// dominated configurations are removed whenever their dominator is
+    /// also in the chain (the dominator is pointwise at least as good).
+    /// Each removal increments the `fallback_skipped_invalid` telemetry
+    /// counter, as does skipping a statically invalid primary pick at
+    /// launch time.
+    pub fn with_static_analysis(
+        selector: Arc<CachedSelector>,
+        queue: Queue,
+        ranking: Vec<usize>,
+        policy: ResilientPolicy,
+        analysis: &SpaceAnalysis,
+    ) -> Self {
+        let invalid = analysis.invalid_mask();
+        let telemetry = selector.telemetry();
+        let mut kept = Vec::with_capacity(ranking.len());
+        for &cfg in &ranking {
+            if invalid.get(cfg).copied().unwrap_or(false) {
+                telemetry.record_fallback_skipped_invalid();
+                continue;
+            }
+            let dominator_present = analysis
+                .configs
+                .get(cfg)
+                .and_then(|c| c.dominated_by)
+                .is_some_and(|d| ranking.contains(&d));
+            if dominator_present {
+                telemetry.record_fallback_skipped_invalid();
+                continue;
+            }
+            kept.push(cfg);
+        }
+        let mut executor = Self::new(selector, queue, kept, policy);
+        executor.invalid = invalid;
+        executor
     }
 
     /// The policy in force.
@@ -328,9 +374,18 @@ impl ResilientExecutor {
         let deadline_s = self.queue.now_s() + self.policy.deadline_s;
         let mut failures: Vec<FailureRecord> = Vec::new();
 
-        let candidates =
-            std::iter::once(primary).chain(self.ranking.iter().copied().filter(|&r| r != primary));
+        // A statically invalid primary pick (possible only when the model
+        // artefact and the serving device disagree) is skipped without
+        // burning an attempt: the runtime would reject every launch of it.
+        let primary_ok = !self.invalid.get(primary).copied().unwrap_or(false);
+        if !primary_ok {
+            telemetry.record_fallback_skipped_invalid();
+        }
+        let candidates = std::iter::once(primary)
+            .filter(|_| primary_ok)
+            .chain(self.ranking.iter().copied().filter(|&r| r != primary));
         for (depth, cfg_idx) in candidates.enumerate() {
+            let effective_depth = if primary_ok { depth } else { depth + 1 };
             let config =
                 KernelConfig::from_index(cfg_idx).ok_or(CoreError::BadConfigIndex(cfg_idx))?;
             let kernel = TiledGemmKernel::new(config, shape, a.clone(), b.clone(), c.clone())?;
@@ -349,11 +404,11 @@ impl ResilientExecutor {
                         if let Some(breaker) = self.breakers.get(&cfg_idx) {
                             breaker.on_success();
                         }
-                        let fallback = if depth == 0 {
+                        let fallback = if effective_depth == 0 {
                             FallbackLevel::Primary
                         } else {
                             telemetry.record_fallback_next_best();
-                            FallbackLevel::NextBest(depth.min(u8::MAX as usize) as u8)
+                            FallbackLevel::NextBest(effective_depth.min(u8::MAX as usize) as u8)
                         };
                         let decision = LaunchDecision::new(cfg_idx, outcome.cache_hit)
                             .with_resilience(failures.len() as u32, fallback);

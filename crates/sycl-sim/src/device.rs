@@ -118,6 +118,33 @@ impl DeviceSpec {
         }
     }
 
+    /// A deliberately resource-starved edge DSP, the stress case for
+    /// static analysis: 64 total lanes under a 128-item work-group
+    /// limit and only 8 KiB of local memory per core. Large swathes of
+    /// the GEMM configuration space are *statically unlaunchable* here
+    /// — work-groups of 256 exceed the group limit, work-groups of 128
+    /// exceed the lane count, and big staging tiles exceed LDS — which
+    /// is exactly what the kernel-space analyzer exists to prove
+    /// before a tuning sweep wastes time discovering it at submit.
+    pub fn edge_dsp() -> Self {
+        DeviceSpec {
+            name: "Edge DSP (simulated)".into(),
+            device_type: DeviceType::Accelerator,
+            compute_units: 4,
+            wave_width: 16,
+            simds_per_cu: 1,
+            max_waves_per_simd: 4,
+            vgprs_per_simd: 64,
+            lds_bytes_per_cu: 8 * 1024,
+            max_work_group_size: 128,
+            peak_flops: 0.05e12,
+            mem_bandwidth: 8.0e9,
+            cache_bandwidth: 40.0e9,
+            launch_overhead: 30.0e-6,
+            mem_latency: 800.0e-9,
+        }
+    }
+
     /// A host-CPU stand-in used by tests that need a non-GPU device.
     pub fn host_cpu() -> Self {
         DeviceSpec {

@@ -26,19 +26,23 @@
 pub mod device;
 pub mod fault;
 pub mod perf;
+pub mod resources;
 pub mod runtime;
 pub mod trace;
 
 pub use device::{DeviceSpec, DeviceType};
 pub use fault::{FaultError, FaultKind, FaultPlan};
 pub use perf::{KernelCost, KernelProfile};
+pub use resources::{check_launch, footprint, ResourceFootprint};
 pub use runtime::{
     validate_launch, Buffer, CompletionStatus, Context, Event, NDRange, Platform, Queue, SimKernel,
 };
 pub use trace::{FallbackLevel, LaunchDecision, TraceRecorder};
 
+use serde::{Deserialize, Serialize};
+
 /// Which device capacity a launch over-subscribed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ResourceKind {
     /// Work-group size above `DeviceSpec::max_work_group_size`.
     WorkGroupSize,
@@ -61,7 +65,7 @@ impl std::fmt::Display for ResourceKind {
 /// A launch rejected because a configuration demands more of a device
 /// resource than the device has — the typed replacement for the old
 /// stringly `BadLaunch` work-group check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResourceExhaustion {
     /// The over-subscribed resource.
     pub resource: ResourceKind,

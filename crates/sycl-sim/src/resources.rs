@@ -1,0 +1,150 @@
+//! The device resource model: the single source of truth for whether a
+//! launch *fits* a device.
+//!
+//! Both the runtime ([`crate::runtime::validate_launch`], consulted at
+//! submit time) and the offline static analyzer (`autokernel-analyze`)
+//! answer the same question — does this (profile, range) combination
+//! over-subscribe the device? Before this module existed the answer
+//! lived inside the runtime only, so an analyzer would inevitably drift
+//! from what the queue actually rejects. Now there is exactly one
+//! implementation: [`check_launch`]. The runtime wraps its error in
+//! [`crate::SimError::Exhausted`]; the analyzer records it as an
+//! `Invalid` verdict. A property test in the workspace root asserts the
+//! two agree on every kernel configuration.
+//!
+//! [`footprint`] additionally summarises the launch's static resource
+//! demands (work-group size, LDS bytes, registers, estimated occupancy)
+//! for analysis passes that reason about *degradation* and *dominance*
+//! rather than hard validity.
+
+use crate::device::DeviceSpec;
+use crate::perf::{self, KernelProfile};
+use crate::runtime::NDRange;
+use crate::{ResourceExhaustion, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// The static resource demands of one launch, plus the occupancy the
+/// device model predicts for it. Everything here is computable without
+/// running (or even pricing) the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceFootprint {
+    /// Work-items per work-group the launch dispatches.
+    pub work_group_size: usize,
+    /// Bytes of local memory one work-group stages.
+    pub lds_bytes_per_group: usize,
+    /// Vector registers one work-item needs.
+    pub registers_per_item: usize,
+    /// Fraction of the device's resident-wave capacity the launch
+    /// achieves (the latency-hiding budget), in (0, 1].
+    pub occupancy: f64,
+}
+
+/// Compute the static [`ResourceFootprint`] of a launch.
+pub fn footprint(
+    device: &DeviceSpec,
+    profile: &KernelProfile,
+    range: &NDRange,
+) -> ResourceFootprint {
+    ResourceFootprint {
+        work_group_size: range.local_size(),
+        lds_bytes_per_group: profile.lds_bytes_per_group,
+        registers_per_item: profile.registers_per_item,
+        occupancy: perf::occupancy(device, profile, range),
+    }
+}
+
+/// Check a launch's resource demands against a device: work-group size
+/// against the device's group limit and total SIMD lane count, and
+/// per-group local memory against the LDS capacity of a compute unit.
+///
+/// This is the shared validity predicate — the runtime calls it at
+/// submit time (via [`crate::runtime::validate_launch`]) and the static
+/// analyzer calls it offline, so a configuration the analyzer marks
+/// `Invalid` is exactly a configuration the queue would reject.
+pub fn check_launch(
+    device: &DeviceSpec,
+    profile: &KernelProfile,
+    range: &NDRange,
+) -> Result<(), ResourceExhaustion> {
+    let local = range.local_size();
+    if local > device.max_work_group_size {
+        return Err(ResourceExhaustion {
+            resource: ResourceKind::WorkGroupSize,
+            requested: local,
+            limit: device.max_work_group_size,
+        });
+    }
+    if local > device.total_lanes() {
+        return Err(ResourceExhaustion {
+            resource: ResourceKind::Lanes,
+            requested: local,
+            limit: device.total_lanes(),
+        });
+    }
+    if profile.lds_bytes_per_group > device.lds_bytes_per_cu {
+        return Err(ResourceExhaustion {
+            resource: ResourceKind::Lds,
+            requested: profile.lds_bytes_per_group,
+            limit: device.lds_bytes_per_cu,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(regs: usize, lds: usize) -> KernelProfile {
+        KernelProfile {
+            flops_per_item: 1.0,
+            bytes_per_item: 4.0,
+            cache_reuse: 0.0,
+            registers_per_item: regs,
+            lds_bytes_per_group: lds,
+            coalescing: 1.0,
+            useful_items: 64.0,
+            ilp: 1.0,
+        }
+    }
+
+    #[test]
+    fn accepts_modest_launches() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        assert!(check_launch(&d, &profile(16, 1024), &r).is_ok());
+    }
+
+    #[test]
+    fn rejects_each_resource_with_the_right_kind() {
+        let d = DeviceSpec::amd_r9_nano(); // group limit 256, 64 KiB LDS
+        let big_group = NDRange::new([512, 1], [512, 1]).unwrap();
+        let e = check_launch(&d, &profile(16, 0), &big_group).unwrap_err();
+        assert_eq!(e.resource, ResourceKind::WorkGroupSize);
+        assert_eq!((e.requested, e.limit), (512, 256));
+
+        let ok_group = NDRange::new([64, 1], [64, 1]).unwrap();
+        let e = check_launch(&d, &profile(16, 1 << 30), &ok_group).unwrap_err();
+        assert_eq!(e.resource, ResourceKind::Lds);
+
+        // A device whose lane count is below its work-group limit
+        // exposes the Lanes check.
+        let tiny = DeviceSpec::edge_dsp();
+        assert!(tiny.total_lanes() < tiny.max_work_group_size);
+        let mid = NDRange::new([128, 1], [128, 1]).unwrap();
+        let e = check_launch(&tiny, &profile(16, 0), &mid).unwrap_err();
+        assert_eq!(e.resource, ResourceKind::Lanes);
+    }
+
+    #[test]
+    fn footprint_reports_static_demands() {
+        let d = DeviceSpec::amd_r9_nano();
+        let r = NDRange::new([128, 32], [16, 16]).unwrap();
+        let fp = footprint(&d, &profile(32, 4096), &r);
+        assert_eq!(fp.work_group_size, 256);
+        assert_eq!(fp.lds_bytes_per_group, 4096);
+        assert_eq!(fp.registers_per_item, 32);
+        assert!(fp.occupancy > 0.0 && fp.occupancy <= 1.0);
+        assert_eq!(fp.occupancy, perf::occupancy(&d, &profile(32, 4096), &r));
+    }
+}

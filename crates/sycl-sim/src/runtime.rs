@@ -9,7 +9,7 @@
 use crate::device::DeviceSpec;
 use crate::fault::{FaultError, FaultKind, FaultPlan};
 use crate::perf::{self, KernelCost, KernelProfile};
-use crate::{ResourceExhaustion, ResourceKind, Result, SimError};
+use crate::{Result, SimError};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
 
@@ -173,38 +173,18 @@ impl CompletionStatus {
 }
 
 /// Check a launch's resource demands against a device *before* pricing
-/// it: work-group size against the device's group limit and total SIMD
-/// lane count, and per-group local memory against the LDS capacity of a
-/// compute unit. Queues call this at submit time; selection layers can
-/// call it directly to pre-screen a candidate configuration.
+/// it. Queues call this at submit time; selection layers can call it
+/// directly to pre-screen a candidate configuration.
+///
+/// The checks themselves live in [`crate::resources::check_launch`],
+/// the single resource model shared with the offline static analyzer —
+/// this wrapper only lifts its rejection into [`SimError::Exhausted`].
 pub fn validate_launch(
     device: &DeviceSpec,
     profile: &KernelProfile,
     range: &NDRange,
 ) -> Result<()> {
-    let local = range.local_size();
-    if local > device.max_work_group_size {
-        return Err(SimError::Exhausted(ResourceExhaustion {
-            resource: ResourceKind::WorkGroupSize,
-            requested: local,
-            limit: device.max_work_group_size,
-        }));
-    }
-    if local > device.total_lanes() {
-        return Err(SimError::Exhausted(ResourceExhaustion {
-            resource: ResourceKind::Lanes,
-            requested: local,
-            limit: device.total_lanes(),
-        }));
-    }
-    if profile.lds_bytes_per_group > device.lds_bytes_per_cu {
-        return Err(SimError::Exhausted(ResourceExhaustion {
-            resource: ResourceKind::Lds,
-            requested: profile.lds_bytes_per_group,
-            limit: device.lds_bytes_per_cu,
-        }));
-    }
-    Ok(())
+    crate::resources::check_launch(device, profile, range).map_err(SimError::Exhausted)
 }
 
 /// A completed launch with simulated profiling information, the analogue

@@ -15,6 +15,27 @@ cargo test -q
 echo "==> fault-injection suite (cargo test -q --test resilient_executor)"
 cargo test -q --test resilient_executor
 
+echo "==> hot-path lint (must pass clean, < 2s)"
+cargo build -q --release --bin hotpath_lint
+lint_start=$(date +%s%N)
+./target/release/hotpath_lint
+lint_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "    lint wall time: ${lint_ms} ms"
+if [ "${lint_ms}" -ge 2000 ]; then
+    echo "    FAIL: hot-path lint exceeded the 2s budget" >&2
+    exit 1
+fi
+
+echo "==> hot-path lint (must fail on the seeded fixture)"
+if ./target/release/hotpath_lint crates/analyze/tests/fixtures/violations.rs > /dev/null; then
+    echo "    FAIL: linter accepted the deliberately violating fixture" >&2
+    exit 1
+fi
+echo "    fixture correctly rejected"
+
+echo "==> kernel-space analyzer self-check (analyzer vs validate_launch)"
+cargo run -q --release --bin analyze_space
+
 echo "==> resilient serving example (cargo run --release --example resilient_serving)"
 cargo run --release --example resilient_serving
 

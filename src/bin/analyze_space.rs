@@ -1,0 +1,144 @@
+//! Kernel-space analyzer driver: prove the configuration space against
+//! every shipped device model and emit the SARIF diagnostics report.
+//!
+//! For each device the tool (1) classifies all 640 configurations
+//! `Valid | Invalid | Degraded` and runs the dominance pass, and
+//! (2) self-checks the analyzer against the live runtime: every
+//! `Invalid` verdict must correspond to a `validate_launch` rejection
+//! with the identical resource/requested/limit triple, and every
+//! launchable verdict to an acceptance. Any disagreement means the
+//! analyzer drifted from the runtime and the tool exits nonzero — this
+//! is the drift tripwire `check.sh` runs on every build.
+//!
+//! The combined report is written to
+//! `reports/kernel_space_analysis.json` (override with the first
+//! positional argument).
+//!
+//! ```text
+//! cargo run --bin analyze_space                # writes reports/...
+//! cargo run --bin analyze_space -- out.json    # custom destination
+//! ```
+
+use autokernel::analyze::{KernelSpaceAnalyzer, SpaceAnalysis, Verdict};
+use autokernel::gemm::{model, GemmShape, KernelConfig};
+use autokernel::sim::{validate_launch, DeviceSpec, SimError};
+
+/// Compare analyzer verdicts with live runtime validation for one
+/// device; returns the number of disagreements (0 = in sync).
+fn self_check(device: &DeviceSpec, analysis: &SpaceAnalysis) -> usize {
+    let shape = GemmShape::new(1024, 1024, 1024);
+    let mut mismatches = 0;
+    for (cfg, result) in KernelConfig::all().iter().zip(&analysis.configs) {
+        let range = match model::launch_range(cfg, &shape) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("analyze_space: {cfg}: bad launch range: {e}");
+                mismatches += 1;
+                continue;
+            }
+        };
+        let profile = model::profile(cfg, &shape, device);
+        let agreed = match (&result.verdict, validate_launch(device, &profile, &range)) {
+            (
+                Verdict::Invalid {
+                    resource,
+                    requested,
+                    limit,
+                },
+                Err(SimError::Exhausted(e)),
+            ) => *resource == e.resource && *requested == e.requested && *limit == e.limit,
+            (Verdict::Valid | Verdict::Degraded { .. }, Ok(())) => true,
+            _ => false,
+        };
+        if !agreed {
+            eprintln!(
+                "analyze_space: DRIFT on {} / {}: analyzer says {:?}",
+                device.name, cfg, result.verdict
+            );
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "reports/kernel_space_analysis.json".to_string());
+
+    let devices = [
+        DeviceSpec::amd_r9_nano(),
+        DeviceSpec::desktop_gpu(),
+        DeviceSpec::embedded_accelerator(),
+        DeviceSpec::host_cpu(),
+        DeviceSpec::edge_dsp(),
+    ];
+
+    let mut analyses = Vec::new();
+    let mut drift = 0;
+    for device in &devices {
+        let analysis = match KernelSpaceAnalyzer::new(device.clone()).analyze() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("analyze_space: analysis of {} failed: {e}", device.name);
+                std::process::exit(2);
+            }
+        };
+        drift += self_check(device, &analysis);
+        println!(
+            "{:<32} valid {:>3}  invalid {:>3}  degraded {:>3}  dominated {:>3}",
+            analysis.device,
+            analysis.valid_count(),
+            analysis.invalid_count(),
+            analysis.degraded_count(),
+            analysis.dominated_count()
+        );
+        analyses.push(analysis);
+    }
+
+    if drift > 0 {
+        eprintln!("analyze_space: {drift} analyzer/runtime disagreement(s) — the shared resource model has drifted");
+        std::process::exit(1);
+    }
+    println!(
+        "self-check: analyzer verdicts agree with validate_launch on all {} devices",
+        devices.len()
+    );
+
+    // The report is only useful if it actually demonstrates findings:
+    // at least one statically invalid and one dominated configuration
+    // must exist somewhere across the shipped devices.
+    let total_invalid: usize = analyses.iter().map(SpaceAnalysis::invalid_count).sum();
+    let total_dominated: usize = analyses.iter().map(SpaceAnalysis::dominated_count).sum();
+    if total_invalid == 0 || total_dominated == 0 {
+        eprintln!(
+            "analyze_space: expected findings missing (invalid {total_invalid}, dominated {total_dominated})"
+        );
+        std::process::exit(1);
+    }
+
+    let rendered = match autokernel::analyze::render_report(&analyses) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze_space: report serialisation failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("analyze_space: cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, rendered.as_bytes()) {
+        eprintln!("analyze_space: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "wrote {out_path} ({} invalid, {total_dominated} dominated across {} devices)",
+        total_invalid,
+        devices.len()
+    );
+}

@@ -1,0 +1,54 @@
+//! Hot-path lint driver: scan the serving modules for latent panics.
+//!
+//! With no arguments, lints the canonical hot-path file set
+//! ([`autokernel::analyze::lint::HOT_PATH_FILES`]) relative to the
+//! current directory (run from the workspace root, as `check.sh` does).
+//! With arguments, lints exactly those files instead — which is how the
+//! CI negative test points it at a fixture that *must* fail.
+//!
+//! Exit status: 0 when clean, 1 when any violation is found, 2 when a
+//! target file cannot be read.
+//!
+//! ```text
+//! cargo run --bin hotpath_lint                 # the serving modules
+//! cargo run --bin hotpath_lint -- path/to.rs   # explicit targets
+//! ```
+
+use autokernel::analyze::lint::{lint_file, Violation, HOT_PATH_FILES};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<PathBuf> = if args.is_empty() {
+        HOT_PATH_FILES.iter().map(PathBuf::from).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let started = Instant::now();
+    let mut violations: Vec<Violation> = Vec::new();
+    for path in &targets {
+        match lint_file(path) {
+            Ok(mut v) => violations.append(&mut v),
+            Err(e) => {
+                eprintln!("hotpath_lint: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "hotpath_lint: {} file(s), {} violation(s), {:.1} ms",
+        targets.len(),
+        violations.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

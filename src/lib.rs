@@ -4,6 +4,8 @@
 //! public API of every sub-crate so examples and downstream users can
 //! depend on a single crate.
 //!
+//! - [`analyze`] — offline static analysis: kernel-space validity /
+//!   dominance verdicts and the hot-path source lint.
 //! - [`core`] — the selection pipeline (dataset, pruning, selection,
 //!   deployment codegen).
 //! - [`sim`] — the SYCL-like runtime and device performance models.
@@ -15,6 +17,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use autokernel_analyze as analyze;
 pub use autokernel_core as core;
 pub use autokernel_gemm as gemm;
 pub use autokernel_mlkit as mlkit;
