@@ -72,11 +72,13 @@ fn bench_pricing(c: &mut Criterion) {
             for cfg in &configs {
                 let range = autokernel_gemm::model::launch_range(cfg, &shape).unwrap();
                 let profile = autokernel_gemm::model::profile(cfg, &shape, queue.device());
-                let (_, d) = queue.price(
-                    &profile,
-                    &range,
-                    autokernel_gemm::model::noise_seed(cfg, &shape),
-                );
+                let (_, d) = queue
+                    .price(
+                        &profile,
+                        &range,
+                        autokernel_gemm::model::noise_seed(cfg, &shape),
+                    )
+                    .expect("every config is launchable on the desktop GPU");
                 total += d;
             }
             black_box(total)

@@ -63,9 +63,14 @@ impl DynamicAutotuner {
             let cfg = KernelConfig::from_index(cfg_idx).expect("valid candidate index");
             let range = model::launch_range(&cfg, &shape).expect("launchable");
             let profile = model::profile(&cfg, &shape, self.queue.device());
-            let (_, duration) = self
-                .queue
-                .price(&profile, &range, model::noise_seed(&cfg, &shape));
+            // A candidate this device refuses to launch costs no trial
+            // time and can never win the trial.
+            let Ok((_, duration)) =
+                self.queue
+                    .price(&profile, &range, model::noise_seed(&cfg, &shape))
+            else {
+                continue;
+            };
             total += duration;
             if duration < best.1 {
                 best = (cfg_idx, duration);
@@ -85,10 +90,14 @@ impl DynamicAutotuner {
         let cfg = KernelConfig::from_index(config).expect("valid config index");
         let range = model::launch_range(&cfg, &shape).expect("launchable");
         let profile = model::profile(&cfg, &shape, self.queue.device());
-        let (_, duration) = self
+        match self
             .queue
-            .price(&profile, &range, model::noise_seed(&cfg, &shape));
-        duration
+            .price(&profile, &range, model::noise_seed(&cfg, &shape))
+        {
+            Ok((_, duration)) => duration,
+            // Unlaunchable here: infinite cost, never a sane production pick.
+            Err(_) => f64::INFINITY,
+        }
     }
 
     /// Number of shapes tuned so far.

@@ -32,11 +32,27 @@ use std::time::Instant;
 /// host thread counts without bloating the cache's footprint.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// One cached decision, stamped with the cache generation it was made
+/// under. Entries from older generations are treated as absent.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    generation: u64,
+    config_index: usize,
+}
+
 /// A sharded concurrent map from GEMM shape to the chosen global
 /// configuration index.
+///
+/// Invalidation comes in two flavours: [`ShardedCache::clear`] drops
+/// entries eagerly (one write lock per shard), while
+/// [`ShardedCache::bump_generation`] is an O(1) atomic increment that
+/// makes every existing entry stale at once — the drift path in
+/// [`crate::online`] uses it so a device-profile shift can invalidate
+/// thousands of cached decisions without stalling concurrent readers.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<RwLock<HashMap<GemmShape, usize>>>,
+    shards: Vec<RwLock<HashMap<GemmShape, CacheEntry>>>,
+    generation: AtomicU64,
 }
 
 impl ShardedCache {
@@ -45,10 +61,11 @@ impl ShardedCache {
         let n = n_shards.max(1);
         ShardedCache {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            generation: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, usize>> {
+    fn shard_of(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, CacheEntry>> {
         // stable_hash is FNV-style; fold the high bits in so shard
         // choice isn't at the mercy of the low bits alone.
         let h = shape.stable_hash();
@@ -57,24 +74,53 @@ impl ShardedCache {
         &self.shards[idx]
     }
 
-    /// Look up a cached decision (read lock on one shard only).
+    /// Look up a cached decision (read lock on one shard only). Entries
+    /// written before the last [`ShardedCache::bump_generation`] read as
+    /// absent.
     pub fn get(&self, shape: &GemmShape) -> Option<usize> {
-        self.shard_of(shape).read().get(shape).copied()
+        let generation = self.generation.load(Ordering::Acquire);
+        self.shard_of(shape)
+            .read()
+            .get(shape)
+            .filter(|e| e.generation == generation)
+            .map(|e| e.config_index)
     }
 
-    /// Store a decision. Returns the previous value, if any.
+    /// Store a decision under the current generation. Returns the
+    /// previous live value, if any (stale entries count as absent).
     pub fn insert(&self, shape: GemmShape, config_index: usize) -> Option<usize> {
-        self.shard_of(&shape).write().insert(shape, config_index)
+        let generation = self.generation.load(Ordering::Acquire);
+        self.shard_of(&shape)
+            .write()
+            .insert(
+                shape,
+                CacheEntry {
+                    generation,
+                    config_index,
+                },
+            )
+            .filter(|e| e.generation == generation)
+            .map(|e| e.config_index)
     }
 
-    /// Number of distinct shapes cached across all shards.
+    /// Number of distinct shapes cached across all shards (current
+    /// generation only).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        let generation = self.generation.load(Ordering::Acquire);
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|e| e.generation == generation)
+                    .count()
+            })
+            .sum()
     }
 
-    /// Whether no decision has been cached yet.
+    /// Whether no live decision is cached.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.len() == 0
     }
 
     /// Drop every cached decision (e.g. after retraining the selector).
@@ -82,6 +128,19 @@ impl ShardedCache {
         for shard in &self.shards {
             shard.write().clear();
         }
+    }
+
+    /// Invalidate every cached decision in O(1) by advancing the cache
+    /// generation. Stale entries are filtered on read and overwritten on
+    /// the next insert for their shape; no lock is taken.
+    pub fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The current cache generation (starts at 0, advanced by
+    /// [`ShardedCache::bump_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The configured shard count.
@@ -116,6 +175,11 @@ pub struct SelectionTelemetry {
     fallback_next_best: AtomicU64,
     fallback_reference: AtomicU64,
     fallback_skipped_invalid: AtomicU64,
+    // --- online-adaptation counters (all zero without an
+    // `online::OnlineSelector`) ---
+    reward_updates: AtomicU64,
+    drift_events: AtomicU64,
+    adaptive_picks: AtomicU64,
 }
 
 impl SelectionTelemetry {
@@ -135,7 +199,22 @@ impl SelectionTelemetry {
             fallback_next_best: AtomicU64::new(0),
             fallback_reference: AtomicU64::new(0),
             fallback_skipped_invalid: AtomicU64::new(0),
+            reward_updates: AtomicU64::new(0),
+            drift_events: AtomicU64::new(0),
+            adaptive_picks: AtomicU64::new(0),
         }
+    }
+
+    pub(crate) fn record_reward_update(&self) {
+        self.reward_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drift_event(&self) {
+        self.drift_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_adaptive_pick(&self) {
+        self.adaptive_picks.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_resilient_launch(&self) {
@@ -272,6 +351,24 @@ impl SelectionTelemetry {
         self.fallback_skipped_invalid.load(Ordering::Relaxed)
     }
 
+    /// Measured launch outcomes fed back into the online bandit.
+    pub fn reward_updates(&self) -> u64 {
+        self.reward_updates.load(Ordering::Relaxed)
+    }
+
+    /// Drift-detector trips (each re-ranks the bandit and bumps the
+    /// decision-cache generation).
+    pub fn drift_events(&self) -> u64 {
+        self.drift_events.load(Ordering::Relaxed)
+    }
+
+    /// Primary picks made by the adaptive (post-drift) stage rather
+    /// than the offline classifier. These bypass the shape cache, so
+    /// they are *not* part of `hits + misses`.
+    pub fn adaptive_picks(&self) -> u64 {
+        self.adaptive_picks.load(Ordering::Relaxed)
+    }
+
     /// `(global config index, times picked)` per shipped configuration,
     /// in shipped order.
     pub fn picks(&self) -> Vec<(usize, u64)> {
@@ -305,6 +402,9 @@ impl SelectionTelemetry {
             fallback_next_best: self.fallback_next_best(),
             fallback_reference: self.fallback_reference(),
             fallback_skipped_invalid: self.fallback_skipped_invalid(),
+            reward_updates: self.reward_updates(),
+            drift_events: self.drift_events(),
+            adaptive_picks: self.adaptive_picks(),
         }
     }
 }
@@ -349,6 +449,12 @@ pub struct TelemetrySnapshot {
     /// Configurations skipped because static analysis proved them
     /// invalid or dominated.
     pub fallback_skipped_invalid: u64,
+    /// Measured launch outcomes fed back into the online bandit.
+    pub reward_updates: u64,
+    /// Drift-detector trips.
+    pub drift_events: u64,
+    /// Primary picks made by the adaptive (post-drift) stage.
+    pub adaptive_picks: u64,
 }
 
 /// The outcome of one cached selection, for threading into launch
@@ -454,6 +560,12 @@ impl CachedSelector {
     /// Forget every cached decision, keeping telemetry history.
     pub fn invalidate(&self) {
         self.cache.clear();
+    }
+
+    /// Forget every cached decision in O(1) via a generation bump —
+    /// the drift-invalidation path. Returns the new generation.
+    pub fn invalidate_generation(&self) -> u64 {
+        self.cache.bump_generation()
     }
 }
 
@@ -585,6 +697,40 @@ mod tests {
     fn zero_shards_clamps_to_one() {
         let cache = ShardedCache::new(0);
         assert_eq!(cache.shard_count(), 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_without_locks() {
+        let cache = ShardedCache::new(4);
+        let a = GemmShape::new(10, 20, 30);
+        let b = GemmShape::new(40, 50, 60);
+        cache.insert(a, 1);
+        cache.insert(b, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.generation(), 0);
+
+        assert_eq!(cache.bump_generation(), 1);
+        assert_eq!(cache.get(&a), None, "stale entry reads as absent");
+        assert_eq!(cache.get(&b), None);
+        assert!(cache.is_empty());
+
+        // Re-inserting under the new generation revives the slot; the
+        // stale previous value does not leak out as "previous".
+        assert_eq!(cache.insert(a, 7), None);
+        assert_eq!(cache.get(&a), Some(7));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_generation_forces_remodelling() {
+        let cached = CachedSelector::new(trained());
+        let shape = GemmShape::new(96, 96, 96);
+        cached.select(&shape).unwrap();
+        assert_eq!(cached.cached_shapes(), 1);
+        cached.invalidate_generation();
+        assert_eq!(cached.cached_shapes(), 0);
+        let again = cached.select_outcome(&shape).unwrap();
+        assert!(!again.cache_hit, "stale decision must not be served");
     }
 
     #[test]

@@ -30,11 +30,12 @@ pub struct PerformanceDataset {
 /// What a static pre-prune of the benchmark sweep skipped and saved.
 ///
 /// `sim_seconds_saved` is the simulated device time the skipped
-/// launches would have been priced at by a blind sweep — which *does*
-/// price statically invalid configurations ([`Queue::price`] applies
-/// no validity check), so without the mask they not only waste sweep
-/// time but can contaminate the dataset with timings for kernels the
-/// runtime would refuse to launch.
+/// launches would have been priced at by the old blind sweep — which
+/// priced statically invalid configurations too ([`Queue::price`] used
+/// to apply no validity check; it now refuses them with the same
+/// `SimError` the submit path raises). The counterfactual charge is
+/// computed with `Queue::price_unchecked` so the savings account stays
+/// comparable across that fix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StaticPruneStats {
     /// Configurations excluded by the mask (out of 640).
@@ -94,13 +95,27 @@ impl PerformanceDataset {
                         let range =
                             model::launch_range(cfg, shape).expect("all configs are launchable");
                         let profile = model::profile(cfg, shape, &dev);
-                        let (_, duration) =
-                            queue.price(&profile, &range, model::noise_seed(cfg, shape));
-                        if skip(j) {
-                            saved_s += duration;
-                            f64::INFINITY
-                        } else {
-                            duration
+                        let seed = model::noise_seed(cfg, shape);
+                        match queue.price(&profile, &range, seed) {
+                            Ok((_, duration)) if skip(j) => {
+                                saved_s += duration;
+                                f64::INFINITY
+                            }
+                            Ok((_, duration)) => duration,
+                            Err(_) => {
+                                // `Queue::price` now refuses what submit
+                                // would refuse, so an unlaunchable config
+                                // is "never competitive" with or without
+                                // the mask. When masked, the savings
+                                // account still charges the counterfactual
+                                // price the old unvalidated sweep paid.
+                                if skip(j) {
+                                    let (_, duration) =
+                                        queue.price_unchecked(&profile, &range, seed);
+                                    saved_s += duration;
+                                }
+                                f64::INFINITY
+                            }
                         }
                     })
                     .collect();

@@ -4,6 +4,21 @@
 use crate::dataset::PerformanceDataset;
 use autokernel_mlkit::metrics::geometric_mean;
 
+/// [`geometric_mean`] with serving-report semantics: an empty slice, a
+/// slice with no positive finite score (a fully-pruned shipped set on a
+/// device that rejects every member), or NaN contamination all report
+/// 0.0. The raw geomean's log-domain epsilon clamp would instead turn
+/// "nothing can run" into a tiny-but-positive score.
+fn guarded_geomean(per_shape: &[f64]) -> f64 {
+    if !per_shape.iter().any(|v| v.is_finite() && *v > 0.0) {
+        return 0.0;
+    }
+    if per_shape.iter().any(|v| v.is_nan()) {
+        return 0.0;
+    }
+    geometric_mean(per_shape)
+}
+
 /// Geometric mean over `rows` of the best *achievable* normalised
 /// performance given a restricted configuration set — the Figure 4
 /// metric. 1.0 means the restricted set contains the optimum for every
@@ -21,7 +36,7 @@ pub fn achievable_score(ds: &PerformanceDataset, rows: &[usize], configs: &[usiz
                 .fold(0.0f64, f64::max)
         })
         .collect();
-    geometric_mean(&per_shape)
+    guarded_geomean(&per_shape)
 }
 
 /// Geometric mean over `rows` of the normalised performance of the
@@ -38,7 +53,7 @@ pub fn selection_score(ds: &PerformanceDataset, rows: &[usize], chosen: &[usize]
         .zip(chosen)
         .map(|(&i, &c)| ds.normalized(i, c))
         .collect();
-    geometric_mean(&per_shape)
+    guarded_geomean(&per_shape)
 }
 
 /// Fraction of `rows` whose chosen configuration is the best available
@@ -105,6 +120,27 @@ mod tests {
         assert_eq!(achievable_score(&ds, &[], &[0]), 0.0);
         assert_eq!(selection_score(&ds, &[], &[]), 0.0);
         assert_eq!(oracle_accuracy(&ds, &[], &[0], &[]), 0.0);
+    }
+
+    #[test]
+    fn fully_pruned_set_scores_zero_not_epsilon() {
+        // On the embedded DSP most configurations are unlaunchable, so
+        // their dataset entries are `inf` and their scores 0.0. A shipped
+        // set made entirely of them must report exactly 0.0, not the
+        // geomean's log-domain epsilon.
+        let shapes = vec![
+            (GemmShape::new(64, 64, 64), "T".into()),
+            (GemmShape::new(512, 512, 512), "T".into()),
+        ];
+        let ds = PerformanceDataset::collect(&DeviceSpec::edge_dsp(), &shapes).unwrap();
+        let rows: Vec<usize> = (0..ds.n_shapes()).collect();
+        let zero_cfgs: Vec<usize> = (0..ds.n_configs())
+            .filter(|&c| rows.iter().all(|&i| ds.normalized(i, c) == 0.0))
+            .collect();
+        assert!(!zero_cfgs.is_empty(), "the DSP must reject some configs");
+        assert_eq!(achievable_score(&ds, &rows, &zero_cfgs), 0.0);
+        let chosen = vec![zero_cfgs[0]; rows.len()];
+        assert_eq!(selection_score(&ds, &rows, &chosen), 0.0);
     }
 
     #[test]

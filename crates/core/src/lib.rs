@@ -23,8 +23,10 @@
 //!
 //! Extensions beyond the paper: [`regression`] implements the related
 //! work's predictive-auto-tuning alternative (per-kernel boosted-tree
-//! performance models, argmax selection), and [`crossval`] adds k-fold
-//! evaluation for the tiny-dataset regime the paper worries about.
+//! performance models, argmax selection), [`crossval`] adds k-fold
+//! evaluation for the tiny-dataset regime the paper worries about, and
+//! [`online`] closes the serving loop with bandit refinement and
+//! Page–Hinkley drift detection over measured launch times.
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ pub mod crossval;
 pub mod dataset;
 pub mod evaluate;
 pub mod libsize;
+pub mod online;
 pub mod pipeline;
 pub mod prune;
 pub mod regression;
@@ -46,6 +49,7 @@ pub use cache::{
     CachedSelector, SelectionOutcome, SelectionTelemetry, ShardedCache, TelemetrySnapshot,
 };
 pub use dataset::{PerformanceDataset, StaticPruneStats};
+pub use online::{OnlineConfig, OnlineSelector, OnlineStats};
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;
 pub use regression::{RegressionParams, RegressionSelector};

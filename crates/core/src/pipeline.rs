@@ -5,6 +5,7 @@ use crate::cache::{CachedSelector, SelectionTelemetry};
 use crate::codegen::{emit_rust_source, CompiledTree};
 use crate::dataset::{PerformanceDataset, StaticPruneStats};
 use crate::evaluate;
+use crate::online::{OnlineConfig, OnlineSelector};
 use crate::prune::PruneMethod;
 use crate::resilient::{ResilientExecutor, ResilientPolicy};
 use crate::select::{Selector, SelectorKind};
@@ -184,11 +185,10 @@ impl TuningPipeline {
         &self.serving
     }
 
-    /// Build a [`ResilientExecutor`] serving this pipeline's model on
-    /// `queue`, with the fallback chain ranked by the shipped set's mean
-    /// normalised performance on the *training* rows (never the held-out
-    /// ones: ranking is part of the deployed artefact).
-    pub fn resilient_executor(&self, queue: Queue, policy: ResilientPolicy) -> ResilientExecutor {
+    /// Mean normalised performance of every configuration over the
+    /// *training* rows (never the held-out ones: this ranking is part
+    /// of the deployed artefact), each in `[0, 1]`.
+    fn train_config_means(&self) -> Vec<f64> {
         let m = self.dataset.normalized_matrix_of(&self.train_rows);
         let mut means = vec![0.0f64; self.dataset.n_configs()];
         for i in 0..m.rows() {
@@ -196,6 +196,20 @@ impl TuningPipeline {
                 *mean += v;
             }
         }
+        if m.rows() > 0 {
+            let inv = 1.0 / m.rows() as f64;
+            for mean in &mut means {
+                *mean *= inv;
+            }
+        }
+        means
+    }
+
+    /// Build a [`ResilientExecutor`] serving this pipeline's model on
+    /// `queue`, with the fallback chain ranked by the shipped set's mean
+    /// normalised performance on the training rows.
+    pub fn resilient_executor(&self, queue: Queue, policy: ResilientPolicy) -> ResilientExecutor {
+        let means = self.train_config_means();
         let mut ranked = self.shipped.clone();
         ranked.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
         ResilientExecutor::with_static_analysis(
@@ -205,6 +219,44 @@ impl TuningPipeline {
             policy,
             &self.analysis,
         )
+    }
+
+    /// Build an [`OnlineSelector`] over this pipeline's serving cache,
+    /// with bandit priors seeded from each shipped configuration's mean
+    /// normalised training-set performance — the offline classifier's
+    /// own ranking, so the cold-start behaviour is bit-identical to the
+    /// static stack until drift is detected.
+    pub fn online_selector(&self, config: OnlineConfig) -> Result<Arc<OnlineSelector>> {
+        let means = self.train_config_means();
+        let priors: Vec<f64> = self
+            .serving
+            .selector()
+            .configs()
+            .iter()
+            .map(|&c| means.get(c).copied().unwrap_or(0.0))
+            .collect();
+        Ok(Arc::new(OnlineSelector::new(
+            Arc::clone(&self.serving),
+            priors,
+            config,
+        )?))
+    }
+
+    /// [`TuningPipeline::resilient_executor`] with the online layer
+    /// attached: primary picks flow through `online`, and every launch
+    /// outcome (including fallback rungs) feeds its reward estimates
+    /// and drift detector.
+    pub fn adaptive_executor(
+        &self,
+        queue: Queue,
+        policy: ResilientPolicy,
+        config: OnlineConfig,
+    ) -> Result<(ResilientExecutor, Arc<OnlineSelector>)> {
+        let online = self.online_selector(config)?;
+        let executor = self
+            .resilient_executor(queue, policy)
+            .with_online(Arc::clone(&online));
+        Ok((executor, online))
     }
 
     /// Static analysis of the full configuration space on the dataset's

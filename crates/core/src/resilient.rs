@@ -27,6 +27,7 @@
 //! [`autokernel_sycl_sim::TraceRecorder`] renders.
 
 use crate::cache::CachedSelector;
+use crate::online::OnlineSelector;
 use crate::{CoreError, Result};
 use autokernel_analyze::SpaceAnalysis;
 use autokernel_gemm::{GemmShape, KernelConfig, ReferenceGemmKernel, TiledGemmKernel};
@@ -248,6 +249,11 @@ pub struct ResilientExecutor {
     /// [`ResilientExecutor::new`] path): every config is then trusted.
     invalid: Vec<bool>,
     breakers: HashMap<usize, CircuitBreaker>,
+    /// Closed-loop refinement layer, attached via
+    /// [`ResilientExecutor::with_online`]. When present, primary picks
+    /// flow through it and every launch outcome — including fallback
+    /// rungs — feeds its reward estimates and drift detector.
+    online: Option<Arc<OnlineSelector>>,
 }
 
 impl ResilientExecutor {
@@ -276,7 +282,23 @@ impl ResilientExecutor {
             ranking,
             invalid: Vec::new(),
             breakers,
+            online: None,
         }
+    }
+
+    /// Attach an [`OnlineSelector`]: primary picks now flow through its
+    /// two-stage policy (bit-identical to the cached selector until its
+    /// drift detector trips) and every launch outcome feeds its reward
+    /// estimates. Without this call the executor behaves exactly as in
+    /// the static stack.
+    pub fn with_online(mut self, online: Arc<OnlineSelector>) -> Self {
+        self.online = Some(online);
+        self
+    }
+
+    /// The attached online layer, if any.
+    pub fn online(&self) -> Option<&Arc<OnlineSelector>> {
+        self.online.as_ref()
     }
 
     /// Like [`ResilientExecutor::new`], but consults a static
@@ -368,7 +390,10 @@ impl ResilientExecutor {
     ) -> Result<LaunchReport> {
         let telemetry = self.selector.telemetry();
         telemetry.record_resilient_launch();
-        let outcome = self.selector.select_outcome(&shape)?;
+        let outcome = match &self.online {
+            Some(online) => online.select_outcome(&shape)?,
+            None => self.selector.select_outcome(&shape)?,
+        };
         let primary = outcome.config_index;
 
         let deadline_s = self.queue.now_s() + self.policy.deadline_s;
@@ -403,6 +428,9 @@ impl ResilientExecutor {
                     Ok(event) => {
                         if let Some(breaker) = self.breakers.get(&cfg_idx) {
                             breaker.on_success();
+                        }
+                        if let Some(online) = &self.online {
+                            online.record_success(&shape, cfg_idx, event.duration_s());
                         }
                         let fallback = if effective_depth == 0 {
                             FallbackLevel::Primary
@@ -439,6 +467,9 @@ impl ResilientExecutor {
                             _ => None,
                         };
                         let transient = error.is_transient();
+                        if let Some(online) = &self.online {
+                            online.record_failure(&shape, cfg_idx, transient);
+                        }
                         failures.push(FailureRecord {
                             config_index: cfg_idx,
                             error,

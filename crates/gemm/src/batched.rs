@@ -144,11 +144,13 @@ mod tests {
 
         let single_range = model::launch_range(&cfg(), &shape).unwrap();
         let single_profile = model::profile(&cfg(), &shape, &device);
-        let (_, t_single) = queue.price(
-            &single_profile,
-            &single_range,
-            model::noise_seed(&cfg(), &shape),
-        );
+        let (_, t_single) = queue
+            .price(
+                &single_profile,
+                &single_range,
+                model::noise_seed(&cfg(), &shape),
+            )
+            .unwrap();
 
         let operands = (0..batch)
             .map(|_| {
@@ -162,7 +164,7 @@ mod tests {
         let kernel = BatchedGemmKernel::new(cfg(), shape, operands).unwrap();
         let range = kernel.preferred_range().unwrap();
         let profile = kernel.profile(&device, &range);
-        let (_, t_batched) = queue.price(&profile, &range, kernel.noise_seed());
+        let (_, t_batched) = queue.price(&profile, &range, kernel.noise_seed()).unwrap();
 
         assert!(
             t_batched < t_single * batch as f64 * 0.8,

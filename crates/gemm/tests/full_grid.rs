@@ -60,6 +60,7 @@ fn all_640_configs_have_distinct_or_priced_costs() {
             let profile = model::profile(cfg, &shape, &device);
             queue
                 .price(&profile, &range, model::noise_seed(cfg, &shape))
+                .unwrap()
                 .1
         })
         .collect();

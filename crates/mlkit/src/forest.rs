@@ -62,8 +62,11 @@ impl RandomForestClassifier {
                 let mut blabels = Vec::with_capacity(n);
                 for _ in 0..n {
                     let i = rng.random_range(0..n);
+                    let label = *y
+                        .get(i)
+                        .ok_or_else(|| MlError::BadShape("bootstrap index out of range".into()))?;
                     brows.push(x.row(i).to_vec());
-                    blabels.push(y[i]);
+                    blabels.push(label);
                 }
                 let bx = Matrix::from_rows(&brows)?;
                 let mut clf = DecisionTreeClassifier::new(TreeParams {
@@ -95,17 +98,22 @@ impl RandomForestClassifier {
         for i in 0..x.rows() {
             let mut counts = vec![0usize; self.classes.len()];
             for v in &votes {
-                if let Ok(c) = self.classes.binary_search(&v[i]) {
-                    counts[c] += 1;
+                let slot = v
+                    .get(i)
+                    .and_then(|vote| self.classes.binary_search(vote).ok())
+                    .and_then(|c| counts.get_mut(c));
+                if let Some(count) = slot {
+                    *count += 1;
                 }
             }
             let best = counts
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                .map(|(c, _)| c)
-                .unwrap_or(0);
-            out.push(self.classes[best]);
+                .and_then(|(c, _)| self.classes.get(c))
+                .copied()
+                .ok_or(MlError::NotFitted)?;
+            out.push(best);
         }
         Ok(out)
     }

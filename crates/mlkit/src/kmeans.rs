@@ -97,36 +97,42 @@ impl KMeans {
         for _ in 0..self.max_iter {
             // Assignment step.
             let mut new_inertia = 0.0;
-            for (i, row) in x.rows_iter().enumerate() {
-                let (lbl, d2) = nearest(row, &centroids);
-                labels[i] = lbl;
+            for (lbl, row) in labels.iter_mut().zip(x.rows_iter()) {
+                let (l, d2) = nearest(row, &centroids);
+                *lbl = l;
                 new_inertia += d2;
             }
             // Update step.
             let mut sums = Matrix::zeros(self.k, d);
             let mut counts = vec![0usize; self.k];
-            for (i, row) in x.rows_iter().enumerate() {
-                counts[labels[i]] += 1;
-                for (s, &v) in sums.row_mut(labels[i]).iter_mut().zip(row) {
+            for (row, &lbl) in x.rows_iter().zip(&labels) {
+                if let Some(c) = counts.get_mut(lbl) {
+                    *c += 1;
+                }
+                for (s, &v) in sums.row_mut(lbl).iter_mut().zip(row) {
                     *s += v;
                 }
             }
-            #[allow(clippy::needless_range_loop)]
-            for c in 0..self.k {
-                if counts[c] == 0 {
+            for (c, count) in counts.iter_mut().enumerate() {
+                if *count == 0 {
                     // Re-seed an empty cluster from the point farthest from
-                    // its centroid, the standard fix-up.
-                    let far = (0..n)
-                        .max_by(|&a, &b| {
-                            let da = Matrix::sq_dist(x.row(a), centroids.row(labels[a]));
-                            let db = Matrix::sq_dist(x.row(b), centroids.row(labels[b]));
-                            da.partial_cmp(&db).unwrap()
-                        })
+                    // its centroid, the standard fix-up. `total_cmp` keeps
+                    // the argmax total when a NaN feature yields a NaN
+                    // distance: the poisoned point ranks "farthest" (a
+                    // harmless re-seed) where the old
+                    // `partial_cmp(..).unwrap()` panicked.
+                    let far = x
+                        .rows_iter()
+                        .zip(&labels)
+                        .map(|(row, &l)| Matrix::sq_dist(row, centroids.row(l)))
+                        .enumerate()
+                        .max_by(|(_, da), (_, db)| da.total_cmp(db))
+                        .map(|(i, _)| i)
                         .unwrap_or(rng.random_range(0..n));
                     sums.row_mut(c).copy_from_slice(x.row(far));
-                    counts[c] = 1;
+                    *count = 1;
                 }
-                let inv = 1.0 / counts[c] as f64;
+                let inv = 1.0 / *count as f64;
                 for s in sums.row_mut(c) {
                     *s *= inv;
                 }
@@ -143,9 +149,9 @@ impl KMeans {
         }
         // Final assignment against the final centroids.
         let mut final_inertia = 0.0;
-        for (i, row) in x.rows_iter().enumerate() {
-            let (lbl, d2) = nearest(row, &centroids);
-            labels[i] = lbl;
+        for (lbl, row) in labels.iter_mut().zip(x.rows_iter()) {
+            let (l, d2) = nearest(row, &centroids);
+            *lbl = l;
             final_inertia += d2;
         }
         FittedKMeans {
@@ -186,10 +192,10 @@ impl KMeans {
                 idx
             };
             centroids.row_mut(c).copy_from_slice(x.row(chosen));
-            for (i, row) in x.rows_iter().enumerate() {
+            for (slot, row) in d2.iter_mut().zip(x.rows_iter()) {
                 let nd = Matrix::sq_dist(row, centroids.row(c));
-                if nd < d2[i] {
-                    d2[i] = nd;
+                if nd < *slot {
+                    *slot = nd;
                 }
             }
         }
@@ -227,11 +233,11 @@ impl KMeans {
         let mut medoids = vec![usize::MAX; self.k];
         let mut best = vec![f64::INFINITY; self.k];
         for (i, row) in x.rows_iter().enumerate() {
-            for c in 0..self.k {
+            for (c, (b, m)) in best.iter_mut().zip(medoids.iter_mut()).enumerate() {
                 let d2 = Matrix::sq_dist(row, f.centroids.row(c));
-                if d2 < best[c] {
-                    best[c] = d2;
-                    medoids[c] = i;
+                if d2 < *b {
+                    *b = d2;
+                    *m = i;
                 }
             }
         }
@@ -325,6 +331,30 @@ mod tests {
         for (c, &m) in medoids.iter().enumerate() {
             assert!(m < x.rows());
             assert_eq!(labels[m], c, "medoid of cluster {c} not labelled {c}");
+        }
+    }
+
+    #[test]
+    fn nan_feature_row_does_not_panic_fit_or_predict() {
+        // Regression: duplicated points force an empty cluster, whose
+        // farthest-point re-seed compared NaN distances with
+        // `partial_cmp(..).unwrap()` and panicked when a poisoned row
+        // was present. `total_cmp` must absorb it.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![f64::NAN, 0.0],
+        ])
+        .unwrap();
+        let mut km = KMeans::new(3, 13);
+        km.fit(&x).unwrap();
+        let labels = km.labels().unwrap();
+        assert_eq!(labels.len(), 4);
+        assert!(labels.iter().all(|&l| l < 3));
+        let probe = Matrix::from_rows(&[vec![0.0, 0.0], vec![f64::NAN, f64::NAN]]).unwrap();
+        for l in km.predict(&probe).unwrap() {
+            assert!(l < 3);
         }
     }
 

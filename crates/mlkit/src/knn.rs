@@ -52,25 +52,28 @@ impl KNearestNeighbors {
         }
         let mut out = Vec::with_capacity(x.rows());
         for row in x.rows_iter() {
-            let mut d: Vec<(f64, usize)> = train
+            // (distance, train index, label). `total_cmp` keeps the sort
+            // total when a poisoned feature yields a NaN distance: NaN
+            // orders after every real distance, so it can neither panic
+            // the comparator nor displace a genuine neighbour.
+            let mut d: Vec<(f64, usize, usize)> = train
                 .rows_iter()
+                .zip(self.y.iter().copied())
                 .enumerate()
-                .map(|(i, t)| (Matrix::sq_dist(row, t), i))
+                .map(|(i, (t, label))| (Matrix::sq_dist(row, t), i, label))
                 .collect();
-            d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-            let neighbours = &d[..self.k];
+            d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             // Majority vote; on a tie prefer the label of the closer
             // neighbour (sklearn behaviour for uniform weights).
             let mut counts: Vec<(usize, usize, usize)> = Vec::new(); // (label, count, first_rank)
-            for (rank, &(_, i)) in neighbours.iter().enumerate() {
-                let label = self.y[i];
+            for (rank, &(_, _, label)) in d.iter().take(self.k).enumerate() {
                 match counts.iter_mut().find(|(l, _, _)| *l == label) {
                     Some(entry) => entry.1 += 1,
                     None => counts.push((label, 1, rank)),
                 }
             }
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
-            out.push(counts[0].0);
+            out.push(counts.first().map(|c| c.0).ok_or(MlError::NotFitted)?);
         }
         Ok(out)
     }
@@ -123,6 +126,23 @@ mod tests {
         knn.fit(&x, &y).unwrap();
         let probe = Matrix::from_rows(&[vec![1.0], vec![9.0]]).unwrap();
         assert_eq!(knn.predict(&probe).unwrap(), vec![3, 8]);
+    }
+
+    #[test]
+    fn nan_training_row_cannot_panic_or_win_the_vote() {
+        // Regression: the neighbour sort used `partial_cmp(..).unwrap()`,
+        // which panicked the first time a NaN distance appeared. Under
+        // `total_cmp` the poisoned row sorts last and never gets a vote.
+        let (x, y) = two_blobs();
+        let mut rows: Vec<Vec<f64>> = x.rows_iter().map(|r| r.to_vec()).collect();
+        let mut labels = y.clone();
+        rows.push(vec![f64::NAN, f64::NAN]);
+        labels.push(7);
+        let poisoned = Matrix::from_rows(&rows).unwrap();
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&poisoned, &labels).unwrap();
+        let probe = Matrix::from_rows(&[vec![0.5, 0.0], vec![100.5, 0.0]]).unwrap();
+        assert_eq!(knn.predict(&probe).unwrap(), vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Timing feedback surface for closed-loop consumers.
+//!
+//! A SYCL profiling event reports when a launch started and finished.
+//! An adaptive selection layer wants exactly that signal, but as a
+//! plain value it can ship across threads and store in per-arm
+//! statistics without keeping the [`Event`] (and its cost breakdown)
+//! alive. [`LaunchMeasurement`] is that value: what ran, how long it
+//! occupied the simulated device, and whether it actually completed.
+//! The runtime stays ignorant of *why* anyone wants the numbers — the
+//! shape and configuration a measurement belongs to are the caller's
+//! business (see `core::online`).
+
+use crate::runtime::Event;
+use serde::{Deserialize, Serialize};
+
+/// One launch's timing outcome, the unit of reward feedback for
+/// closed-loop kernel selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchMeasurement {
+    /// Kernel name recorded at submit time.
+    pub kernel_name: String,
+    /// Simulated submission-to-completion duration in seconds. For a
+    /// failed launch this is the span the failure occupied the device.
+    pub duration_s: f64,
+    /// Completion timestamp on the queue clock; orders measurements
+    /// from queues sharing a context.
+    pub end_s: f64,
+    /// Whether the launch ran to completion.
+    pub completed: bool,
+}
+
+impl Event {
+    /// This event's timing outcome as a detached [`LaunchMeasurement`].
+    pub fn measurement(&self) -> LaunchMeasurement {
+        LaunchMeasurement {
+            kernel_name: self.kernel_name().to_string(),
+            duration_s: self.duration_s(),
+            end_s: self.end_s(),
+            completed: !self.is_failed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    #[test]
+    fn measurement_mirrors_event() {
+        let ev = Event::failed("gemm_x".into(), 1.0, 1.5, FaultKind::TransientLaunch);
+        let m = ev.measurement();
+        assert_eq!(m.kernel_name, "gemm_x");
+        assert!((m.duration_s - 0.5).abs() < 1e-12);
+        assert!((m.end_s - 1.5).abs() < 1e-12);
+        assert!(!m.completed);
+    }
+}

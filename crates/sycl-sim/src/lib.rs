@@ -25,6 +25,7 @@
 
 pub mod device;
 pub mod fault;
+pub mod feedback;
 pub mod perf;
 pub mod resources;
 pub mod runtime;
@@ -32,6 +33,7 @@ pub mod trace;
 
 pub use device::{DeviceSpec, DeviceType};
 pub use fault::{FaultError, FaultKind, FaultPlan};
+pub use feedback::LaunchMeasurement;
 pub use perf::{KernelCost, KernelProfile};
 pub use resources::{check_launch, footprint, ResourceFootprint};
 pub use runtime::{

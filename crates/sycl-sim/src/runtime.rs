@@ -416,7 +416,7 @@ impl Queue {
         if self.execute_host {
             kernel.execute(&range)?;
         }
-        let (cost, duration) = self.price(&profile, &range, kernel.noise_seed());
+        let (cost, duration) = self.price_unchecked(&profile, &range, kernel.noise_seed());
 
         let mut clock = self.clock_s.lock();
         let dep_end = deps.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
@@ -436,7 +436,29 @@ impl Queue {
     /// noised duration an actual submission of the same (profile, range,
     /// seed) would report. Large benchmark sweeps use this directly so
     /// they need not materialise operand buffers.
+    ///
+    /// Launches that `resources::check_launch` would refuse are rejected
+    /// with the same [`SimError`] the submit path raises — a price for an
+    /// unlaunchable kernel is fiction, not a benchmark.
     pub fn price(
+        &self,
+        profile: &KernelProfile,
+        range: &NDRange,
+        noise_seed: u64,
+    ) -> Result<(KernelCost, f64)> {
+        validate_launch(&self.device, profile, range)?;
+        Ok(self.price_unchecked(profile, range, noise_seed))
+    }
+
+    /// Price without re-validating: the submit path calls this after its
+    /// own `validate_launch` so the check runs exactly once per launch.
+    ///
+    /// Public for counterfactual accounting only (e.g. "what would the
+    /// un-pruned benchmark sweep have charged for this entry"): the
+    /// returned duration for an unlaunchable (profile, range) is fiction
+    /// the device would never actually execute. Use [`Queue::price`]
+    /// everywhere a real launch is being modelled.
+    pub fn price_unchecked(
         &self,
         profile: &KernelProfile,
         range: &NDRange,

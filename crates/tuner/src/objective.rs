@@ -60,7 +60,10 @@ impl GemmObjective {
         let profile = model::profile(config, &self.shape, &self.device);
         self.queue
             .price(&profile, &range, model::noise_seed(config, &self.shape))
-            .1
+            .map(|(_, duration)| duration)
+            // Unlaunchable on this device: infinitely bad, so no search
+            // strategy can prefer it.
+            .unwrap_or(f64::INFINITY)
     }
 
     /// The shape being tuned.

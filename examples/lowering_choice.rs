@@ -21,6 +21,7 @@ fn gemm_time(pipeline: &TuningPipeline, queue: &Queue, shape: GemmShape) -> f64 
     let profile = model::profile(&cfg, &shape, queue.device());
     queue
         .price(&profile, &range, model::noise_seed(&cfg, &shape))
+        .expect("selected config is launchable")
         .1
 }
 

@@ -39,4 +39,7 @@ cargo run -q --release --bin analyze_space
 echo "==> resilient serving example (cargo run --release --example resilient_serving)"
 cargo run --release --example resilient_serving
 
+echo "==> adaptive serving example (cargo run --release --example adaptive_serving)"
+cargo run --release --example adaptive_serving
+
 echo "All checks passed."

@@ -1,0 +1,318 @@
+//! Integration tests of the online adaptation layer: Mirror-stage
+//! bit-identity over the full 170-shape paper dataset, bandit
+//! convergence to the oracle configuration on stationary reward
+//! streams, and the acceptance scenario — a nano → edge_dsp device swap
+//! mid-stream, where the adaptive selector must recover to ≥ 95 % of
+//! the post-swap shipped-set oracle while the static classifier's picks
+//! stay measurably below it.
+
+use autokernel::core::resilient::ResilientPolicy;
+use autokernel::core::{OnlineConfig, PerformanceDataset, PipelineConfig, TuningPipeline};
+use autokernel::gemm::{model, GemmShape, KernelConfig};
+use autokernel::sim::{Buffer, DeviceSpec, Queue};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// The paper dataset, collected once for the whole test binary.
+fn paper_dataset() -> &'static PerformanceDataset {
+    static DS: OnceLock<PerformanceDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        PerformanceDataset::collect_paper_dataset(&DeviceSpec::amd_r9_nano())
+            .expect("dataset collects")
+    })
+}
+
+/// Each test trains its own pipeline (training is cheap next to
+/// collection) so telemetry assertions never observe another test's
+/// launches.
+fn pipeline_over(dataset: &PerformanceDataset) -> TuningPipeline {
+    TuningPipeline::from_dataset(dataset.clone(), PipelineConfig::default())
+        .expect("pipeline trains")
+}
+
+/// Simulated duration of `config_index` on `shape` for `queue`'s
+/// device, or `None` when the device rejects the launch.
+fn priced(queue: &Queue, shape: &GemmShape, config_index: usize) -> Option<f64> {
+    let cfg = KernelConfig::from_index(config_index)?;
+    let range = model::launch_range(&cfg, shape).ok()?;
+    let profile = model::profile(&cfg, shape, queue.device());
+    queue
+        .price(&profile, &range, model::noise_seed(&cfg, shape))
+        .ok()
+        .map(|(_, duration)| duration)
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Zeroed operand buffers for a timing-only launch (bodies never run).
+fn zero_buffers(shape: GemmShape) -> (Buffer<f32>, Buffer<f32>, Buffer<f32>) {
+    (
+        Buffer::new_filled(shape.m * shape.k, 0.0f32),
+        Buffer::new_filled(shape.k * shape.n, 0.0f32),
+        Buffer::new_filled(shape.m * shape.n, 0.0f32),
+    )
+}
+
+#[test]
+fn mirror_stage_is_bit_identical_over_the_paper_dataset() {
+    let pipeline = pipeline_over(paper_dataset());
+    let online = pipeline
+        .online_selector(OnlineConfig::default())
+        .expect("online selector builds");
+
+    for shape in &paper_dataset().shapes {
+        let offline = pipeline.select(shape).expect("offline pick").index();
+        let picked = online.select(shape).expect("online pick");
+        assert_eq!(
+            picked, offline,
+            "mirror stage must be bit-identical to the classifier on {shape}"
+        );
+    }
+
+    assert!(!online.is_adaptive(), "no drift was injected");
+    let t = pipeline.telemetry();
+    assert_eq!(t.adaptive_picks(), 0);
+    assert_eq!(t.drift_events(), 0);
+    assert_eq!(
+        t.hits() + t.misses(),
+        paper_dataset().shapes.len() as u64,
+        "mirror picks flow through the serving cache"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On a stationary reward stream with well-separated arm durations,
+    /// the post-drift bandit converges to the oracle (minimum-duration)
+    /// configuration, whatever the durations are and however they
+    /// disagree with the offline priors.
+    #[test]
+    fn bandit_converges_to_oracle_on_stationary_stream(
+        perm_seed in 0u64..1000,
+        base_us in 50.0f64..500.0,
+    ) {
+        let pipeline = pipeline_over(paper_dataset());
+        let online = pipeline
+            .online_selector(OnlineConfig::default())
+            .expect("online selector builds");
+        let shipped = online.shipped().to_vec();
+
+        // A deterministic permutation of arm ranks from the seed, with a
+        // 1.8x duration gap between consecutive ranks.
+        let mut ranks: Vec<usize> = (0..shipped.len()).collect();
+        let mut state = perm_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for i in (1..ranks.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ranks.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let durations: Vec<f64> = ranks
+            .iter()
+            .map(|&r| base_us * 1e-6 * 1.8f64.powi(r as i32))
+            .collect();
+        let oracle = shipped[ranks
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &r)| r)
+            .map(|(slot, _)| slot)
+            .expect("non-empty shipped set")];
+
+        let shape = GemmShape::new(512, 512, 512);
+        online.force_drift();
+        prop_assert!(online.is_adaptive());
+
+        let mut tail = Vec::new();
+        for round in 0..250 {
+            let pick = online.select(&shape).expect("adaptive pick");
+            let slot = shipped.iter().position(|&c| c == pick).expect("shipped pick");
+            online.record_success(&shape, pick, durations[slot]);
+            if round >= 230 {
+                tail.push(pick);
+            }
+        }
+        prop_assert!(
+            tail.iter().all(|&p| p == oracle),
+            "last picks {tail:?} must all equal oracle {oracle} (durations {durations:?})"
+        );
+        prop_assert!(!online.stats().adaptive || online.stats().ph_statistic < 25.0);
+        prop_assert_eq!(
+            pipeline.telemetry().drift_events(), 1,
+            "a stationary stream must not re-trip drift"
+        );
+    }
+}
+
+/// The acceptance scenario: two epochs of nano serving (bit-identical
+/// to the static stack), then the queue is swapped for an edge DSP the
+/// offline model has never seen. Four of the six shipped configurations
+/// cannot launch there at all. The drift detector must trip, the cache
+/// generation must be invalidated, and the bandit must recover to
+/// ≥ 95 % of the post-swap shipped-set oracle — while a static pipeline
+/// serving the same stream keeps choosing unlaunchable kernels and
+/// stays below the adaptive geomean even with the resilient fallback
+/// chain rescuing every launch.
+#[test]
+fn device_swap_drift_recovers_to_near_oracle_while_static_stays_below() {
+    // Each cluster tries at most one new arm per epoch (the fallback
+    // chain completes on the first launchable candidate), so with six
+    // shipped arms the bandit needs six epochs to exhaust forced
+    // exploration; two more land the measurement in the settled regime.
+    const NANO_EPOCHS: usize = 2;
+    const EDGE_EPOCHS: usize = 8;
+
+    let shapes: Vec<GemmShape> = paper_dataset().shapes.clone();
+    let nano = Arc::new(DeviceSpec::amd_r9_nano());
+    let edge = Arc::new(DeviceSpec::edge_dsp());
+
+    let pipeline = pipeline_over(paper_dataset());
+    let policy = ResilientPolicy::default();
+    let (nano_exec, online) = pipeline
+        .adaptive_executor(
+            Queue::timing_only(Arc::clone(&nano)),
+            policy.clone(),
+            OnlineConfig::default(),
+        )
+        .expect("adaptive executor builds");
+    // The device swap: a second executor on the edge queue sharing the
+    // same online layer (and the same serving cache + telemetry).
+    let edge_exec = pipeline
+        .resilient_executor(Queue::timing_only(Arc::clone(&edge)), policy.clone())
+        .with_online(Arc::clone(&online));
+
+    // An independent static pipeline serving the identical post-swap
+    // stream, for the comparison baseline.
+    let static_pipeline = pipeline_over(paper_dataset());
+    let static_exec =
+        static_pipeline.resilient_executor(Queue::timing_only(Arc::clone(&edge)), policy.clone());
+
+    let buffers: Vec<_> = shapes.iter().map(|&s| zero_buffers(s)).collect();
+
+    // Phase 1 — nano serving. Epoch 0 doubles as the load-bearing
+    // bit-identity check: every report must carry the classifier's own
+    // pick, clean on the first attempt.
+    for epoch in 0..NANO_EPOCHS {
+        for (shape, (a, b, c)) in shapes.iter().zip(&buffers) {
+            let report = nano_exec.launch(*shape, a, b, c).expect("nano launch");
+            if epoch == 0 {
+                let offline = pipeline.select(shape).expect("offline pick");
+                assert_eq!(
+                    report.config,
+                    Some(offline),
+                    "pre-drift serving must be bit-identical to the classifier on {shape}"
+                );
+                assert!(report.is_clean(), "no faults on the training device");
+            }
+        }
+    }
+    assert!(
+        !online.is_adaptive(),
+        "two epochs on the training device must not read as drift"
+    );
+    assert_eq!(pipeline.telemetry().drift_events(), 0);
+    assert_eq!(pipeline.telemetry().adaptive_picks(), 0);
+    let generation_before = pipeline.serving().cache().generation();
+
+    // Phase 2 — the swap. Serve the same stream from the edge queue.
+    let mut final_epoch_durations: Vec<f64> = Vec::new();
+    for epoch in 0..EDGE_EPOCHS {
+        for (shape, (a, b, c)) in shapes.iter().zip(&buffers) {
+            let report = edge_exec.launch(*shape, a, b, c).expect("edge launch");
+            assert!(!report.event.is_failed());
+            if epoch + 1 == EDGE_EPOCHS {
+                final_epoch_durations.push(report.event.duration_s());
+            }
+        }
+        if epoch == 0 {
+            assert!(
+                online.is_adaptive(),
+                "one epoch of 10-100x slowdowns and structural rejections must trip Page-Hinkley"
+            );
+        }
+    }
+
+    let telemetry = pipeline.telemetry();
+    assert!(telemetry.drift_events() >= 1, "drift must be recorded");
+    assert!(
+        telemetry.adaptive_picks() > 0,
+        "post-drift picks come from the bandit"
+    );
+    assert!(
+        telemetry.reward_updates() > 0,
+        "launch outcomes must feed the reward estimates"
+    );
+    assert!(
+        pipeline.serving().cache().generation() > generation_before,
+        "drift must bump the decision-cache generation"
+    );
+
+    // The post-swap shipped-set oracle: best launchable shipped config
+    // per shape on the edge device.
+    let probe = Queue::timing_only(Arc::clone(&edge));
+    let oracle: Vec<f64> = shapes
+        .iter()
+        .map(|shape| {
+            pipeline
+                .shipped_configs()
+                .iter()
+                .filter_map(|&c| priced(&probe, shape, c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    assert!(oracle.iter().all(|d| d.is_finite()));
+
+    // Static pipeline serves the same post-swap stream.
+    let mut static_final: Vec<f64> = Vec::new();
+    let mut static_unlaunchable_picks = 0usize;
+    for epoch in 0..EDGE_EPOCHS {
+        for (shape, (a, b, c)) in shapes.iter().zip(&buffers) {
+            let report = static_exec.launch(*shape, a, b, c).expect("static launch");
+            if epoch + 1 == EDGE_EPOCHS {
+                static_final.push(report.event.duration_s());
+                let pick = static_pipeline.select(shape).expect("static pick").index();
+                if priced(&probe, shape, pick).is_none() {
+                    static_unlaunchable_picks += 1;
+                }
+            }
+        }
+    }
+
+    let adaptive_ratio: Vec<f64> = oracle
+        .iter()
+        .zip(&final_epoch_durations)
+        .map(|(&o, &d)| o / d)
+        .collect();
+    let static_ratio: Vec<f64> = oracle
+        .iter()
+        .zip(&static_final)
+        .map(|(&o, &d)| o / d)
+        .collect();
+    let adaptive_geomean = geomean(&adaptive_ratio);
+    let static_geomean = geomean(&static_ratio);
+    println!(
+        "adaptive geomean {adaptive_geomean:.4}, static geomean {static_geomean:.4}, \
+         static unlaunchable picks {static_unlaunchable_picks}/170"
+    );
+
+    assert!(
+        adaptive_geomean >= 0.95,
+        "adaptive serving must recover to >= 95% of the shipped-set oracle \
+         (got {adaptive_geomean:.4})"
+    );
+    assert!(
+        static_geomean < adaptive_geomean,
+        "the static stack must stay below the adaptive one \
+         (static {static_geomean:.4}, adaptive {adaptive_geomean:.4})"
+    );
+    // The static classifier itself never recovers: a majority of its
+    // picks remain configurations the edge device refuses to launch at
+    // all — only the resilient fallback chain keeps it serving.
+    assert!(
+        static_unlaunchable_picks * 2 > shapes.len(),
+        "most static picks must be unlaunchable on the edge device \
+         (got {static_unlaunchable_picks}/{})",
+        shapes.len()
+    );
+}

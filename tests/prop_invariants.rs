@@ -118,7 +118,10 @@ proptest! {
         let profile = model::profile(&cfg, &shape, &device);
         let range = model::launch_range(&cfg, &shape).unwrap();
         let seed = model::noise_seed(&cfg, &shape);
-        prop_assert_eq!(q1.price(&profile, &range, seed).1, q2.price(&profile, &range, seed).1);
+        prop_assert_eq!(
+            q1.price(&profile, &range, seed).unwrap().1,
+            q2.price(&profile, &range, seed).unwrap().1
+        );
     }
 
     /// Work-group shape is a runtime parameter: changing it never
