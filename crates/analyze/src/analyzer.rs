@@ -157,6 +157,31 @@ impl SpaceAnalysis {
             .map(ConfigAnalysis::is_dominated)
             .collect()
     }
+
+    /// Fitness of a shipped configuration set on this device, in
+    /// `[0, 1]`: the mean per-config score over `shipped`, where a
+    /// `Valid` config scores 1, a `Degraded` one scores below 0.5 in
+    /// proportion to how far its occupancy falls under the
+    /// [`DEGRADED_OCCUPANCY`] threshold, and an `Invalid` one scores 0.
+    /// A fleet scheduler's perf-aware routing policy uses this to
+    /// discount devices whose shipped set mostly cannot launch — their
+    /// traffic would land on fallback rungs or the reference GEMM.
+    pub fn shipped_fitness(&self, shipped: &[usize]) -> f64 {
+        if shipped.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = shipped
+            .iter()
+            .map(|&i| match self.configs.get(i).map(|c| c.verdict) {
+                Some(Verdict::Valid) => 1.0,
+                Some(Verdict::Degraded { occupancy }) => {
+                    0.5 * (occupancy / DEGRADED_OCCUPANCY).clamp(0.0, 1.0)
+                }
+                Some(Verdict::Invalid { .. }) | None => 0.0,
+            })
+            .sum();
+        total / shipped.len() as f64
+    }
 }
 
 /// Offline analyzer for the GEMM kernel configuration space.
@@ -362,6 +387,34 @@ mod tests {
             assert!(d.coalescing >= c.coalescing);
             assert!(d.cache_reuse >= c.cache_reuse);
         }
+    }
+
+    #[test]
+    fn shipped_fitness_ranks_devices_by_launchability() {
+        let nano = KernelSpaceAnalyzer::new(DeviceSpec::amd_r9_nano())
+            .analyze()
+            .unwrap();
+        let edge = KernelSpaceAnalyzer::new(DeviceSpec::edge_dsp())
+            .analyze()
+            .unwrap();
+        // Configs valid on the nano but provably unlaunchable on the
+        // edge DSP: max fitness on one device, zero on the other.
+        let split_set: Vec<usize> = nano
+            .configs
+            .iter()
+            .filter(|c| matches!(c.verdict, Verdict::Valid))
+            .map(|c| c.config_index)
+            .filter(|&i| edge.configs[i].verdict.is_invalid())
+            .take(6)
+            .collect();
+        assert!(!split_set.is_empty());
+        assert_eq!(nano.shipped_fitness(&split_set), 1.0);
+        assert_eq!(edge.shipped_fitness(&split_set), 0.0);
+        // Degenerate inputs stay in range.
+        assert_eq!(nano.shipped_fitness(&[]), 0.0);
+        assert_eq!(nano.shipped_fitness(&[usize::MAX]), 0.0);
+        let f = edge.shipped_fitness(&(0..640).collect::<Vec<_>>());
+        assert!((0.0..=1.0).contains(&f));
     }
 
     #[test]

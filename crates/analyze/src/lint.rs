@@ -37,16 +37,21 @@ use std::path::Path;
 /// Workspace-relative source files on the serving hot path, the default
 /// lint target set for the `hotpath_lint` binary. The mlkit inference
 /// modules are included because every selector prediction (knn/forest)
-/// and shape-cluster assignment (kmeans) runs inside the serving loop.
-pub const HOT_PATH_FILES: [&str; 8] = [
+/// and shape-cluster assignment (kmeans) runs inside the serving loop;
+/// the sharded scheduler and its acceptance example are included
+/// because a panic in the fleet front door takes down every device's
+/// traffic at once.
+pub const HOT_PATH_FILES: [&str; 10] = [
     "crates/core/src/cache.rs",
     "crates/core/src/online.rs",
     "crates/core/src/resilient.rs",
+    "crates/core/src/sched.rs",
     "crates/core/src/select.rs",
     "crates/mlkit/src/forest.rs",
     "crates/mlkit/src/kmeans.rs",
     "crates/mlkit/src/knn.rs",
     "crates/sycl-sim/src/runtime.rs",
+    "examples/sharded_serving.rs",
 ];
 
 /// A lint rule the hot path must satisfy.

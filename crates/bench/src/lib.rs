@@ -42,9 +42,18 @@ pub fn banner(title: &str, paper_claim: &str) {
 }
 
 /// Directory where bench targets drop their JSON results.
+///
+/// Defaults to the committed `bench_results/` at the workspace root.
+/// Setting `AUTOKERNEL_BENCH_DIR` redirects the output — the
+/// regression gate (`scripts/bench_gate.sh`) uses this to collect
+/// candidate numbers in a scratch directory without clobbering the
+/// blessed baselines it compares against.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
-    std::fs::create_dir_all(&dir).expect("bench_results dir creates");
+    let dir = match std::env::var_os("AUTOKERNEL_BENCH_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"),
+    };
+    std::fs::create_dir_all(&dir).expect("bench results dir creates");
     dir
 }
 

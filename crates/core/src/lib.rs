@@ -26,7 +26,10 @@
 //! performance models, argmax selection), [`crossval`] adds k-fold
 //! evaluation for the tiny-dataset regime the paper worries about, and
 //! [`online`] closes the serving loop with bandit refinement and
-//! Page–Hinkley drift detection over measured launch times.
+//! Page–Hinkley drift detection over measured launch times, and
+//! [`sched`] shards a serving stream across a fleet of per-device
+//! executor stacks with batching, routing policies, bounded queues and
+//! failure drain.
 
 #![warn(missing_docs)]
 
@@ -43,6 +46,7 @@ pub mod prune;
 pub mod regression;
 pub mod report;
 pub mod resilient;
+pub mod sched;
 pub mod select;
 
 pub use cache::{
@@ -55,6 +59,10 @@ pub use prune::PruneMethod;
 pub use regression::{RegressionParams, RegressionSelector};
 pub use resilient::{
     BreakerState, CircuitBreaker, FailureRecord, LaunchReport, ResilientExecutor, ResilientPolicy,
+};
+pub use sched::{
+    Assignment, DeviceReport, DeviceShard, GemmRequest, RoutingPolicy, SchedConfig, SchedReport,
+    SchedTelemetry, ShardedScheduler,
 };
 pub use select::{Selector, SelectorKind};
 

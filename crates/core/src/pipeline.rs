@@ -259,6 +259,65 @@ impl TuningPipeline {
         Ok((executor, online))
     }
 
+    /// Build a [`ResilientExecutor`] for a *serving* device that may
+    /// differ from the training device: the kernel-space analyzer runs
+    /// on `queue`'s device so the fallback chain is filtered against
+    /// the hardware the launches will actually hit, and the executor
+    /// gets its own fresh [`CachedSelector`] over the shared trained
+    /// model — per-device cache generations and telemetry, one model.
+    /// This is the per-shard stack a multi-device scheduler composes.
+    pub fn device_executor(
+        &self,
+        queue: Queue,
+        policy: ResilientPolicy,
+    ) -> Result<ResilientExecutor> {
+        let serving = Arc::new(CachedSelector::new(Arc::clone(&self.selector)));
+        self.device_executor_with(serving, queue, policy)
+    }
+
+    /// Shared builder: wrap an existing per-device serving cache in a
+    /// resilient executor whose fallback chain is filtered by a fresh
+    /// analysis of `queue`'s device.
+    fn device_executor_with(
+        &self,
+        serving: Arc<CachedSelector>,
+        queue: Queue,
+        policy: ResilientPolicy,
+    ) -> Result<ResilientExecutor> {
+        let analysis = KernelSpaceAnalyzer::new(queue.device().clone())
+            .analyze()
+            .map_err(CoreError::Sim)?;
+        let means = self.train_config_means();
+        let mut ranked = self.shipped.clone();
+        ranked.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
+        Ok(ResilientExecutor::with_static_analysis(
+            serving, queue, ranked, policy, &analysis,
+        ))
+    }
+
+    /// [`TuningPipeline::device_executor`] with a per-device online
+    /// layer attached: the shard's bandit state, drift detector and
+    /// cache generation are all private to its device, so one device
+    /// drifting does not invalidate its siblings' decisions.
+    pub fn device_adaptive_executor(
+        &self,
+        queue: Queue,
+        policy: ResilientPolicy,
+        config: OnlineConfig,
+    ) -> Result<(ResilientExecutor, Arc<OnlineSelector>)> {
+        let serving = Arc::new(CachedSelector::new(Arc::clone(&self.selector)));
+        let executor = self.device_executor_with(Arc::clone(&serving), queue, policy)?;
+        let means = self.train_config_means();
+        let priors: Vec<f64> = serving
+            .selector()
+            .configs()
+            .iter()
+            .map(|&c| means.get(c).copied().unwrap_or(0.0))
+            .collect();
+        let online = Arc::new(OnlineSelector::new(serving, priors, config)?);
+        Ok((executor.with_online(Arc::clone(&online)), online))
+    }
+
     /// Static analysis of the full configuration space on the dataset's
     /// device (the same verdicts `analyze_space` reports).
     pub fn space_analysis(&self) -> &SpaceAnalysis {

@@ -356,6 +356,12 @@ impl ResilientExecutor {
         &self.selector
     }
 
+    /// The faultable queue launches run on (the device's timeline; a
+    /// fleet scheduler reads its clock for load accounting).
+    pub fn queue(&self) -> &Queue {
+        &self.queue
+    }
+
     /// The breaker state an observer would see for a configuration now.
     pub fn breaker_state(&self, config_index: usize) -> Option<BreakerState> {
         self.breakers

@@ -126,6 +126,10 @@ pub struct FaultPlan {
     min_occupancy: f64,
     /// Kernel-name substrings that always starve.
     doomed: Vec<String>,
+    /// Submission index before which the plan injects nothing — a
+    /// device that degrades *mid-stream* (thermal event, driver update)
+    /// rather than from its first launch.
+    onset: u64,
     submissions: AtomicU64,
 }
 
@@ -148,6 +152,7 @@ impl FaultPlan {
             reset_s: 500.0e-6,
             min_occupancy: 0.0,
             doomed: Vec::new(),
+            onset: 0,
             submissions: AtomicU64::new(0),
         }
     }
@@ -190,6 +195,16 @@ impl FaultPlan {
         self
     }
 
+    /// Hold every injection back until the plan has adjudicated
+    /// `submission` launches: the first `submission` submissions behave
+    /// as if the plan were inert, then the configured rates, dooms and
+    /// occupancy floor apply. Models a device that is healthy when the
+    /// stream starts and fault-saturates mid-stream.
+    pub fn with_onset(mut self, submission: u64) -> Self {
+        self.onset = submission;
+        self
+    }
+
     /// Total submissions this plan has adjudicated.
     pub fn submissions(&self) -> u64 {
         self.submissions.load(Ordering::Relaxed)
@@ -214,6 +229,9 @@ impl FaultPlan {
         device: &DeviceSpec,
     ) -> Option<(FaultKind, f64, u64)> {
         let submission = self.submissions.fetch_add(1, Ordering::Relaxed);
+        if submission < self.onset {
+            return None;
+        }
         if self.doomed.iter().any(|d| kernel.contains(d.as_str())) {
             return Some((
                 FaultKind::ResourceStarvation,
@@ -343,6 +361,25 @@ mod tests {
             assert!(plan
                 .decide("gemm_T1x1A1_WG8x8_64x64x64", 0.9, &nano())
                 .is_none());
+        }
+    }
+
+    #[test]
+    fn onset_delays_injection_until_the_threshold_submission() {
+        let plan = FaultPlan::new(5)
+            .doom_kernels_matching("gemm")
+            .with_onset(10);
+        for i in 0..10 {
+            assert!(
+                plan.decide("gemm_x", 0.5, &nano()).is_none(),
+                "submission {i} precedes the onset"
+            );
+        }
+        for _ in 10..20 {
+            assert_eq!(
+                plan.decide("gemm_x", 0.5, &nano()).map(|(k, ..)| k),
+                Some(FaultKind::ResourceStarvation)
+            );
         }
     }
 

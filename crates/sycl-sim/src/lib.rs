@@ -37,7 +37,8 @@ pub use feedback::LaunchMeasurement;
 pub use perf::{KernelCost, KernelProfile};
 pub use resources::{check_launch, footprint, ResourceFootprint};
 pub use runtime::{
-    validate_launch, Buffer, CompletionStatus, Context, Event, NDRange, Platform, Queue, SimKernel,
+    validate_launch, Buffer, CompletionStatus, Context, Event, NDRange, Platform, Queue, SimClock,
+    SimKernel,
 };
 pub use trace::{FallbackLevel, LaunchDecision, TraceRecorder};
 

@@ -57,6 +57,10 @@ pub struct LaunchDecision {
     pub attempts: u32,
     /// Where on the fallback chain the completing launch sat.
     pub fallback: FallbackLevel,
+    /// Index of the fleet device that served the launch, when a
+    /// multi-device scheduler routed it (`None` for single-queue
+    /// serving, which has no fleet to attribute across).
+    pub device_tag: Option<u16>,
 }
 
 impl LaunchDecision {
@@ -67,6 +71,7 @@ impl LaunchDecision {
             cache_hit,
             attempts: 0,
             fallback: FallbackLevel::Primary,
+            device_tag: None,
         }
     }
 
@@ -74,6 +79,12 @@ impl LaunchDecision {
     pub fn with_resilience(mut self, attempts: u32, fallback: FallbackLevel) -> Self {
         self.attempts = attempts;
         self.fallback = fallback;
+        self
+    }
+
+    /// Tag the decision with the fleet device that served it.
+    pub fn with_device(mut self, device: u16) -> Self {
+        self.device_tag = Some(device);
         self
     }
 }
@@ -209,13 +220,19 @@ impl TraceRecorder {
                 out.push(',');
             }
             let decision_args = match &e.decision {
-                Some(d) => format!(
-                    ",\"config_index\":{},\"cache_hit\":{},\"attempts\":{},\"fallback\":{:?}",
-                    d.config_index,
-                    d.cache_hit,
-                    d.attempts,
-                    d.fallback.label()
-                ),
+                Some(d) => {
+                    let device = match d.device_tag {
+                        Some(tag) => format!(",\"device\":{tag}"),
+                        None => String::new(),
+                    };
+                    format!(
+                        ",\"config_index\":{},\"cache_hit\":{},\"attempts\":{},\"fallback\":{:?}{device}",
+                        d.config_index,
+                        d.cache_hit,
+                        d.attempts,
+                        d.fallback.label()
+                    )
+                }
                 None => String::new(),
             };
             let status_args = match e.event.status() {
@@ -362,6 +379,30 @@ mod tests {
         assert_eq!(events[1]["args"]["attempts"], 2);
         assert_eq!(events[1]["args"]["fallback"], "next_best_1");
         assert!(events[2]["args"]["config_index"].is_null());
+    }
+
+    #[test]
+    fn device_tags_flow_into_chrome_trace_args() {
+        let queue = Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano()));
+        let k = Noop {
+            buf: Buffer::from_vec(vec![0.0; 64]),
+        };
+        let r = NDRange::new([64, 1], [64, 1]).unwrap();
+        let mut trace = TraceRecorder::new();
+        trace.record_with_decision(
+            "fleet",
+            queue.submit(&k, r).unwrap(),
+            LaunchDecision::new(7, false).with_device(2),
+        );
+        trace.record_with_decision(
+            "fleet",
+            queue.submit(&k, r).unwrap(),
+            LaunchDecision::new(7, true),
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&trace.to_chrome_trace()).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["args"]["device"], 2);
+        assert!(events[1]["args"]["device"].is_null());
     }
 
     #[test]

@@ -1,7 +1,24 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, tests. Run before pushing.
+# Repo-wide hygiene gate, in two tiers:
+#
+#   scripts/check.sh fast   -- formatting, clippy, unit tests (~seconds
+#                              after a warm build; the inner-loop gate)
+#   scripts/check.sh full   -- everything: the whole test suite, the
+#                              hot-path lint and its must-fail fixture,
+#                              the analyzer self-check, the serving
+#                              examples and the bench-regression gate
+#                              (the default, and what CI runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tier="${1:-full}"
+case "${tier}" in
+fast | full) ;;
+*)
+    echo "usage: scripts/check.sh [fast|full]" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -9,11 +26,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+if [ "${tier}" = "fast" ]; then
+    echo "==> unit tests (cargo test -q --lib)"
+    cargo test -q --lib
+    echo "All fast-tier checks passed."
+    exit 0
+fi
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> fault-injection suite (cargo test -q --test resilient_executor)"
 cargo test -q --test resilient_executor
+
+echo "==> sharded scheduler suite (cargo test -q --test sharded_scheduler)"
+cargo test -q --test sharded_scheduler
 
 echo "==> hot-path lint (must pass clean, < 2s)"
 cargo build -q --release --bin hotpath_lint
@@ -41,5 +68,11 @@ cargo run --release --example resilient_serving
 
 echo "==> adaptive serving example (cargo run --release --example adaptive_serving)"
 cargo run --release --example adaptive_serving
+
+echo "==> sharded serving example (cargo run --release --example sharded_serving)"
+cargo run --release --example sharded_serving
+
+echo "==> bench-regression gate (scripts/bench_gate.sh)"
+scripts/bench_gate.sh
 
 echo "All checks passed."

@@ -1,0 +1,264 @@
+//! Integration tests for the sharded serving scheduler: routing must be
+//! a pure function of the stream, the seed and the shard configuration
+//! — never of worker-thread interleaving — and a device failing
+//! mid-stream must drain to the survivors without dropping a request.
+
+use autokernel::core::resilient::ResilientPolicy;
+use autokernel::core::sched::{
+    DeviceShard, GemmRequest, RoutingPolicy, SchedConfig, SchedReport, ShardedScheduler,
+};
+use autokernel::core::{PerformanceDataset, PipelineConfig, TuningPipeline};
+use autokernel::gemm::GemmShape;
+use autokernel::sim::{DeviceSpec, FaultPlan, Queue};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Shapes the shared pipeline trains on; also the pool streams draw
+/// from, so every request is in-distribution for the selector.
+const POOL: [(usize, usize, usize); 12] = [
+    (64, 64, 64),
+    (512, 512, 512),
+    (1, 4096, 1000),
+    (12544, 27, 64),
+    (196, 2304, 256),
+    (3136, 144, 24),
+    (49, 960, 160),
+    (784, 1152, 128),
+    (32, 4096, 4096),
+    (2, 2048, 1000),
+    (6272, 576, 128),
+    (1024, 1024, 1024),
+];
+
+fn pipeline() -> &'static TuningPipeline {
+    static PIPELINE: OnceLock<TuningPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let shapes: Vec<(GemmShape, String)> = POOL
+            .iter()
+            .map(|&(m, k, n)| (GemmShape::new(m, k, n), "T".to_string()))
+            .collect();
+        let ds = PerformanceDataset::collect(&DeviceSpec::amd_r9_nano(), &shapes).unwrap();
+        TuningPipeline::from_dataset(ds, PipelineConfig::default()).unwrap()
+    })
+}
+
+fn shape(index: usize) -> GemmShape {
+    let (m, k, n) = POOL[index % POOL.len()];
+    GemmShape::new(m, k, n)
+}
+
+/// A fresh three-device fleet (every call starts from zeroed clocks,
+/// cold caches and closed breakers, so two fleets given the same
+/// stream are exact replicas).
+fn fleet() -> Vec<DeviceShard> {
+    let devices = [
+        (DeviceSpec::amd_r9_nano(), "nano", 1.0),
+        (DeviceSpec::desktop_gpu(), "desktop", 0.8),
+        (DeviceSpec::host_cpu(), "cpu", 0.3),
+    ];
+    devices
+        .into_iter()
+        .map(|(device, label, fitness)| {
+            let queue = Queue::timing_only(Arc::new(device));
+            let executor = pipeline()
+                .device_executor(queue, ResilientPolicy::default())
+                .unwrap();
+            DeviceShard::new(label, executor).with_fitness(fitness)
+        })
+        .collect()
+}
+
+fn run(stream: &[GemmRequest], config: SchedConfig) -> (SchedReport, ShardedScheduler) {
+    let mut sched = ShardedScheduler::new(fleet(), config).unwrap();
+    let report = sched.serve(stream).unwrap();
+    (report, sched)
+}
+
+fn arb_policy() -> impl Strategy<Value = RoutingPolicy> {
+    prop_oneof![
+        Just(RoutingPolicy::RoundRobin),
+        Just(RoutingPolicy::LeastLoaded),
+        Just(RoutingPolicy::PerfAware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With a fixed seed, routing and telemetry are identical whether
+    /// the wave queues execute on worker threads or sequentially, and
+    /// across repeat runs — worker interleaving must not leak into any
+    /// decision. Even the simulated makespan is bit-identical, because
+    /// each device's launch order (and so its clock history) is fixed.
+    #[test]
+    fn routing_is_deterministic_under_fixed_seed(
+        bursts in proptest::collection::vec((0usize..POOL.len(), 1usize..4), 1..12),
+        policy in arb_policy(),
+        seed in 0u64..1000,
+        queue_capacity in 1usize..5,
+        batch_window in 1usize..5,
+    ) {
+        let stream: Vec<GemmRequest> = bursts
+            .iter()
+            .flat_map(|&(idx, burst)| (0..burst).map(move |_| GemmRequest::zeroed(shape(idx))))
+            .collect();
+        let config = SchedConfig {
+            policy,
+            queue_capacity,
+            batch_window,
+            seed,
+            parallel: true,
+            ..SchedConfig::default()
+        };
+        let sequential = SchedConfig { parallel: false, ..config.clone() };
+
+        let (report_p, sched_p) = run(&stream, config.clone());
+        let (report_s, sched_s) = run(&stream, sequential);
+        let (report_r, sched_r) = run(&stream, config);
+
+        prop_assert_eq!(report_p.served, stream.len());
+        prop_assert_eq!(report_p.dropped, 0);
+        prop_assert_eq!(&report_p.assignments, &report_s.assignments);
+        prop_assert_eq!(&report_p.assignments, &report_r.assignments);
+        prop_assert_eq!(sched_p.telemetry(), sched_s.telemetry());
+        prop_assert_eq!(sched_p.telemetry(), sched_r.telemetry());
+        prop_assert_eq!(report_p.waves, report_s.waves);
+        prop_assert_eq!(report_p.makespan_s.to_bits(), report_s.makespan_s.to_bits());
+        prop_assert_eq!(report_p.makespan_s.to_bits(), report_r.makespan_s.to_bits());
+        for (p, s) in report_p.devices.iter().zip(&report_s.devices) {
+            prop_assert_eq!(p.served, s.served);
+            prop_assert_eq!(p.batches, s.batches);
+            prop_assert_eq!(p.busy_s.to_bits(), s.busy_s.to_bits());
+        }
+    }
+}
+
+/// The e2e drain scenario the module exists for: three devices serve a
+/// stream, and one of them starts failing every kernel mid-stream (a
+/// fault plan with an onset, i.e. the first launches are clean). The
+/// scheduler must detect the meltdown, drain the shard, re-route its
+/// unfinished work and finish the stream with zero drops.
+#[test]
+fn mid_stream_device_failure_drains_without_drops() {
+    // Device 0 is poisoned from its 12th submission on; retries and
+    // fallbacks burn through the breaker budget quickly after that.
+    let doomed_queue =
+        Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano())).with_fault_plan(Arc::new(
+            FaultPlan::new(41)
+                .doom_kernels_matching("gemm")
+                .with_onset(12),
+        ));
+    let doomed = DeviceShard::new(
+        "doomed",
+        pipeline()
+            .device_executor(doomed_queue, ResilientPolicy::default())
+            .unwrap(),
+    );
+    let survivors = [
+        (DeviceSpec::amd_r9_nano(), "nano"),
+        (DeviceSpec::desktop_gpu(), "desktop"),
+    ]
+    .into_iter()
+    .map(|(device, label)| {
+        let queue = Queue::timing_only(Arc::new(device));
+        let executor = pipeline()
+            .device_executor(queue, ResilientPolicy::default())
+            .unwrap();
+        DeviceShard::new(label, executor)
+    });
+
+    let mut shards = vec![doomed];
+    shards.extend(survivors);
+    let mut sched = ShardedScheduler::new(
+        shards,
+        SchedConfig {
+            // Round-robin keeps feeding the doomed shard until its
+            // meltdown is detected — the worst case for draining.
+            policy: RoutingPolicy::RoundRobin,
+            queue_capacity: 4,
+            batch_window: 1,
+            meltdown_threshold: 2,
+            ..SchedConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stream: Vec<GemmRequest> = (0..60).map(|i| GemmRequest::zeroed(shape(i))).collect();
+    let report = sched.serve(&stream).unwrap();
+
+    assert_eq!(
+        report.served,
+        stream.len(),
+        "graceful degradation, not loss"
+    );
+    assert_eq!(report.dropped, 0);
+    assert!(
+        !sched.is_healthy(0),
+        "the poisoned shard must be drained mid-stream"
+    );
+    assert!(sched.is_healthy(1) && sched.is_healthy(2));
+    let per_device: u64 = report.devices.iter().map(|d| d.served).sum();
+    assert_eq!(
+        per_device as usize,
+        stream.len(),
+        "every request accounted for"
+    );
+    assert!(
+        report.devices[0].served < stream.len() as u64 / 3,
+        "the doomed shard must not have carried its full round-robin share"
+    );
+    assert!(
+        sched.telemetry().rebalanced > 0,
+        "work left in the dead shard's queue must be re-routed, not dropped"
+    );
+    // The survivors absorbed the drained traffic.
+    assert!(report.devices[1].served + report.devices[2].served > 40);
+}
+
+/// Serving twice through the same scheduler keeps working after a
+/// drain: the dead shard stays out of rotation and new streams still
+/// complete.
+#[test]
+fn scheduler_keeps_serving_after_a_drain() {
+    let doomed_queue = Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano()))
+        .with_fault_plan(Arc::new(FaultPlan::new(7).doom_kernels_matching("gemm")));
+    let doomed = DeviceShard::new(
+        "doomed",
+        pipeline()
+            .device_executor(doomed_queue, ResilientPolicy::default())
+            .unwrap(),
+    );
+    let healthy = DeviceShard::new(
+        "healthy",
+        pipeline()
+            .device_executor(
+                Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano())),
+                ResilientPolicy::default(),
+            )
+            .unwrap(),
+    );
+    let mut sched = ShardedScheduler::new(
+        vec![doomed, healthy],
+        SchedConfig {
+            policy: RoutingPolicy::RoundRobin,
+            meltdown_threshold: 2,
+            batch_window: 1,
+            ..SchedConfig::default()
+        },
+    )
+    .unwrap();
+
+    let first: Vec<GemmRequest> = (0..20).map(|i| GemmRequest::zeroed(shape(i))).collect();
+    let report = sched.serve(&first).unwrap();
+    assert_eq!(report.served, 20);
+    assert!(!sched.is_healthy(0));
+
+    let second: Vec<GemmRequest> = (0..10).map(|i| GemmRequest::zeroed(shape(i))).collect();
+    let report = sched.serve(&second).unwrap();
+    assert_eq!(report.served, 10);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(
+        report.devices[0].served, 0,
+        "a drained shard receives no traffic in later streams"
+    );
+}
