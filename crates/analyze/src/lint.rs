@@ -38,11 +38,12 @@ use std::path::Path;
 /// lint target set for the `hotpath_lint` binary. The mlkit inference
 /// modules are included because every selector prediction (knn/forest)
 /// and shape-cluster assignment (kmeans) runs inside the serving loop;
-/// the sharded scheduler and its acceptance example are included
-/// because a panic in the fleet front door takes down every device's
-/// traffic at once.
-pub const HOT_PATH_FILES: [&str; 10] = [
+/// the sharded scheduler, the ingress layer in front of it, and their
+/// acceptance examples are included because a panic in the fleet front
+/// door takes down every device's traffic at once.
+pub const HOT_PATH_FILES: [&str; 12] = [
     "crates/core/src/cache.rs",
+    "crates/core/src/ingress.rs",
     "crates/core/src/online.rs",
     "crates/core/src/resilient.rs",
     "crates/core/src/sched.rs",
@@ -51,6 +52,7 @@ pub const HOT_PATH_FILES: [&str; 10] = [
     "crates/mlkit/src/kmeans.rs",
     "crates/mlkit/src/knn.rs",
     "crates/sycl-sim/src/runtime.rs",
+    "examples/ingress_serving.rs",
     "examples/sharded_serving.rs",
 ];
 

@@ -102,6 +102,42 @@ const MANIFEST: &[(&str, &str, Direction, f64)] = &[
         Direction::LowerBetter,
         TIMING_TOLERANCE,
     ),
+    // micro_ingress: deterministic accounting and memory-bound checks.
+    // `silent_drops` has a baseline of exactly 0, so with the relative
+    // tolerance computed against max(|baseline|, 1e-12) any candidate
+    // that loses even one request fails the gate outright.
+    (
+        "micro_ingress",
+        "silent_drops",
+        Direction::LowerBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    (
+        "micro_ingress",
+        "cache_entries",
+        Direction::LowerBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    // micro_ingress: wall-clock end-to-end latency quantiles and host
+    // cost per request (smoke guardrails).
+    (
+        "micro_ingress",
+        "p50_latency_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
+    (
+        "micro_ingress",
+        "p99_latency_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
+    (
+        "micro_ingress",
+        "per_request_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
 ];
 
 fn load(dir: &Path, stem: &str) -> Result<Value, String> {

@@ -24,7 +24,7 @@ use autokernel_gemm::GemmShape;
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,16 +32,176 @@ use std::time::Instant;
 /// host thread counts without bloating the cache's footprint.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// One cached decision, stamped with the cache generation it was made
-/// under. Entries from older generations are treated as absent.
+/// A counting Bloom filter over GEMM shapes: a fixed array of 8-bit
+/// saturating counters indexed by `k` double-hashed probes of the
+/// shape's stable hash.
+///
+/// The ingress layer uses it as a TinyLFU-style *admission* front on
+/// the bounded decision cache: a shape only earns a cache slot once the
+/// filter has counted it [`BoundedCacheConfig::admit_threshold`] times,
+/// so a million one-hit-wonder shapes cost 1 byte of counter each
+/// (amortised) instead of a map entry — the Stream-K++ trick for
+/// keeping adaptive GEMM decision caches bounded under unbounded shape
+/// streams. Counters only ever increase (saturating at 255): the filter
+/// estimates "has this shape been seen at least t times", and
+/// over-estimates at exactly the classic Bloom false-positive rate.
+#[derive(Debug)]
+pub struct CountingBloom {
+    counters: Vec<AtomicU8>,
+    hashes: u32,
+    observed: AtomicU64,
+}
+
+impl CountingBloom {
+    /// A filter with `counters` 8-bit slots probed by `hashes` hash
+    /// functions (both clamped to at least 1).
+    pub fn new(counters: usize, hashes: u32) -> Self {
+        CountingBloom {
+            counters: (0..counters.max(1)).map(|_| AtomicU8::new(0)).collect(),
+            hashes: hashes.max(1),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    /// The probe index sequence for `shape`: double hashing from the
+    /// two halves of the stable 64-bit shape hash.
+    fn probe(&self, shape: &GemmShape, i: u32) -> usize {
+        let h = shape.stable_hash();
+        let h1 = h ^ (h >> 32);
+        // Odd multiplier keeps the stride co-prime with power-of-two
+        // table sizes; |1 guards the degenerate zero stride.
+        let h2 = (h >> 17).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.counters.len() as u64) as usize
+    }
+
+    /// Count one occurrence of `shape` and return the *new* estimated
+    /// occurrence count (the minimum probed counter after increment).
+    pub fn observe(&self, shape: &GemmShape) -> u8 {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let mut min = u8::MAX;
+        for i in 0..self.hashes {
+            let idx = self.probe(shape, i);
+            let Some(counter) = self.counters.get(idx) else {
+                continue;
+            };
+            // Saturating increment via CAS: counters never wrap back to
+            // "rare" once a shape has earned its admission.
+            let mut current = counter.load(Ordering::Relaxed);
+            loop {
+                if current == u8::MAX {
+                    break;
+                }
+                match counter.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        current += 1;
+                        break;
+                    }
+                    Err(seen) => current = seen,
+                }
+            }
+            min = min.min(current);
+        }
+        min
+    }
+
+    /// Estimated occurrence count of `shape` (minimum probed counter;
+    /// an over-estimate with Bloom false-positive probability).
+    pub fn estimate(&self, shape: &GemmShape) -> u8 {
+        let mut min = u8::MAX;
+        for i in 0..self.hashes {
+            let idx = self.probe(shape, i);
+            if let Some(counter) = self.counters.get(idx) {
+                min = min.min(counter.load(Ordering::Relaxed));
+            }
+        }
+        min
+    }
+
+    /// Total `observe` calls so far.
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// The configured counter-array size.
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The classic Bloom false-positive bound for `n` distinct inserted
+    /// keys: `(1 - e^(-k·n/m))^k`. A query for a never-seen shape reads
+    /// a non-zero minimum counter with at most this probability.
+    pub fn false_positive_bound(&self, n: u64) -> f64 {
+        let m = self.counters.len() as f64;
+        let k = self.hashes as f64;
+        (1.0 - (-k * n as f64 / m).exp()).powf(k)
+    }
+}
+
+/// Knobs for the capacity-bounded cache mode
+/// ([`ShardedCache::bounded`]).
 #[derive(Debug, Clone, Copy)]
+pub struct BoundedCacheConfig {
+    /// Maximum live entries across all shards (split evenly per shard,
+    /// at least one per shard).
+    pub capacity: usize,
+    /// Counting-Bloom counter slots fronting admission.
+    pub bloom_counters: usize,
+    /// Bloom probe count `k`.
+    pub bloom_hashes: u32,
+    /// Occurrences a shape must accumulate before it earns a cache
+    /// slot. 1 admits on first sight (plain bounded LRU); 2 filters
+    /// one-hit wonders.
+    pub admit_threshold: u8,
+}
+
+impl Default for BoundedCacheConfig {
+    fn default() -> Self {
+        BoundedCacheConfig {
+            capacity: 4096,
+            bloom_counters: 1 << 16,
+            bloom_hashes: 4,
+            admit_threshold: 2,
+        }
+    }
+}
+
+/// One cached decision, stamped with the cache generation it was made
+/// under (entries from older generations are treated as absent) and an
+/// LRU timestamp touched on every live read.
+#[derive(Debug)]
 struct CacheEntry {
     generation: u64,
     config_index: usize,
+    last_used: AtomicU64,
+}
+
+/// One independent slice of the cache: its map plus the LRU tick
+/// counter its entries are stamped from.
+#[derive(Debug)]
+struct Shard {
+    map: RwLock<HashMap<GemmShape, CacheEntry>>,
+    tick: AtomicU64,
 }
 
 /// A sharded concurrent map from GEMM shape to the chosen global
 /// configuration index.
+///
+/// Two modes:
+///
+/// * **Unbounded** ([`ShardedCache::new`]) — the original serving
+///   cache: every distinct shape is memoised forever. Right when the
+///   workload is a fixed model zoo.
+/// * **Bounded** ([`ShardedCache::bounded`]) — a hard capacity with
+///   per-shard LRU eviction and a [`CountingBloom`] admission filter,
+///   so an unbounded stream of *distinct* shapes (a million-tenant
+///   ingress) cannot grow memory without bound. LRU (rather than
+///   CLOCK) is deliberate: its stack property makes hit rates
+///   monotone in capacity, which `tests/ingress_serving.rs` pins.
 ///
 /// Invalidation comes in two flavours: [`ShardedCache::clear`] drops
 /// entries eagerly (one write lock per shard), while
@@ -49,23 +209,56 @@ struct CacheEntry {
 /// makes every existing entry stale at once — the drift path in
 /// [`crate::online`] uses it so a device-profile shift can invalidate
 /// thousands of cached decisions without stalling concurrent readers.
+/// In bounded mode stale entries still occupy their slot (the bound is
+/// a *memory* bound) but are evicted preferentially.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<RwLock<HashMap<GemmShape, CacheEntry>>>,
+    shards: Vec<Shard>,
     generation: AtomicU64,
+    /// Live-entry capacity per shard; 0 means unbounded.
+    per_shard_capacity: usize,
+    bloom: Option<CountingBloom>,
+    admit_threshold: u8,
+    evictions: AtomicU64,
+    admission_rejects: AtomicU64,
 }
 
 impl ShardedCache {
-    /// Create a cache with `n_shards` independent shards.
+    /// Create an unbounded cache with `n_shards` independent shards.
     pub fn new(n_shards: usize) -> Self {
         let n = n_shards.max(1);
         ShardedCache {
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n)
+                .map(|_| Shard {
+                    map: RwLock::new(HashMap::new()),
+                    tick: AtomicU64::new(0),
+                })
+                .collect(),
             generation: AtomicU64::new(0),
+            per_shard_capacity: 0,
+            bloom: None,
+            admit_threshold: 1,
+            evictions: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, CacheEntry>> {
+    /// Create a capacity-bounded cache: at most `config.capacity`
+    /// entries total (split over `n_shards`), LRU-evicting, fronted by
+    /// a counting-Bloom admission filter.
+    pub fn bounded(n_shards: usize, config: BoundedCacheConfig) -> Self {
+        let mut cache = Self::new(n_shards);
+        let n = cache.shards.len();
+        cache.per_shard_capacity = (config.capacity / n).max(1);
+        cache.bloom = Some(CountingBloom::new(
+            config.bloom_counters,
+            config.bloom_hashes,
+        ));
+        cache.admit_threshold = config.admit_threshold.max(1);
+        cache
+    }
+
+    fn shard_of(&self, shape: &GemmShape) -> &Shard {
         // stable_hash is FNV-style; fold the high bits in so shard
         // choice isn't at the mercy of the low bits alone.
         let h = shape.stable_hash();
@@ -76,31 +269,76 @@ impl ShardedCache {
 
     /// Look up a cached decision (read lock on one shard only). Entries
     /// written before the last [`ShardedCache::bump_generation`] read as
-    /// absent.
+    /// absent. A live hit refreshes the entry's LRU stamp.
     pub fn get(&self, shape: &GemmShape) -> Option<usize> {
         let generation = self.generation.load(Ordering::Acquire);
-        self.shard_of(shape)
-            .read()
-            .get(shape)
-            .filter(|e| e.generation == generation)
-            .map(|e| e.config_index)
+        let shard = self.shard_of(shape);
+        let map = shard.map.read();
+        let entry = map.get(shape).filter(|e| e.generation == generation)?;
+        entry.last_used.store(
+            shard.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        Some(entry.config_index)
     }
 
     /// Store a decision under the current generation. Returns the
     /// previous live value, if any (stale entries count as absent).
+    ///
+    /// In bounded mode a *new* shape must first clear the Bloom
+    /// admission threshold (its decision is simply not memoised until
+    /// it has recurred enough), and an admitted insert into a full
+    /// shard evicts the least-recently-used entry — stale-generation
+    /// entries first.
     pub fn insert(&self, shape: GemmShape, config_index: usize) -> Option<usize> {
         let generation = self.generation.load(Ordering::Acquire);
-        self.shard_of(&shape)
-            .write()
-            .insert(
-                shape,
-                CacheEntry {
-                    generation,
-                    config_index,
-                },
-            )
-            .filter(|e| e.generation == generation)
-            .map(|e| e.config_index)
+        let shard = self.shard_of(&shape);
+        let mut map = shard.map.write();
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(entry) = map.get_mut(&shape) {
+            let previous = (entry.generation == generation).then_some(entry.config_index);
+            entry.generation = generation;
+            entry.config_index = config_index;
+            entry.last_used.store(tick, Ordering::Relaxed);
+            return previous;
+        }
+        if let Some(bloom) = &self.bloom {
+            if bloom.observe(&shape) < self.admit_threshold {
+                self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        if self.per_shard_capacity > 0 && map.len() >= self.per_shard_capacity {
+            self.evict_one(&mut map, generation);
+        }
+        map.insert(
+            shape,
+            CacheEntry {
+                generation,
+                config_index,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+        None
+    }
+
+    /// Remove the best eviction victim from `map`: any stale-generation
+    /// entry if one exists, else the least-recently-used live entry.
+    fn evict_one(&self, map: &mut HashMap<GemmShape, CacheEntry>, generation: u64) {
+        let victim = map
+            .iter()
+            .map(|(shape, entry)| {
+                let stale = entry.generation != generation;
+                // Stale entries sort before every live one.
+                let key = (!stale, entry.last_used.load(Ordering::Relaxed));
+                (*shape, key)
+            })
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .map(|(shape, _)| shape);
+        if let Some(shape) = victim {
+            map.remove(&shape);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of distinct shapes cached across all shards (current
@@ -110,12 +348,19 @@ impl ShardedCache {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
+                s.map
+                    .read()
                     .values()
                     .filter(|e| e.generation == generation)
                     .count()
             })
             .sum()
+    }
+
+    /// Total entries held, live *and* stale — the number the capacity
+    /// bound actually constrains.
+    pub fn footprint(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
     }
 
     /// Whether no live decision is cached.
@@ -126,7 +371,7 @@ impl ShardedCache {
     /// Drop every cached decision (e.g. after retraining the selector).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            shard.map.write().clear();
         }
     }
 
@@ -146,6 +391,124 @@ impl ShardedCache {
     /// The configured shard count.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The total entry capacity, or `None` in unbounded mode.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.per_shard_capacity > 0).then(|| self.per_shard_capacity * self.shards.len())
+    }
+
+    /// Entries evicted to make room (0 in unbounded mode).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Inserts the Bloom admission filter rejected (the shape had not
+    /// yet recurred `admit_threshold` times).
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The Bloom admission filter, when in bounded mode.
+    pub fn bloom(&self) -> Option<&CountingBloom> {
+        self.bloom.as_ref()
+    }
+}
+
+/// Number of log2 latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds, so 64 buckets span every expressible
+/// `u64` latency.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 latency histogram over lock-free atomics.
+///
+/// The record path is two relaxed atomic increments and zero
+/// allocation — cheap enough for every request on the ingress hot path
+/// (and `hotpath_lint`-clean). Quantiles are read by walking the 64
+/// bucket counters and interpolating linearly inside the winning
+/// bucket, which bounds the error by the bucket's width (a factor of
+/// two — plenty for p50/p99 SLO telemetry).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample of `nanos` (0 is clamped to 1). Lock-free,
+    /// allocation-free.
+    pub fn record(&self, nanos: u64) {
+        let idx = 63 - nanos.max(1).leading_zeros() as usize;
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`),
+    /// linearly interpolated within the winning bucket; 0 with no
+    /// samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += n;
+            if (cumulative as f64) >= target {
+                let lower = (1u64 << i) as f64;
+                let width = lower; // bucket spans [2^i, 2^(i+1))
+                let frac = (target - before as f64) / n as f64;
+                return lower + frac.clamp(0.0, 1.0) * width;
+            }
+        }
+        // Unreachable with a consistent count; report the top edge.
+        f64::MAX
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts (`LATENCY_BUCKETS` entries; bucket `i`
+    /// spans `[2^i, 2^(i+1))` ns).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -180,6 +543,13 @@ pub struct SelectionTelemetry {
     reward_updates: AtomicU64,
     drift_events: AtomicU64,
     adaptive_picks: AtomicU64,
+    /// Rewards discarded because they were measured under an older
+    /// selector generation than the one live when they arrived (the
+    /// stale-reward-poisoning guard in `core::online`).
+    stale_rewards_dropped: AtomicU64,
+    /// Wall-clock decision latency (cache hit or model run), log2
+    /// buckets.
+    decision_latency: LatencyHistogram,
 }
 
 impl SelectionTelemetry {
@@ -202,7 +572,13 @@ impl SelectionTelemetry {
             reward_updates: AtomicU64::new(0),
             drift_events: AtomicU64::new(0),
             adaptive_picks: AtomicU64::new(0),
+            stale_rewards_dropped: AtomicU64::new(0),
+            decision_latency: LatencyHistogram::new(),
         }
+    }
+
+    pub(crate) fn record_stale_reward_dropped(&self) {
+        self.stale_rewards_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_reward_update(&self) {
@@ -251,6 +627,7 @@ impl SelectionTelemetry {
     }
 
     fn record(&self, hit: bool, nanos: u64, config_index: usize) {
+        self.decision_latency.record(nanos);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.hit_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -369,6 +746,16 @@ impl SelectionTelemetry {
         self.adaptive_picks.load(Ordering::Relaxed)
     }
 
+    /// Rewards discarded for carrying a stale selector generation.
+    pub fn stale_rewards_dropped(&self) -> u64 {
+        self.stale_rewards_dropped.load(Ordering::Relaxed)
+    }
+
+    /// The decision-latency histogram (cache hits and model runs).
+    pub fn decision_latency(&self) -> &LatencyHistogram {
+        &self.decision_latency
+    }
+
     /// `(global config index, times picked)` per shipped configuration,
     /// in shipped order.
     pub fn picks(&self) -> Vec<(usize, u64)> {
@@ -405,6 +792,9 @@ impl SelectionTelemetry {
             reward_updates: self.reward_updates(),
             drift_events: self.drift_events(),
             adaptive_picks: self.adaptive_picks(),
+            stale_rewards_dropped: self.stale_rewards_dropped(),
+            decision_p50_ns: self.decision_latency.p50(),
+            decision_p99_ns: self.decision_latency.p99(),
         }
     }
 }
@@ -455,6 +845,13 @@ pub struct TelemetrySnapshot {
     pub drift_events: u64,
     /// Primary picks made by the adaptive (post-drift) stage.
     pub adaptive_picks: u64,
+    /// Rewards discarded for carrying a stale selector generation.
+    pub stale_rewards_dropped: u64,
+    /// Median decision latency in nanoseconds (histogram estimate).
+    pub decision_p50_ns: f64,
+    /// 99th-percentile decision latency in nanoseconds (histogram
+    /// estimate).
+    pub decision_p99_ns: f64,
 }
 
 /// The outcome of one cached selection, for threading into launch
@@ -493,6 +890,22 @@ impl CachedSelector {
         CachedSelector {
             selector,
             cache: ShardedCache::new(n_shards),
+            telemetry,
+        }
+    }
+
+    /// Wrap `selector` with a capacity-bounded, Bloom-admitted cache
+    /// ([`ShardedCache::bounded`]) — the ingress-facing mode where the
+    /// shape stream is unbounded and the decision cache must not be.
+    pub fn with_bounded_cache(
+        selector: Arc<Selector>,
+        n_shards: usize,
+        config: BoundedCacheConfig,
+    ) -> Self {
+        let telemetry = SelectionTelemetry::new(selector.configs());
+        CachedSelector {
+            selector,
+            cache: ShardedCache::bounded(n_shards, config),
             telemetry,
         }
     }

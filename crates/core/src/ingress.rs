@@ -1,0 +1,643 @@
+//! Async SLO-aware ingress: the fleet's concurrent front door.
+//!
+//! [`ShardedScheduler::serve`] consumes a pre-collected slice — fine
+//! for replaying a trace, wrong for a service: a real deployment
+//! ingests an unbounded concurrent stream, and *something* must bound
+//! queue growth, keep one noisy tenant from starving the rest, and
+//! shed work under overload instead of queueing it into latency
+//! heat-death. This module is that something:
+//!
+//! * **MPMC ingestion** — producers on any number of threads submit
+//!   through cloneable [`IngressHandle`]s into one bounded channel
+//!   (the crossbeam shim's MPMC queue); a single dispatcher thread
+//!   owns the scheduler and drains the channel in chunks, so the
+//!   scheduler's deterministic plan/execute waves stay single-writer.
+//! * **Per-tenant admission** — each tenant may hold at most
+//!   [`TenantQuota::max_queued`] requests in the queue; excess arrivals
+//!   are shed with [`ShedReason::TenantQuota`] *at submit time*, so a
+//!   hot tenant's overflow never costs queue capacity.
+//! * **Priority classes** — [`Priority::Interactive`] blocks on a full
+//!   queue (backpressure, never queue-shed), [`Priority::Standard`]
+//!   sheds when the queue is full, and [`Priority::Batch`] sheds as
+//!   soon as the queue passes its headroom mark — overload evicts
+//!   batch work first and interactive work last. The priority also
+//!   becomes the request's scheduling class, so the scheduler never
+//!   coalesces across classes.
+//! * **Deadlines** — a request may carry a deadline; if it is still
+//!   queued when its deadline passes, the dispatcher sheds it with
+//!   [`ShedReason::DeadlineExpired`] instead of burning device time on
+//!   an answer nobody is waiting for.
+//! * **Typed shedding, never silent drops** — every submitted request
+//!   ends up in exactly one of `served` or one shed counter;
+//!   [`IngressReport::accounted`] checks the invariant
+//!   `submitted == served + shed`.
+//! * **Tail-latency telemetry** — per-class end-to-end latency
+//!   (submit to chunk completion, wall clock) lands in lock-free
+//!   [`LatencyHistogram`]s; the report carries p50/p99 per class.
+//!
+//! Pair the scheduler's shards with
+//! [`crate::TuningPipeline::device_bounded_executor`] so the decision
+//! caches behind the ingress are capacity-bounded and Bloom-admitted:
+//! millions of distinct shapes then cost bounded memory
+//! (`tests/ingress_serving.rs` and the `micro_ingress` bench pin
+//! this).
+
+use crate::cache::LatencyHistogram;
+use crate::sched::{GemmRequest, ShardedScheduler};
+use crate::{CoreError, Result};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Number of priority classes.
+pub const PRIORITY_CLASSES: usize = 3;
+
+/// A request's service class, from most to least latency-sensitive.
+/// Doubles as the scheduler's coalescing class, so batches never mix
+/// priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// User-facing traffic: blocks on a full queue (backpressure) and
+    /// is only ever shed by tenant quota or deadline.
+    Interactive,
+    /// Default traffic: shed when the queue is full.
+    Standard,
+    /// Best-effort traffic: shed as soon as the queue passes the
+    /// configured headroom mark, so overload evicts batch work first.
+    Batch,
+}
+
+impl Priority {
+    /// Every priority, in class order.
+    pub const ALL: [Priority; PRIORITY_CLASSES] =
+        [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// The scheduling class this priority maps to (0, 1, 2).
+    pub fn class(self) -> u16 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    fn index(self) -> usize {
+        self.class() as usize
+    }
+}
+
+/// Why a request was shed. Every shed is typed and counted — the
+/// ingress never drops silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant already holds its full queue quota.
+    TenantQuota,
+    /// No queue capacity for this priority class.
+    QueueFull,
+    /// The deadline passed while the request was queued (or already at
+    /// submit).
+    DeadlineExpired,
+}
+
+/// What `submit` did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued for dispatch.
+    Enqueued,
+    /// Rejected, with the reason (already counted in the telemetry).
+    Shed(ShedReason),
+}
+
+impl SubmitOutcome {
+    /// Whether the request made it into the queue.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, SubmitOutcome::Enqueued)
+    }
+}
+
+/// Per-tenant admission bound.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQuota {
+    /// Maximum requests one tenant may hold in the ingress queue at
+    /// once (clamped to ≥ 1). Arrivals beyond it shed with
+    /// [`ShedReason::TenantQuota`].
+    pub max_queued: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota { max_queued: 1024 }
+    }
+}
+
+/// Ingress knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressConfig {
+    /// Bounded channel capacity between producers and the dispatcher
+    /// (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Maximum requests the dispatcher hands the scheduler per chunk
+    /// (clamped to ≥ 1). Larger chunks coalesce better; smaller chunks
+    /// bound per-request queueing delay.
+    pub dispatch_chunk: usize,
+    /// Admission bound applied to every tenant.
+    pub tenant_quota: TenantQuota,
+    /// Fraction of the queue that must still be *free* for
+    /// [`Priority::Batch`] work to be admitted (in `[0, 1]`; 0 accepts
+    /// batch work until the queue is full).
+    pub batch_headroom: f64,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            queue_capacity: 4096,
+            dispatch_chunk: 1024,
+            tenant_quota: TenantQuota::default(),
+            batch_headroom: 0.5,
+        }
+    }
+}
+
+/// One ingress submission: the GEMM request plus its service metadata.
+#[derive(Clone)]
+pub struct IngressRequest {
+    /// The underlying GEMM request (its `class` field is overwritten
+    /// from `priority` at submit).
+    pub request: GemmRequest,
+    /// The submitting tenant.
+    pub tenant: u32,
+    /// Service class.
+    pub priority: Priority,
+    /// Optional completion deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl IngressRequest {
+    /// A standard-priority request for tenant 0 with no deadline.
+    pub fn new(request: GemmRequest) -> Self {
+        IngressRequest {
+            request,
+            tenant: 0,
+            priority: Priority::Standard,
+            deadline: None,
+        }
+    }
+
+    /// The same request for a different tenant.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The same request in a different service class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The same request with a deadline `d` from now.
+    pub fn with_deadline_in(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+}
+
+/// A queued request plus its service metadata and submit stamp.
+struct Envelope {
+    request: GemmRequest,
+    tenant: u32,
+    priority: Priority,
+    deadline: Option<Instant>,
+    submitted: Instant,
+}
+
+/// Telemetry shared by producers and the dispatcher. All counters are
+/// monotone; the accounting invariant only settles once producers stop.
+struct Shared {
+    submitted: AtomicU64,
+    enqueued: AtomicU64,
+    served: AtomicU64,
+    shed_tenant: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_deadline: AtomicU64,
+    class_submitted: [AtomicU64; PRIORITY_CLASSES],
+    class_served: [AtomicU64; PRIORITY_CLASSES],
+    class_shed: [AtomicU64; PRIORITY_CLASSES],
+    latency: [LatencyHistogram; PRIORITY_CLASSES],
+    /// Requests currently queued, per tenant.
+    tenants: Mutex<HashMap<u32, usize>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            submitted: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed_tenant: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            class_submitted: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            class_served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            class_shed: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn bump(counters: &[AtomicU64; PRIORITY_CLASSES], priority: Priority) {
+        if let Some(c) = counters.get(priority.index()) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn shed(&self, priority: Priority, reason: ShedReason) -> SubmitOutcome {
+        match reason {
+            ShedReason::TenantQuota => self.shed_tenant.fetch_add(1, Ordering::Relaxed),
+            ShedReason::QueueFull => self.shed_queue.fetch_add(1, Ordering::Relaxed),
+            ShedReason::DeadlineExpired => self.shed_deadline.fetch_add(1, Ordering::Relaxed),
+        };
+        Self::bump(&self.class_shed, priority);
+        SubmitOutcome::Shed(reason)
+    }
+
+    /// Release one queue slot held by `tenant`.
+    fn release_tenant(&self, tenant: u32) {
+        let mut tenants = self.tenants.lock();
+        if let Some(count) = tenants.get_mut(&tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                tenants.remove(&tenant);
+            }
+        }
+    }
+}
+
+/// Per-class slice of an [`IngressReport`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClassReport {
+    /// The class index (0 = interactive, 1 = standard, 2 = batch).
+    pub class: u64,
+    /// Requests submitted in this class.
+    pub submitted: u64,
+    /// Requests served in this class.
+    pub served: u64,
+    /// Requests shed in this class (all reasons).
+    pub shed: u64,
+    /// Median end-to-end latency, nanoseconds (0 with no samples).
+    pub p50_ns: f64,
+    /// 99th-percentile end-to-end latency, nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// A snapshot of the ingress accounting. Taken live it lags in-flight
+/// work; after [`Ingress::finish`] it is exact and
+/// [`IngressReport::accounted`] must hold.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IngressReport {
+    /// Requests presented to `submit`.
+    pub submitted: u64,
+    /// Requests that entered the queue.
+    pub enqueued: u64,
+    /// Requests the fleet completed.
+    pub served: u64,
+    /// Requests shed by tenant quota.
+    pub shed_tenant_quota: u64,
+    /// Requests shed by queue pressure.
+    pub shed_queue_full: u64,
+    /// Requests shed because their deadline expired in the queue.
+    pub shed_deadline: u64,
+    /// Per-class accounting and tail latency.
+    pub classes: Vec<ClassReport>,
+    /// Scheduler waves executed by the dispatcher (0 until `finish`).
+    pub waves: u64,
+    /// Whether the fleet ever degraded to a revived shard's
+    /// reference path (false until `finish`).
+    pub fleet_degraded: bool,
+}
+
+impl IngressReport {
+    /// Total shed requests, all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_tenant_quota + self.shed_queue_full + self.shed_deadline
+    }
+
+    /// The zero-silent-drop invariant: every submitted request was
+    /// served or shed. Only guaranteed after [`Ingress::finish`].
+    pub fn accounted(&self) -> bool {
+        self.submitted == self.served + self.shed_total()
+    }
+}
+
+/// A cloneable producer handle: submit from any thread.
+#[derive(Clone)]
+pub struct IngressHandle {
+    sender: Sender<Envelope>,
+    shared: Arc<Shared>,
+    config: IngressConfig,
+}
+
+impl IngressHandle {
+    /// Submit one request. Returns the typed outcome; `Err` only for a
+    /// closed ingress (the dispatcher is gone), which is a structural
+    /// misuse, not load.
+    pub fn submit(&self, request: IngressRequest) -> Result<SubmitOutcome> {
+        let shared = &self.shared;
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        Shared::bump(&shared.class_submitted, request.priority);
+
+        let now = Instant::now();
+        if request.deadline.is_some_and(|d| d <= now) {
+            return Ok(shared.shed(request.priority, ShedReason::DeadlineExpired));
+        }
+
+        // Tenant admission: check-and-hold one queue slot. Released by
+        // the dispatcher on dequeue, or below on a queue shed.
+        let quota = self.config.tenant_quota.max_queued.max(1);
+        {
+            let mut tenants = shared.tenants.lock();
+            let count = tenants.entry(request.tenant).or_insert(0);
+            if *count >= quota {
+                drop(tenants);
+                return Ok(shared.shed(request.priority, ShedReason::TenantQuota));
+            }
+            *count += 1;
+        }
+
+        // Priority-tiered queue admission: batch work needs headroom,
+        // standard work needs a slot, interactive work waits for one.
+        if request.priority == Priority::Batch {
+            let capacity = self.sender.capacity().max(1);
+            let headroom = self.config.batch_headroom.clamp(0.0, 1.0);
+            let admit_below = capacity.saturating_sub((capacity as f64 * headroom) as usize);
+            if self.sender.len() >= admit_below.max(1) {
+                shared.release_tenant(request.tenant);
+                return Ok(shared.shed(request.priority, ShedReason::QueueFull));
+            }
+        }
+
+        let mut request = request;
+        request.request.class = request.priority.class();
+        let tenant = request.tenant;
+        let priority = request.priority;
+        let envelope = Envelope {
+            request: request.request,
+            tenant,
+            priority,
+            deadline: request.deadline,
+            submitted: now,
+        };
+
+        let sent = if priority == Priority::Interactive {
+            self.sender.send(envelope).map_err(|_| ())
+        } else {
+            match self.sender.try_send(envelope) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => {
+                    shared.release_tenant(tenant);
+                    return Ok(shared.shed(priority, ShedReason::QueueFull));
+                }
+                Err(TrySendError::Disconnected(_)) => Err(()),
+            }
+        };
+        match sent {
+            Ok(()) => {
+                shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(SubmitOutcome::Enqueued)
+            }
+            Err(()) => {
+                shared.release_tenant(tenant);
+                Err(CoreError::Dataset(
+                    "ingress is closed: the dispatcher has shut down".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// What the dispatcher thread hands back when the stream drains.
+struct DispatchOutcome {
+    scheduler: ShardedScheduler,
+    waves: u64,
+    fleet_degraded: bool,
+}
+
+/// The ingress service: owns the dispatcher thread and the primary
+/// producer handle.
+///
+/// ```text
+/// producers --IngressHandle::submit--> bounded MPMC --dispatcher--> ShardedScheduler
+/// ```
+///
+/// Call [`Ingress::finish`] to close the primary handle, drain the
+/// queue, and get the exact report plus the scheduler back. Any
+/// cloned [`IngressHandle`]s must be dropped first, or `finish` waits
+/// for them.
+pub struct Ingress {
+    handle: IngressHandle,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<Result<DispatchOutcome>>>,
+}
+
+impl Ingress {
+    /// Start the ingress over `scheduler`: spawns the dispatcher
+    /// thread, which owns the scheduler until [`Ingress::finish`].
+    pub fn start(scheduler: ShardedScheduler, config: IngressConfig) -> Self {
+        let shared = Arc::new(Shared::new());
+        let (sender, receiver) = channel::bounded(config.queue_capacity.max(1));
+        let worker_shared = Arc::clone(&shared);
+        let chunk = config.dispatch_chunk.max(1);
+        let worker =
+            std::thread::spawn(move || dispatch(scheduler, receiver, worker_shared, chunk));
+        Ingress {
+            handle: IngressHandle {
+                sender,
+                shared: Arc::clone(&shared),
+                config,
+            },
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A cloneable producer handle for other threads.
+    pub fn handle(&self) -> IngressHandle {
+        self.handle.clone()
+    }
+
+    /// Submit on the primary handle (see [`IngressHandle::submit`]).
+    pub fn submit(&self, request: IngressRequest) -> Result<SubmitOutcome> {
+        self.handle.submit(request)
+    }
+
+    /// A live snapshot of the accounting. In-flight requests make
+    /// `accounted` false here; use [`Ingress::finish`] for the exact
+    /// report.
+    pub fn report(&self) -> IngressReport {
+        report_from(&self.shared, 0, false)
+    }
+
+    /// Close the primary handle, wait for the dispatcher to drain the
+    /// queue, and return the exact report plus the scheduler.
+    pub fn finish(self) -> Result<(IngressReport, ShardedScheduler)> {
+        let Ingress {
+            handle,
+            shared,
+            mut worker,
+        } = self;
+        drop(handle);
+        let worker = worker
+            .take()
+            .ok_or_else(|| CoreError::Dataset("ingress finish called twice".into()))?;
+        let outcome = worker
+            .join()
+            .map_err(|_| CoreError::Dataset("ingress dispatcher thread died".into()))??;
+        let report = report_from(&shared, outcome.waves, outcome.fleet_degraded);
+        Ok((report, outcome.scheduler))
+    }
+}
+
+fn report_from(shared: &Shared, waves: u64, fleet_degraded: bool) -> IngressReport {
+    let classes = Priority::ALL
+        .iter()
+        .map(|&p| {
+            let i = p.index();
+            let load = |c: &[AtomicU64; PRIORITY_CLASSES]| {
+                c.get(i).map(|v| v.load(Ordering::Relaxed)).unwrap_or(0)
+            };
+            let (p50, p99) = shared
+                .latency
+                .get(i)
+                .map(|h| (h.p50(), h.p99()))
+                .unwrap_or((0.0, 0.0));
+            ClassReport {
+                class: i as u64,
+                submitted: load(&shared.class_submitted),
+                served: load(&shared.class_served),
+                shed: load(&shared.class_shed),
+                p50_ns: p50,
+                p99_ns: p99,
+            }
+        })
+        .collect();
+    IngressReport {
+        submitted: shared.submitted.load(Ordering::Relaxed),
+        enqueued: shared.enqueued.load(Ordering::Relaxed),
+        served: shared.served.load(Ordering::Relaxed),
+        shed_tenant_quota: shared.shed_tenant.load(Ordering::Relaxed),
+        shed_queue_full: shared.shed_queue.load(Ordering::Relaxed),
+        shed_deadline: shared.shed_deadline.load(Ordering::Relaxed),
+        classes,
+        waves,
+        fleet_degraded,
+    }
+}
+
+/// The dispatcher loop: drain the channel in chunks, shed expired
+/// deadlines, serve the rest, record per-class latency.
+fn dispatch(
+    mut scheduler: ShardedScheduler,
+    receiver: Receiver<Envelope>,
+    shared: Arc<Shared>,
+    chunk_size: usize,
+) -> Result<DispatchOutcome> {
+    let mut waves = 0u64;
+    let mut fleet_degraded = false;
+    // Block for each chunk head; every sender gone means we are done
+    // once the buffer is drained (recv returns leftovers before
+    // reporting disconnect).
+    while let Ok(first) = receiver.recv() {
+        let mut envelopes = Vec::with_capacity(chunk_size);
+        envelopes.push(first);
+        while envelopes.len() < chunk_size {
+            match receiver.try_recv() {
+                Ok(envelope) => envelopes.push(envelope),
+                Err(_) => break,
+            }
+        }
+
+        // Dequeued: release tenant slots, shed expired deadlines.
+        let now = Instant::now();
+        let mut kept: Vec<Envelope> = Vec::with_capacity(envelopes.len());
+        for envelope in envelopes {
+            shared.release_tenant(envelope.tenant);
+            if envelope.deadline.is_some_and(|d| d <= now) {
+                shared.shed(envelope.priority, ShedReason::DeadlineExpired);
+            } else {
+                kept.push(envelope);
+            }
+        }
+        if kept.is_empty() {
+            continue;
+        }
+
+        let requests: Vec<GemmRequest> = kept.iter().map(|e| e.request.clone()).collect();
+        let report = scheduler.serve(&requests)?;
+        waves += report.waves as u64;
+        fleet_degraded |= report.fleet_degraded;
+
+        // Chunk-granular completion stamp: every request in the chunk
+        // finished by now, and the histogram's log2 buckets absorb the
+        // sub-chunk skew.
+        let done = Instant::now();
+        for envelope in &kept {
+            let nanos = done
+                .saturating_duration_since(envelope.submitted)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            if let Some(h) = shared.latency.get(envelope.priority.index()) {
+                h.record(nanos);
+            }
+            Shared::bump(&shared.class_served, envelope.priority);
+        }
+        shared
+            .served
+            .fetch_add(kept.len() as u64, Ordering::Relaxed);
+    }
+    Ok(DispatchOutcome {
+        scheduler,
+        waves,
+        fleet_degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autokernel_gemm::GemmShape;
+
+    #[test]
+    fn priority_maps_to_distinct_classes() {
+        let classes: Vec<u16> = Priority::ALL.iter().map(|p| p.class()).collect();
+        assert_eq!(classes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ingress_request_builder_sets_metadata() {
+        let shape = GemmShape::new(8, 8, 8);
+        let request = IngressRequest::new(GemmRequest::zeroed(shape))
+            .with_tenant(7)
+            .with_priority(Priority::Batch)
+            .with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(request.tenant, 7);
+        assert_eq!(request.priority, Priority::Batch);
+        assert!(request.deadline.is_some());
+    }
+
+    #[test]
+    fn report_accounting_identity_holds_when_empty() {
+        let shared = Shared::new();
+        let report = report_from(&shared, 0, false);
+        assert!(report.accounted());
+        assert_eq!(report.shed_total(), 0);
+    }
+}

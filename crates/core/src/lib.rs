@@ -39,6 +39,7 @@ pub mod codegen;
 pub mod crossval;
 pub mod dataset;
 pub mod evaluate;
+pub mod ingress;
 pub mod libsize;
 pub mod online;
 pub mod pipeline;
@@ -50,9 +51,14 @@ pub mod sched;
 pub mod select;
 
 pub use cache::{
-    CachedSelector, SelectionOutcome, SelectionTelemetry, ShardedCache, TelemetrySnapshot,
+    BoundedCacheConfig, CachedSelector, CountingBloom, LatencyHistogram, SelectionOutcome,
+    SelectionTelemetry, ShardedCache, TelemetrySnapshot,
 };
 pub use dataset::{PerformanceDataset, StaticPruneStats};
+pub use ingress::{
+    ClassReport, Ingress, IngressConfig, IngressReport, IngressRequest, Priority, ShedReason,
+    SubmitOutcome, TenantQuota,
+};
 pub use online::{OnlineConfig, OnlineSelector, OnlineStats};
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;
@@ -78,6 +84,13 @@ pub enum CoreError {
     /// A selector produced a configuration index outside the global
     /// 640-config space — a corrupted model artefact, not a user error.
     BadConfigIndex(usize),
+    /// Every shard in the fleet has melted down: the scheduler degraded
+    /// the leftover traffic to the reference-kernel path and reports it
+    /// here instead of spinning or panicking.
+    FleetMeltdown {
+        /// Requests that still completed via the reference path.
+        degraded: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -89,6 +102,10 @@ impl std::fmt::Display for CoreError {
             CoreError::BadConfigIndex(i) => {
                 write!(f, "config index {i} outside the kernel configuration space")
             }
+            CoreError::FleetMeltdown { degraded } => write!(
+                f,
+                "all shards melted down; {degraded} request(s) degraded to the reference kernel"
+            ),
         }
     }
 }

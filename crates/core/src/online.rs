@@ -32,7 +32,7 @@ use crate::{CoreError, Result};
 use autokernel_gemm::GemmShape;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs for the online layer. The defaults are calibrated for
@@ -181,6 +181,12 @@ pub struct OnlineSelector {
     /// evidence the offline-best arm wins every tie.
     scan_order: Vec<usize>,
     adaptive: AtomicBool,
+    /// Selector generation: bumped on every drift transition. Rewards
+    /// carry the generation they were *decided* under, and a reward
+    /// whose generation no longer matches is discarded — otherwise a
+    /// measurement issued before a drift trip and fed back after the
+    /// reset would seed the fresh bandit with old-device evidence.
+    generation: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -215,6 +221,7 @@ impl OnlineSelector {
             priors,
             scan_order,
             adaptive: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 clusters: HashMap::new(),
                 ph: PageHinkley::default(),
@@ -240,6 +247,14 @@ impl OnlineSelector {
     /// Whether the adaptive stage is active (false until first drift).
     pub fn is_adaptive(&self) -> bool {
         self.adaptive.load(Ordering::Acquire)
+    }
+
+    /// The current selector generation. Capture this at decision time
+    /// and pass it back with the measured reward; rewards from an older
+    /// generation are discarded (see
+    /// [`OnlineSelector::record_success`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Point-in-time online counters.
@@ -362,9 +377,24 @@ impl OnlineSelector {
 
     /// Feed one completed launch of shipped configuration
     /// `config_index` on `shape` that took `duration_s` simulated
-    /// seconds. Updates the arm's reward estimate and the drift
-    /// detector; returns `true` if this measurement tripped drift.
-    pub fn record_success(&self, shape: &GemmShape, config_index: usize, duration_s: f64) -> bool {
+    /// seconds. `generation` is the value of
+    /// [`OnlineSelector::generation`] captured when the decision was
+    /// made; if a drift trip has advanced the generation since, the
+    /// measurement describes the *old* regime and is discarded (counted
+    /// in `stale_rewards_dropped`). Updates the arm's reward estimate
+    /// and the drift detector; returns `true` if this measurement
+    /// tripped drift.
+    pub fn record_success(
+        &self,
+        shape: &GemmShape,
+        config_index: usize,
+        duration_s: f64,
+        generation: u64,
+    ) -> bool {
+        if generation != self.generation() {
+            self.cached.telemetry().record_stale_reward_dropped();
+            return false;
+        }
         let Some(slot) = self.shipped.iter().position(|&c| c == config_index) else {
             return false; // not a shipped arm (e.g. the reference GEMM)
         };
@@ -394,8 +424,20 @@ impl OnlineSelector {
     /// Feed one failed launch of `config_index` on `shape`. Transient
     /// faults count as drift evidence at `fault_slowdown`; structural
     /// rejections (resource exhaustion on the new device) disable the
-    /// arm for the current generation. Returns `true` on a drift trip.
-    pub fn record_failure(&self, shape: &GemmShape, config_index: usize, transient: bool) -> bool {
+    /// arm for the current generation. `generation` has
+    /// [`OnlineSelector::record_success`] semantics: stale-generation
+    /// failures are discarded. Returns `true` on a drift trip.
+    pub fn record_failure(
+        &self,
+        shape: &GemmShape,
+        config_index: usize,
+        transient: bool,
+        generation: u64,
+    ) -> bool {
+        if generation != self.generation() {
+            self.cached.telemetry().record_stale_reward_dropped();
+            return false;
+        }
         let Some(slot) = self.shipped.iter().position(|&c| c == config_index) else {
             return false;
         };
@@ -443,6 +485,10 @@ impl OnlineSelector {
     fn drift_locked(&self, inner: &mut Inner) {
         inner.clusters.clear();
         inner.ph.reset();
+        // Advance the selector generation *before* flipping adaptive on:
+        // a reward captured under the old generation must already see
+        // the new value and be dropped.
+        self.generation.fetch_add(1, Ordering::AcqRel);
         self.adaptive.store(true, Ordering::Release);
         self.cached.invalidate_generation();
         self.cached.telemetry().record_drift_event();

@@ -275,6 +275,24 @@ impl TuningPipeline {
         self.device_executor_with(serving, queue, policy)
     }
 
+    /// [`TuningPipeline::device_executor`] with a *capacity-bounded*,
+    /// Bloom-admitted decision cache — the right executor behind an
+    /// ingress layer, where the shape stream is unbounded and the
+    /// decision cache must not be.
+    pub fn device_bounded_executor(
+        &self,
+        queue: Queue,
+        policy: ResilientPolicy,
+        cache: crate::cache::BoundedCacheConfig,
+    ) -> Result<ResilientExecutor> {
+        let serving = Arc::new(CachedSelector::with_bounded_cache(
+            Arc::clone(&self.selector),
+            crate::cache::DEFAULT_SHARDS,
+            cache,
+        ));
+        self.device_executor_with(serving, queue, policy)
+    }
+
     /// Shared builder: wrap an existing per-device serving cache in a
     /// resilient executor whose fallback chain is filtered by a fresh
     /// analysis of `queue`'s device.

@@ -396,9 +396,12 @@ impl ResilientExecutor {
     ) -> Result<LaunchReport> {
         let telemetry = self.selector.telemetry();
         telemetry.record_resilient_launch();
-        let outcome = match &self.online {
-            Some(online) => online.select_outcome(&shape)?,
-            None => self.selector.select_outcome(&shape)?,
+        // Capture the selector generation with the decision: any reward
+        // this launch eventually produces belongs to *this* regime, and
+        // the online layer discards it if drift resets in between.
+        let (outcome, decision_generation) = match &self.online {
+            Some(online) => (online.select_outcome(&shape)?, online.generation()),
+            None => (self.selector.select_outcome(&shape)?, 0),
         };
         let primary = outcome.config_index;
 
@@ -436,7 +439,12 @@ impl ResilientExecutor {
                             breaker.on_success();
                         }
                         if let Some(online) = &self.online {
-                            online.record_success(&shape, cfg_idx, event.duration_s());
+                            online.record_success(
+                                &shape,
+                                cfg_idx,
+                                event.duration_s(),
+                                decision_generation,
+                            );
                         }
                         let fallback = if effective_depth == 0 {
                             FallbackLevel::Primary
@@ -474,7 +482,7 @@ impl ResilientExecutor {
                         };
                         let transient = error.is_transient();
                         if let Some(online) = &self.online {
-                            online.record_failure(&shape, cfg_idx, transient);
+                            online.record_failure(&shape, cfg_idx, transient, decision_generation);
                         }
                         failures.push(FailureRecord {
                             config_index: cfg_idx,

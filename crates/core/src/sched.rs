@@ -131,12 +131,23 @@ pub struct GemmRequest {
     pub b: Buffer<f32>,
     /// Output, `m × n`.
     pub c: Buffer<f32>,
+    /// Scheduling class (priority tier / tenant class). Requests only
+    /// coalesce into a shared batch when shape *and* class agree, so a
+    /// low-priority request can never ride a high-priority batch's
+    /// admission decision. 0 by default.
+    pub class: u16,
 }
 
 impl GemmRequest {
-    /// A request carrying existing operands.
+    /// A request carrying existing operands (class 0).
     pub fn new(shape: GemmShape, a: Buffer<f32>, b: Buffer<f32>, c: Buffer<f32>) -> Self {
-        GemmRequest { shape, a, b, c }
+        GemmRequest {
+            shape,
+            a,
+            b,
+            c,
+            class: 0,
+        }
     }
 
     /// A request with freshly allocated zero operands — the convenient
@@ -147,7 +158,14 @@ impl GemmRequest {
             a: Buffer::new_filled(shape.m * shape.k, 0.0),
             b: Buffer::new_filled(shape.k * shape.n, 0.0),
             c: Buffer::new_filled(shape.m * shape.n, 0.0),
+            class: 0,
         }
+    }
+
+    /// The same request in a different scheduling class.
+    pub fn with_class(mut self, class: u16) -> Self {
+        self.class = class;
+        self
     }
 }
 
@@ -247,6 +265,8 @@ pub struct SchedTelemetry {
 pub struct Assignment {
     /// The batch's shape.
     pub shape: GemmShape,
+    /// The batch's scheduling class.
+    pub class: u16,
     /// Requests in the batch.
     pub requests: usize,
     /// Index of the shard that received it.
@@ -286,6 +306,11 @@ pub struct SchedReport {
     /// Fleet makespan: the largest simulated-time advance any device
     /// clock saw during the call.
     pub makespan_s: f64,
+    /// Whether the whole fleet melted down at some point during the
+    /// call and traffic was degraded onto a revived shard's
+    /// reference-kernel path. The stream still completes (zero drops);
+    /// this flag is the typed signal that it did so in degraded mode.
+    pub fleet_degraded: bool,
     /// Every routing decision, in planning order.
     pub assignments: Vec<Assignment>,
     /// Per-device outcomes, in shard order.
@@ -304,10 +329,11 @@ impl SchedReport {
     }
 }
 
-/// A same-shape run of requests, the unit of routing.
+/// A same-shape, same-class run of requests, the unit of routing.
 #[derive(Debug, Clone)]
 struct Batch {
     shape: GemmShape,
+    class: u16,
     requests: Vec<usize>,
 }
 
@@ -339,6 +365,10 @@ struct ShardState {
     /// once the device has history.
     flops_done: f64,
     clock_origin: f64,
+    /// Monotonic stamp of the moment this shard was last condemned
+    /// (0 = never): the all-dead revive picks the *most recently*
+    /// condemned shard, deterministically.
+    condemned_seq: u64,
 }
 
 /// The fleet front door: shards a request stream across device stacks.
@@ -351,6 +381,8 @@ pub struct ShardedScheduler {
     config: SchedConfig,
     telemetry: SchedTelemetry,
     rr_cursor: usize,
+    /// Source of `ShardState::condemned_seq` stamps.
+    condemn_counter: u64,
 }
 
 impl ShardedScheduler {
@@ -376,12 +408,14 @@ impl ShardedScheduler {
                         planned_s: 0.0,
                         flops_done: 0.0,
                         clock_origin,
+                        condemned_seq: 0,
                     }
                 })
                 .collect(),
             config,
             telemetry: SchedTelemetry::default(),
             rr_cursor,
+            condemn_counter: 0,
         })
     }
 
@@ -449,10 +483,21 @@ impl ShardedScheduler {
         let mut assignments: Vec<Assignment> = Vec::new();
         let mut waves = 0usize;
         let mut served = 0usize;
+        let mut fleet_degraded = false;
 
         while !pending.is_empty() {
             waves += 1;
             self.telemetry.waves += 1;
+
+            // Defensive anti-spin guard: the revive invariant below
+            // keeps at least one shard alive across waves, so a fully
+            // dead fleet here is a logic error — surface it typed
+            // instead of looping over empty waves forever.
+            if self.shards.iter().all(|s| !s.alive) {
+                return Err(CoreError::FleetMeltdown {
+                    degraded: pending.iter().map(|b| b.requests.len()).sum(),
+                });
+            }
 
             // Plan phase (single-threaded): route batches onto bounded
             // per-device queues. Device clocks are quiescent here, so
@@ -474,6 +519,7 @@ impl ShardedScheduler {
                 }
                 assignments.push(Assignment {
                     shape: batch.shape,
+                    class: batch.class,
                     requests: batch.requests.len(),
                     device,
                     stolen,
@@ -515,6 +561,8 @@ impl ShardedScheduler {
                 }
                 if outcome.melted {
                     state.alive = false;
+                    self.condemn_counter += 1;
+                    state.condemned_seq = self.condemn_counter;
                 }
                 if !outcome.leftovers.is_empty() {
                     let moved: u64 = outcome
@@ -548,12 +596,21 @@ impl ShardedScheduler {
                 {
                     state.alive = false;
                 }
+                if !state.alive {
+                    self.condemn_counter += 1;
+                    state.condemned_seq = self.condemn_counter;
+                }
             }
-            // Never drain the whole fleet: the most recently condemned
-            // shard is revived if nobody else survived — its reference
-            // rung still completes every request.
+            // Never drain the whole fleet: if nobody survived, the most
+            // recently condemned shard (highest condemnation stamp —
+            // deterministic, since condemnations happen on the
+            // single-threaded merge path) is revived and the stream
+            // degrades onto its reference-kernel rung, which cannot
+            // fail. The report carries `fleet_degraded` as the typed
+            // signal.
             if self.shards.iter().all(|s| !s.alive) {
-                if let Some(state) = self.shards.iter_mut().rev().find(|s| !s.alive) {
+                fleet_degraded = true;
+                if let Some(state) = self.shards.iter_mut().max_by_key(|s| s.condemned_seq) {
                     state.alive = true;
                 }
             }
@@ -586,28 +643,34 @@ impl ShardedScheduler {
             dropped: requests.len().saturating_sub(served),
             waves,
             makespan_s,
+            fleet_degraded,
             assignments,
             devices,
         })
     }
 
-    /// Coalesce the stream into same-shape batches, preserving
-    /// first-arrival order and capping each batch at `batch_window`.
+    /// Coalesce the stream into same-shape, same-class batches,
+    /// preserving first-arrival order and capping each batch at
+    /// `batch_window`. Class is part of the key on purpose: a batch
+    /// routes and is admitted as a unit, and a low-priority request
+    /// must not inherit the admission a high-priority sibling earned.
     fn coalesce(&mut self, requests: &[GemmRequest]) -> VecDeque<Batch> {
         let window = self.config.batch_window.max(1);
         let mut order: Vec<Batch> = Vec::new();
-        let mut open: HashMap<GemmShape, usize> = HashMap::new();
+        let mut open: HashMap<(GemmShape, u16), usize> = HashMap::new();
         for (index, request) in requests.iter().enumerate() {
-            let slot = open.get(&request.shape).copied();
+            let key = (request.shape, request.class);
+            let slot = open.get(&key).copied();
             match slot.and_then(|s| order.get_mut(s)) {
                 Some(batch) if batch.requests.len() < window => {
                     batch.requests.push(index);
                     self.telemetry.batched += 1;
                 }
                 _ => {
-                    open.insert(request.shape, order.len());
+                    open.insert(key, order.len());
                     order.push(Batch {
                         shape: request.shape,
+                        class: request.class,
                         requests: vec![index],
                     });
                 }
@@ -778,7 +841,7 @@ fn run_worker(
                 .extend(batches.iter().skip(position).cloned());
             break;
         }
-        for &request_index in &batch.requests {
+        for (offset, &request_index) in batch.requests.iter().enumerate() {
             let request = requests.get(request_index).ok_or_else(|| {
                 CoreError::Dataset(format!("request index {request_index} out of range"))
             })?;
@@ -805,10 +868,26 @@ fn run_worker(
                     .push((report.event.clone(), Some(report.decision)));
             }
             if consecutive_reference >= meltdown_threshold {
+                // Melted down: stop launching on this device *now*, not
+                // at the next batch boundary. The rest of the current
+                // batch becomes a partial leftover so the merge phase
+                // can re-route it to the survivors.
                 outcome.melted = true;
+                let remaining: Vec<usize> =
+                    batch.requests.iter().skip(offset + 1).copied().collect();
+                if !remaining.is_empty() {
+                    outcome.leftovers.push(Batch {
+                        shape: batch.shape,
+                        class: batch.class,
+                        requests: remaining,
+                    });
+                }
+                break;
             }
         }
-        outcome.batches_done += 1;
+        if !outcome.melted {
+            outcome.batches_done += 1;
+        }
     }
     Ok(outcome)
 }
@@ -944,6 +1023,40 @@ mod tests {
         let report = sched.serve(&requests).unwrap();
         assert_eq!(report.assignments.len(), 3, "ceil(5 / 2) batches");
         assert_eq!(sched.telemetry().batched, 2);
+    }
+
+    #[test]
+    fn different_classes_never_share_a_batch() {
+        let mut sched = ShardedScheduler::new(
+            vec![shard_on(DeviceSpec::amd_r9_nano(), "nano")],
+            SchedConfig {
+                batch_window: 8,
+                ..SchedConfig::default()
+            },
+        )
+        .unwrap();
+        let shape = GemmShape::new(256, 256, 256);
+        // Interleaved priority classes on one shape: coalescing must
+        // split them per class, not pool them under the shape alone.
+        let requests: Vec<GemmRequest> = (0..6)
+            .map(|i| GemmRequest::zeroed(shape).with_class((i % 2) as u16))
+            .collect();
+        let report = sched.serve(&requests).unwrap();
+        assert_eq!(report.served, 6);
+        assert_eq!(
+            report.assignments.len(),
+            2,
+            "one batch per (shape, class), got {:?}",
+            report.assignments
+        );
+        assert!(report
+            .assignments
+            .iter()
+            .any(|a| a.class == 0 && a.requests == 3));
+        assert!(report
+            .assignments
+            .iter()
+            .any(|a| a.class == 1 && a.requests == 3));
     }
 
     #[test]

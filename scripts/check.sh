@@ -42,6 +42,9 @@ cargo test -q --test resilient_executor
 echo "==> sharded scheduler suite (cargo test -q --test sharded_scheduler)"
 cargo test -q --test sharded_scheduler
 
+echo "==> ingress + bounded-cache suite (cargo test -q --test ingress_serving)"
+cargo test -q --test ingress_serving
+
 echo "==> hot-path lint (must pass clean, < 2s)"
 cargo build -q --release --bin hotpath_lint
 lint_start=$(date +%s%N)
@@ -71,6 +74,9 @@ cargo run --release --example adaptive_serving
 
 echo "==> sharded serving example (cargo run --release --example sharded_serving)"
 cargo run --release --example sharded_serving
+
+echo "==> ingress serving example (cargo run --release --example ingress_serving)"
+cargo run --release --example ingress_serving
 
 echo "==> bench-regression gate (scripts/bench_gate.sh)"
 scripts/bench_gate.sh

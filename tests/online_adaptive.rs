@@ -128,7 +128,7 @@ proptest! {
         for round in 0..250 {
             let pick = online.select(&shape).expect("adaptive pick");
             let slot = shipped.iter().position(|&c| c == pick).expect("shipped pick");
-            online.record_success(&shape, pick, durations[slot]);
+            online.record_success(&shape, pick, durations[slot], online.generation());
             if round >= 230 {
                 tail.push(pick);
             }
@@ -143,6 +143,64 @@ proptest! {
             "a stationary stream must not re-trip drift"
         );
     }
+}
+
+/// Regression test for the stale-reward poisoning bug: a measurement
+/// captured before a drift trip (its launch straddles the reset) must
+/// be discarded, not folded into the freshly reset arm statistics.
+/// Before the fix, a pre-drift duration delivered after the reset
+/// seeded the new bandit epoch with a reward measured under the old
+/// device regime.
+#[test]
+fn stale_generation_reward_is_discarded_after_drift() {
+    let pipeline = pipeline_over(paper_dataset());
+    let online = pipeline
+        .online_selector(OnlineConfig::default())
+        .expect("online selector builds");
+    let shape = GemmShape::new(512, 512, 512);
+
+    // An in-flight measurement: the pick and the generation are
+    // captured here, but the reward is only delivered after drift.
+    let held_generation = online.generation();
+    let held_pick = online.select(&shape).expect("mirror pick");
+
+    online.force_drift();
+    assert!(online.is_adaptive());
+    assert!(
+        online.generation() > held_generation,
+        "drift must open a new reward generation"
+    );
+
+    // The straddling measurement lands late: it must be dropped whole,
+    // leaving the freshly reset bandit and detector untouched.
+    online.record_success(&shape, held_pick, 123.0e-6, held_generation);
+    online.record_failure(&shape, held_pick, true, held_generation);
+    let stats = online.stats();
+    assert_eq!(
+        stats.clusters, 0,
+        "no arm state may grow from stale rewards"
+    );
+    assert_eq!(stats.ph_samples, 0, "the reset detector must stay empty");
+    assert_eq!(
+        pipeline.telemetry().reward_updates(),
+        0,
+        "a discarded reward must not count as an update"
+    );
+    assert_eq!(
+        pipeline.telemetry().stale_rewards_dropped(),
+        2,
+        "dropped rewards are counted, never silent"
+    );
+
+    // A measurement from the current generation is consumed normally.
+    let fresh_pick = online.select(&shape).expect("adaptive pick");
+    online.record_success(&shape, fresh_pick, 123.0e-6, online.generation());
+    assert_eq!(
+        pipeline.telemetry().reward_updates(),
+        1,
+        "a current-generation reward must be accepted"
+    );
+    assert_eq!(online.stats().clusters, 1);
 }
 
 /// The acceptance scenario: two epochs of nano serving (bit-identical
