@@ -40,11 +40,14 @@ use std::path::Path;
 /// and shape-cluster assignment (kmeans) runs inside the serving loop;
 /// the sharded scheduler, the ingress layer in front of it, and their
 /// acceptance examples are included because a panic in the fleet front
-/// door takes down every device's traffic at once.
-pub const HOT_PATH_FILES: [&str; 12] = [
+/// door takes down every device's traffic at once; the snapshot
+/// restore path is included because a corrupted snapshot must degrade
+/// typed, never panic a restarting server.
+pub const HOT_PATH_FILES: [&str; 13] = [
     "crates/core/src/cache.rs",
     "crates/core/src/ingress.rs",
     "crates/core/src/online.rs",
+    "crates/core/src/persist.rs",
     "crates/core/src/resilient.rs",
     "crates/core/src/sched.rs",
     "crates/core/src/select.rs",

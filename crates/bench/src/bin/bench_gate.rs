@@ -138,6 +138,43 @@ const MANIFEST: &[(&str, &str, Direction, f64)] = &[
         Direction::LowerBetter,
         TIMING_TOLERANCE,
     ),
+    // micro_persist: deterministic recovery economics. Both
+    // `warm_recovery_launches` and `restore_dropped_sections` have a
+    // baseline of exactly 0, so (relative tolerance against
+    // max(|baseline|, 1e-12)) any warm restart that relearns, or any
+    // clean-snapshot section drop, fails the gate outright.
+    (
+        "micro_persist",
+        "warm_recovery_launches",
+        Direction::LowerBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    (
+        "micro_persist",
+        "cold_recovery_launches",
+        Direction::LowerBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    (
+        "micro_persist",
+        "restore_dropped_sections",
+        Direction::LowerBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    // micro_persist: wall-clock save/restore guardrails (these carry
+    // an fsync, so only order-of-magnitude cliffs are interesting).
+    (
+        "micro_persist",
+        "snapshot_save_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
+    (
+        "micro_persist",
+        "snapshot_restore_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
 ];
 
 fn load(dir: &Path, stem: &str) -> Result<Value, String> {

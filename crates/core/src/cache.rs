@@ -413,6 +413,126 @@ impl ShardedCache {
     pub fn bloom(&self) -> Option<&CountingBloom> {
         self.bloom.as_ref()
     }
+
+    /// Export the warm set — current-generation entries with their LRU
+    /// stamps, per-shard ticks, and the Bloom admission counters — for
+    /// `core::persist` snapshots. Entries are sorted by stable shape
+    /// hash so the encoding (and hence the section CRC) is
+    /// deterministic for a given cache state.
+    pub fn export_state(&self) -> crate::persist::CacheState {
+        let generation = self.generation.load(Ordering::Acquire);
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let map = shard.map.read();
+                let mut entries: Vec<crate::persist::CacheEntryState> = map
+                    .iter()
+                    .filter(|(_, e)| e.generation == generation)
+                    .map(|(shape, e)| crate::persist::CacheEntryState {
+                        shape: *shape,
+                        config_index: e.config_index,
+                        last_used: e.last_used.load(Ordering::Relaxed),
+                    })
+                    .collect();
+                entries.sort_by_key(|e| e.shape.stable_hash());
+                crate::persist::CacheShardState {
+                    tick: shard.tick.load(Ordering::Relaxed),
+                    entries,
+                }
+            })
+            .collect();
+        let bloom = self.bloom.as_ref().map(|b| crate::persist::BloomState {
+            hashes: b.hashes,
+            observed: b.observed(),
+            counters: b
+                .counters
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed) as u64)
+                .collect(),
+        });
+        crate::persist::CacheState {
+            generation,
+            shards,
+            bloom,
+        }
+    }
+
+    /// Re-warm the cache from an exported state. The snapshot
+    /// generation must not be behind the live one (a drift trip after
+    /// capture must not be undone); entries whose configuration is no
+    /// longer in `shipped` are skipped, as are entries that would
+    /// overflow a bounded shard (restore never evicts live entries).
+    /// Entries re-route through the *current* shard function, so a
+    /// snapshot taken under a different shard count still restores.
+    /// Bloom counters apply only when the live filter has the same
+    /// geometry; otherwise they are left cold and
+    /// [`crate::persist::CacheRestoreStats::bloom_restored`] is false.
+    pub fn restore_state(
+        &self,
+        state: &crate::persist::CacheState,
+        shipped: &[usize],
+    ) -> std::result::Result<crate::persist::CacheRestoreStats, String> {
+        let live = self.generation.load(Ordering::Acquire);
+        if state.generation < live {
+            return Err(format!(
+                "cache generation regression: snapshot {} < live {}",
+                state.generation, live
+            ));
+        }
+        self.generation.store(state.generation, Ordering::Release);
+        let max_tick = state.shards.iter().map(|s| s.tick).max().unwrap_or(0);
+        for shard in &self.shards {
+            let current = shard.tick.load(Ordering::Relaxed);
+            shard.tick.store(current.max(max_tick), Ordering::Relaxed);
+        }
+        let mut restored = 0u64;
+        let mut skipped = 0u64;
+        for saved_shard in &state.shards {
+            for entry in &saved_shard.entries {
+                if !shipped.contains(&entry.config_index) {
+                    skipped += 1;
+                    continue;
+                }
+                let shard = self.shard_of(&entry.shape);
+                let mut map = shard.map.write();
+                if self.per_shard_capacity > 0
+                    && map.len() >= self.per_shard_capacity
+                    && !map.contains_key(&entry.shape)
+                {
+                    skipped += 1;
+                    continue;
+                }
+                map.insert(
+                    entry.shape,
+                    CacheEntry {
+                        generation: state.generation,
+                        config_index: entry.config_index,
+                        last_used: AtomicU64::new(entry.last_used),
+                    },
+                );
+                restored += 1;
+            }
+        }
+        let bloom_restored = match (&self.bloom, &state.bloom) {
+            (Some(live), Some(saved))
+                if live.counters.len() == saved.counters.len() && live.hashes == saved.hashes =>
+            {
+                for (counter, &value) in live.counters.iter().zip(&saved.counters) {
+                    counter.store(value.min(u8::MAX as u64) as u8, Ordering::Relaxed);
+                }
+                live.observed.store(saved.observed, Ordering::Relaxed);
+                true
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        Ok(crate::persist::CacheRestoreStats {
+            entries_restored: restored,
+            entries_skipped: skipped,
+            bloom_restored,
+        })
+    }
 }
 
 /// Number of log2 latency buckets: bucket `i` counts samples in
@@ -509,6 +629,24 @@ impl LatencyHistogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Overwrite the histogram from saved bucket counts (the snapshot
+    /// restore path). Returns false — leaving the histogram untouched —
+    /// unless `counts` has exactly [`LATENCY_BUCKETS`] entries. The
+    /// total is recomputed from the buckets (saturating), keeping
+    /// quantile reads internally consistent whatever the counts were.
+    pub fn restore_counts(&self, counts: &[u64]) -> bool {
+        if counts.len() != self.buckets.len() {
+            return false;
+        }
+        let mut total = 0u64;
+        for (bucket, &n) in self.buckets.iter().zip(counts) {
+            bucket.store(n, Ordering::Relaxed);
+            total = total.saturating_add(n);
+        }
+        self.count.store(total, Ordering::Relaxed);
+        true
     }
 }
 
@@ -796,6 +934,90 @@ impl SelectionTelemetry {
             decision_p50_ns: self.decision_latency.p50(),
             decision_p99_ns: self.decision_latency.p99(),
         }
+    }
+
+    /// Export every counter and the latency histogram for
+    /// `core::persist` snapshots.
+    pub fn export_state(&self) -> crate::persist::TelemetryState {
+        crate::persist::TelemetryState {
+            hits: self.hits(),
+            misses: self.misses(),
+            hit_nanos: self.hit_nanos.load(Ordering::Relaxed),
+            miss_nanos: self.miss_nanos.load(Ordering::Relaxed),
+            shipped: self.shipped.clone(),
+            picks: self
+                .picks
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+            resilient_launches: self.resilient_launches(),
+            launch_failures: self.launch_failures(),
+            retries: self.retries(),
+            breaker_trips: self.breaker_trips(),
+            quarantine_skips: self.quarantine_skips(),
+            fallback_next_best: self.fallback_next_best(),
+            fallback_reference: self.fallback_reference(),
+            fallback_skipped_invalid: self.fallback_skipped_invalid(),
+            reward_updates: self.reward_updates(),
+            drift_events: self.drift_events(),
+            adaptive_picks: self.adaptive_picks(),
+            stale_rewards_dropped: self.stale_rewards_dropped(),
+            latency_buckets: self.decision_latency.bucket_counts(),
+        }
+    }
+
+    /// Overwrite every counter from an exported state, so restart-
+    /// spanning reports stay cumulative. The snapshot's shipped set and
+    /// histogram geometry must match the live block exactly.
+    pub fn restore_state(
+        &self,
+        state: &crate::persist::TelemetryState,
+    ) -> std::result::Result<(), String> {
+        if state.shipped != self.shipped || state.picks.len() != self.picks.len() {
+            return Err(format!(
+                "telemetry shipped-set mismatch: snapshot has {} slots, live block {}",
+                state.picks.len(),
+                self.picks.len()
+            ));
+        }
+        if !self.decision_latency.restore_counts(&state.latency_buckets) {
+            return Err(format!(
+                "latency histogram geometry mismatch: snapshot has {} buckets, live {}",
+                state.latency_buckets.len(),
+                LATENCY_BUCKETS
+            ));
+        }
+        self.hits.store(state.hits, Ordering::Relaxed);
+        self.misses.store(state.misses, Ordering::Relaxed);
+        self.hit_nanos.store(state.hit_nanos, Ordering::Relaxed);
+        self.miss_nanos.store(state.miss_nanos, Ordering::Relaxed);
+        for (pick, &n) in self.picks.iter().zip(&state.picks) {
+            pick.store(n, Ordering::Relaxed);
+        }
+        self.resilient_launches
+            .store(state.resilient_launches, Ordering::Relaxed);
+        self.launch_failures
+            .store(state.launch_failures, Ordering::Relaxed);
+        self.retries.store(state.retries, Ordering::Relaxed);
+        self.breaker_trips
+            .store(state.breaker_trips, Ordering::Relaxed);
+        self.quarantine_skips
+            .store(state.quarantine_skips, Ordering::Relaxed);
+        self.fallback_next_best
+            .store(state.fallback_next_best, Ordering::Relaxed);
+        self.fallback_reference
+            .store(state.fallback_reference, Ordering::Relaxed);
+        self.fallback_skipped_invalid
+            .store(state.fallback_skipped_invalid, Ordering::Relaxed);
+        self.reward_updates
+            .store(state.reward_updates, Ordering::Relaxed);
+        self.drift_events
+            .store(state.drift_events, Ordering::Relaxed);
+        self.adaptive_picks
+            .store(state.adaptive_picks, Ordering::Relaxed);
+        self.stale_rewards_dropped
+            .store(state.stale_rewards_dropped, Ordering::Relaxed);
+        Ok(())
     }
 }
 

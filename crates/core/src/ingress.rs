@@ -43,6 +43,7 @@
 //! this).
 
 use crate::cache::LatencyHistogram;
+use crate::persist::{RestoreOutcome, Snapshot, SnapshotterConfig};
 use crate::sched::{GemmRequest, ShardedScheduler};
 use crate::{CoreError, Result};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -101,6 +102,9 @@ pub enum ShedReason {
     /// The deadline passed while the request was queued (or already at
     /// submit).
     DeadlineExpired,
+    /// The ingress was draining for shutdown and the drain deadline
+    /// passed before this request reached a device.
+    Shutdown,
 }
 
 /// What `submit` did with a request.
@@ -231,6 +235,13 @@ struct Shared {
     latency: [LatencyHistogram; PRIORITY_CLASSES],
     /// Requests currently queued, per tenant.
     tenants: Mutex<HashMap<u32, usize>>,
+    shed_shutdown: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_errors: AtomicU64,
+    /// Set by [`IngressHandle::shutdown`]: once this instant passes,
+    /// the dispatcher sheds dequeued work instead of serving it. `None`
+    /// means no drain in progress (or an unbounded drain).
+    drain_deadline: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -251,6 +262,10 @@ impl Shared {
                 LatencyHistogram::new(),
             ],
             tenants: Mutex::new(HashMap::new()),
+            shed_shutdown: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+            drain_deadline: Mutex::new(None),
         }
     }
 
@@ -265,6 +280,7 @@ impl Shared {
             ShedReason::TenantQuota => self.shed_tenant.fetch_add(1, Ordering::Relaxed),
             ShedReason::QueueFull => self.shed_queue.fetch_add(1, Ordering::Relaxed),
             ShedReason::DeadlineExpired => self.shed_deadline.fetch_add(1, Ordering::Relaxed),
+            ShedReason::Shutdown => self.shed_shutdown.fetch_add(1, Ordering::Relaxed),
         };
         Self::bump(&self.class_shed, priority);
         SubmitOutcome::Shed(reason)
@@ -316,6 +332,15 @@ pub struct IngressReport {
     pub shed_queue_full: u64,
     /// Requests shed because their deadline expired in the queue.
     pub shed_deadline: u64,
+    /// Requests shed because the drain deadline passed during
+    /// shutdown.
+    pub shed_shutdown: u64,
+    /// Snapshots the background snapshotter persisted (0 unless the
+    /// ingress was started with a [`SnapshotterConfig`]).
+    pub snapshots_written: u64,
+    /// Snapshot writes that failed (the stream keeps serving; the
+    /// previous on-disk snapshot stays intact).
+    pub snapshot_errors: u64,
     /// Per-class accounting and tail latency.
     pub classes: Vec<ClassReport>,
     /// Scheduler waves executed by the dispatcher (0 until `finish`).
@@ -328,7 +353,7 @@ pub struct IngressReport {
 impl IngressReport {
     /// Total shed requests, all reasons.
     pub fn shed_total(&self) -> u64 {
-        self.shed_tenant_quota + self.shed_queue_full + self.shed_deadline
+        self.shed_tenant_quota + self.shed_queue_full + self.shed_deadline + self.shed_shutdown
     }
 
     /// The zero-silent-drop invariant: every submitted request was
@@ -422,6 +447,55 @@ impl IngressHandle {
             }
         }
     }
+
+    /// Begin a graceful drain: requests already queued keep being
+    /// served until `deadline` from now; anything still queued after
+    /// that is shed with [`ShedReason::Shutdown`] (typed, counted —
+    /// never silently dropped). Callable from any handle clone; the
+    /// accounting identity `submitted == served + shed` still holds at
+    /// [`Ingress::finish`] / [`Ingress::shutdown`]. On the (theoretical)
+    /// overflow of `Instant`, the drain is unbounded — everything
+    /// queued is served.
+    pub fn shutdown(&self, deadline: Duration) {
+        *self.shared.drain_deadline.lock() = Instant::now().checked_add(deadline);
+    }
+}
+
+/// The dispatcher-side background snapshotter: captures the fleet
+/// every [`SnapshotterConfig::every_chunks`] served chunks and once
+/// more on drain, writing atomically via [`Snapshot::save`]. A failed
+/// write is counted and serving continues — the previous on-disk
+/// snapshot stays valid.
+struct Snapshotter {
+    config: SnapshotterConfig,
+    /// Sequence number stamped into the next snapshot (restored runs
+    /// continue from the loaded snapshot's `seq + 1`).
+    next_seq: u64,
+    chunks: u64,
+}
+
+impl Snapshotter {
+    fn write(&mut self, scheduler: &ShardedScheduler, shared: &Shared) {
+        let snapshot = Snapshot::new(&self.config.device)
+            .with_seq(self.next_seq)
+            .capture_fleet(scheduler);
+        match snapshot.save(&self.config.path) {
+            Ok(()) => {
+                self.next_seq = self.next_seq.saturating_add(1);
+                shared.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn after_chunk(&mut self, scheduler: &ShardedScheduler, shared: &Shared) {
+        self.chunks += 1;
+        if self.config.every_chunks > 0 && self.chunks.is_multiple_of(self.config.every_chunks) {
+            self.write(scheduler, shared);
+        }
+    }
 }
 
 /// What the dispatcher thread hands back when the stream drains.
@@ -452,12 +526,69 @@ impl Ingress {
     /// Start the ingress over `scheduler`: spawns the dispatcher
     /// thread, which owns the scheduler until [`Ingress::finish`].
     pub fn start(scheduler: ShardedScheduler, config: IngressConfig) -> Self {
+        Self::start_inner(scheduler, config, None)
+    }
+
+    /// [`Ingress::start`] with a background snapshotter: the dispatcher
+    /// persists the fleet's learned state to `snapshots.path` every
+    /// `snapshots.every_chunks` chunks (atomic temp-file + fsync +
+    /// rename) and once more when the stream drains, so a crash costs
+    /// at most one cadence of learning.
+    pub fn start_with_snapshots(
+        scheduler: ShardedScheduler,
+        config: IngressConfig,
+        snapshots: SnapshotterConfig,
+    ) -> Self {
+        let snapshotter = Snapshotter {
+            config: snapshots,
+            next_seq: 1,
+            chunks: 0,
+        };
+        Self::start_inner(scheduler, config, Some(snapshotter))
+    }
+
+    /// Warm restart: load the last snapshot from `snapshots.path`,
+    /// restore it into `scheduler` ([`Snapshot::restore_fleet`]
+    /// semantics — corruption-tolerant, typed), and start serving with
+    /// the snapshotter continuing from the restored sequence number.
+    /// An unreadable or unusable snapshot degrades to a cold start with
+    /// the typed reason in the returned [`RestoreOutcome`] — the
+    /// ingress always starts.
+    pub fn start_restored(
+        mut scheduler: ShardedScheduler,
+        config: IngressConfig,
+        snapshots: SnapshotterConfig,
+    ) -> (Self, RestoreOutcome) {
+        let (outcome, next_seq) = match Snapshot::load(&snapshots.path) {
+            Ok(snapshot) => {
+                let outcome = snapshot.restore_fleet(&mut scheduler, &snapshots.device);
+                (outcome, snapshot.seq.saturating_add(1))
+            }
+            Err(error) => (RestoreOutcome::ColdStart { error }, 1),
+        };
+        let snapshotter = Snapshotter {
+            config: snapshots,
+            next_seq,
+            chunks: 0,
+        };
+        (
+            Self::start_inner(scheduler, config, Some(snapshotter)),
+            outcome,
+        )
+    }
+
+    fn start_inner(
+        scheduler: ShardedScheduler,
+        config: IngressConfig,
+        snapshotter: Option<Snapshotter>,
+    ) -> Self {
         let shared = Arc::new(Shared::new());
         let (sender, receiver) = channel::bounded(config.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
         let chunk = config.dispatch_chunk.max(1);
-        let worker =
-            std::thread::spawn(move || dispatch(scheduler, receiver, worker_shared, chunk));
+        let worker = std::thread::spawn(move || {
+            dispatch(scheduler, receiver, worker_shared, chunk, snapshotter)
+        });
         Ingress {
             handle: IngressHandle {
                 sender,
@@ -486,23 +617,57 @@ impl Ingress {
         report_from(&self.shared, 0, false)
     }
 
-    /// Close the primary handle, wait for the dispatcher to drain the
-    /// queue, and return the exact report plus the scheduler.
-    pub fn finish(self) -> Result<(IngressReport, ShardedScheduler)> {
-        let Ingress {
-            handle,
-            shared,
-            mut worker,
-        } = self;
-        drop(handle);
-        let worker = worker
+    /// Replace the primary handle's sender with a disconnected dummy,
+    /// dropping the real one — once every cloned handle is gone too,
+    /// the dispatcher sees the channel close and drains.
+    fn close_sender(&mut self) {
+        let (closed, _) = channel::bounded(1);
+        drop(std::mem::replace(&mut self.handle.sender, closed));
+    }
+
+    fn join_worker(&mut self) -> Result<(IngressReport, ShardedScheduler)> {
+        let worker = self
+            .worker
             .take()
             .ok_or_else(|| CoreError::Dataset("ingress finish called twice".into()))?;
+        self.close_sender();
         let outcome = worker
             .join()
             .map_err(|_| CoreError::Dataset("ingress dispatcher thread died".into()))??;
-        let report = report_from(&shared, outcome.waves, outcome.fleet_degraded);
+        let report = report_from(&self.shared, outcome.waves, outcome.fleet_degraded);
         Ok((report, outcome.scheduler))
+    }
+
+    /// Close the primary handle, wait for the dispatcher to drain the
+    /// queue, and return the exact report plus the scheduler.
+    pub fn finish(mut self) -> Result<(IngressReport, ShardedScheduler)> {
+        self.join_worker()
+    }
+
+    /// Graceful shutdown: serve what is already queued for up to
+    /// `deadline`, shed the rest typed ([`ShedReason::Shutdown`]), take
+    /// a final snapshot (when a snapshotter is configured), and join
+    /// the dispatcher thread. The returned report is exact:
+    /// `submitted == served + shed`.
+    pub fn shutdown(mut self, deadline: Duration) -> Result<(IngressReport, ShardedScheduler)> {
+        self.handle.shutdown(deadline);
+        self.join_worker()
+    }
+}
+
+impl Drop for Ingress {
+    /// A dropped ingress no longer leaks its dispatcher thread: the
+    /// primary sender is closed and the thread joined (once any cloned
+    /// handles are gone). The report and scheduler are discarded — use
+    /// [`Ingress::finish`] or [`Ingress::shutdown`] to keep them.
+    fn drop(&mut self) {
+        if self.worker.is_none() {
+            return; // finish()/shutdown() already joined
+        }
+        self.close_sender();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -536,6 +701,9 @@ fn report_from(shared: &Shared, waves: u64, fleet_degraded: bool) -> IngressRepo
         shed_tenant_quota: shared.shed_tenant.load(Ordering::Relaxed),
         shed_queue_full: shared.shed_queue.load(Ordering::Relaxed),
         shed_deadline: shared.shed_deadline.load(Ordering::Relaxed),
+        shed_shutdown: shared.shed_shutdown.load(Ordering::Relaxed),
+        snapshots_written: shared.snapshots_written.load(Ordering::Relaxed),
+        snapshot_errors: shared.snapshot_errors.load(Ordering::Relaxed),
         classes,
         waves,
         fleet_degraded,
@@ -543,12 +711,15 @@ fn report_from(shared: &Shared, waves: u64, fleet_degraded: bool) -> IngressRepo
 }
 
 /// The dispatcher loop: drain the channel in chunks, shed expired
-/// deadlines, serve the rest, record per-class latency.
+/// deadlines (and everything past the drain deadline during shutdown),
+/// serve the rest, record per-class latency, snapshot at the
+/// configured cadence and once more on drain.
 fn dispatch(
     mut scheduler: ShardedScheduler,
     receiver: Receiver<Envelope>,
     shared: Arc<Shared>,
     chunk_size: usize,
+    mut snapshotter: Option<Snapshotter>,
 ) -> Result<DispatchOutcome> {
     let mut waves = 0u64;
     let mut fleet_degraded = false;
@@ -565,12 +736,17 @@ fn dispatch(
             }
         }
 
-        // Dequeued: release tenant slots, shed expired deadlines.
+        // Dequeued: release tenant slots, shed expired deadlines and —
+        // when a graceful drain has run past its deadline — everything
+        // else (typed as Shutdown, so the accounting identity holds).
         let now = Instant::now();
+        let draining = shared.drain_deadline.lock().is_some_and(|d| d <= now);
         let mut kept: Vec<Envelope> = Vec::with_capacity(envelopes.len());
         for envelope in envelopes {
             shared.release_tenant(envelope.tenant);
-            if envelope.deadline.is_some_and(|d| d <= now) {
+            if draining {
+                shared.shed(envelope.priority, ShedReason::Shutdown);
+            } else if envelope.deadline.is_some_and(|d| d <= now) {
                 shared.shed(envelope.priority, ShedReason::DeadlineExpired);
             } else {
                 kept.push(envelope);
@@ -602,6 +778,14 @@ fn dispatch(
         shared
             .served
             .fetch_add(kept.len() as u64, Ordering::Relaxed);
+        if let Some(snapshotter) = snapshotter.as_mut() {
+            snapshotter.after_chunk(&scheduler, &shared);
+        }
+    }
+    // Final snapshot on drain: shutdown never loses more learning than
+    // the last chunk.
+    if let Some(snapshotter) = snapshotter.as_mut() {
+        snapshotter.write(&scheduler, &shared);
     }
     Ok(DispatchOutcome {
         scheduler,

@@ -29,7 +29,10 @@
 //! Page–Hinkley drift detection over measured launch times, and
 //! [`sched`] shards a serving stream across a fleet of per-device
 //! executor stacks with batching, routing policies, bounded queues and
-//! failure drain.
+//! failure drain, and [`persist`] makes the learned serving state
+//! durable: versioned checksummed snapshots written atomically at a
+//! background cadence, restored corruption-tolerantly on startup, and
+//! transplantable across devices for cross-device warm start.
 
 #![warn(missing_docs)]
 
@@ -42,6 +45,7 @@ pub mod evaluate;
 pub mod ingress;
 pub mod libsize;
 pub mod online;
+pub mod persist;
 pub mod pipeline;
 pub mod prune;
 pub mod regression;
@@ -60,6 +64,10 @@ pub use ingress::{
     SubmitOutcome, TenantQuota,
 };
 pub use online::{OnlineConfig, OnlineSelector, OnlineStats};
+pub use persist::{
+    RestoreOutcome, Snapshot, SnapshotError, SnapshotFault, SnapshotFaultInjector,
+    SnapshotterConfig,
+};
 pub use pipeline::{PipelineConfig, TuningPipeline};
 pub use prune::PruneMethod;
 pub use regression::{RegressionParams, RegressionSelector};

@@ -472,6 +472,125 @@ impl OnlineSelector {
         }
     }
 
+    /// Export the full learned state — per-cluster arms, drift
+    /// detector, generation, stage — for `core::persist` snapshots.
+    /// Clusters are emitted in sorted key order so the encoding is
+    /// deterministic (snapshot CRCs are stable across captures of the
+    /// same state).
+    pub fn export_state(&self) -> crate::persist::OnlineState {
+        let inner = self.inner.lock();
+        let mut clusters: Vec<crate::persist::ClusterSnapshot> = inner
+            .clusters
+            .iter()
+            .map(|(key, cluster)| crate::persist::ClusterSnapshot {
+                key: *key,
+                arms: cluster
+                    .arms
+                    .iter()
+                    .map(|a| crate::persist::ArmState {
+                        prior: a.prior,
+                        pulls: a.pulls,
+                        completions: a.completions,
+                        sum_duration_s: a.sum_duration_s,
+                        disabled: a.disabled,
+                    })
+                    .collect(),
+            })
+            .collect();
+        clusters.sort_by_key(|c| c.key);
+        crate::persist::OnlineState {
+            adaptive: self.is_adaptive(),
+            generation: self.generation(),
+            shipped: self.shipped.clone(),
+            ph_n: inner.ph.n as u64,
+            ph_mean_x: inner.ph.mean_x,
+            ph_m: inner.ph.m,
+            ph_min_m: inner.ph.min_m,
+            clusters,
+        }
+    }
+
+    /// Apply a previously exported state. Validates before touching
+    /// anything: the shipped set must match exactly, the snapshot
+    /// generation must not be older than the live one (monotonicity —
+    /// a restored reward stream must never resurrect a pre-drift
+    /// regime), and the drift-detector registers must be finite.
+    /// Individual clusters whose arms are malformed (wrong arity,
+    /// non-finite or negative statistics, `completions > pulls`) are
+    /// dropped rather than poisoning the bandit; the return value is
+    /// the number of clusters dropped. A restored adaptive selector
+    /// resumes in the adaptive stage with its evidence intact.
+    pub fn restore_state(
+        &self,
+        state: &crate::persist::OnlineState,
+    ) -> std::result::Result<u64, String> {
+        if state.shipped != self.shipped {
+            return Err(format!(
+                "shipped set mismatch: snapshot has {} configs, live selector {}",
+                state.shipped.len(),
+                self.shipped.len()
+            ));
+        }
+        if state.generation < self.generation() {
+            return Err(format!(
+                "generation regression: snapshot {} < live {}",
+                state.generation,
+                self.generation()
+            ));
+        }
+        if state.ph_n > u32::MAX as u64
+            || !state.ph_mean_x.is_finite()
+            || !state.ph_m.is_finite()
+            || !state.ph_min_m.is_finite()
+        {
+            return Err("drift-detector registers out of range".to_string());
+        }
+        let mut dropped = 0u64;
+        let mut clusters = HashMap::new();
+        for cluster in &state.clusters {
+            let valid = cluster.arms.len() == self.shipped.len()
+                && cluster.arms.iter().all(|a| {
+                    a.prior.is_finite()
+                        && a.prior >= 0.0
+                        && a.sum_duration_s.is_finite()
+                        && a.sum_duration_s >= 0.0
+                        && a.completions <= a.pulls
+                });
+            if !valid {
+                dropped += 1;
+                continue;
+            }
+            clusters.insert(
+                cluster.key,
+                ClusterState {
+                    arms: cluster
+                        .arms
+                        .iter()
+                        .map(|a| Arm {
+                            prior: a.prior,
+                            pulls: a.pulls,
+                            completions: a.completions,
+                            sum_duration_s: a.sum_duration_s,
+                            disabled: a.disabled,
+                        })
+                        .collect(),
+                },
+            );
+        }
+        let mut inner = self.inner.lock();
+        inner.clusters = clusters;
+        inner.ph = PageHinkley {
+            n: state.ph_n as u32,
+            mean_x: state.ph_mean_x,
+            m: state.ph_m,
+            min_m: state.ph_min_m,
+        };
+        drop(inner);
+        self.generation.store(state.generation, Ordering::Release);
+        self.adaptive.store(state.adaptive, Ordering::Release);
+        Ok(dropped)
+    }
+
     /// Declare drift now, regardless of the detector — for operators
     /// who *know* the device changed (e.g. a scheduled swap).
     pub fn force_drift(&self) {

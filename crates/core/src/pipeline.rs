@@ -259,6 +259,30 @@ impl TuningPipeline {
         Ok((executor, online))
     }
 
+    /// [`TuningPipeline::adaptive_executor`] warm-restarted from a
+    /// `core::persist` snapshot: the stack is built cold, then the
+    /// snapshot's online/cache/telemetry sections are applied
+    /// ([`crate::Snapshot::restore_stack`] semantics —
+    /// corruption-tolerant, device-fingerprint-checked). The typed
+    /// [`crate::RestoreOutcome`] reports exactly what was recovered; on
+    /// `ColdStart` the returned stack is simply the cold one, so the
+    /// caller always gets a serving executor.
+    pub fn warm_adaptive_executor(
+        &self,
+        queue: Queue,
+        policy: ResilientPolicy,
+        config: OnlineConfig,
+        snapshot: &crate::Snapshot,
+    ) -> Result<(
+        ResilientExecutor,
+        Arc<OnlineSelector>,
+        crate::RestoreOutcome,
+    )> {
+        let (executor, online) = self.adaptive_executor(queue, policy, config)?;
+        let outcome = snapshot.restore_stack(&online, executor.queue().device());
+        Ok((executor, online, outcome))
+    }
+
     /// Build a [`ResilientExecutor`] for a *serving* device that may
     /// differ from the training device: the kernel-space analyzer runs
     /// on `queue`'s device so the fallback chain is filtered against

@@ -444,6 +444,112 @@ impl ShardedScheduler {
         self.shards.get(index).map(|s| &s.shard)
     }
 
+    /// Export every shard's durable state — measured cost model,
+    /// health, condemnation stamp, and the nested
+    /// online/cache/telemetry blocks — for `core::persist` snapshots.
+    pub fn export_state(&self) -> crate::persist::FleetState {
+        let shards = self
+            .shards
+            .iter()
+            .map(|state| {
+                let serving = state.shard.executor.selector();
+                crate::persist::FleetShardState {
+                    label: state.shard.label.clone(),
+                    device_crc: crate::persist::device_fingerprint(
+                        state.shard.executor.queue().device(),
+                    ),
+                    alive: state.alive,
+                    served: state.served,
+                    batches: state.batches,
+                    reference_fallbacks: state.reference_fallbacks,
+                    flops_done: state.flops_done,
+                    elapsed_s: (state.shard.clock.now_s() - state.clock_origin).max(0.0),
+                    condemned_seq: state.condemned_seq,
+                    online: state.shard.online.as_ref().map(|o| o.export_state()),
+                    cache: serving.cache().export_state(),
+                    telemetry: serving.telemetry().export_state(),
+                }
+            })
+            .collect();
+        crate::persist::FleetState {
+            condemn_counter: self.condemn_counter,
+            shards,
+        }
+    }
+
+    /// Apply a fleet snapshot to this scheduler. Shards match by label;
+    /// every piece validates independently and a failure drops only
+    /// that piece, returning its `fleet.<label>.<piece>` name. A
+    /// snapshot shard whose device fingerprint differs from the live
+    /// shard's is skipped wholesale (its learned state describes other
+    /// silicon). Cost-model restore rewinds `clock_origin` so the
+    /// measured throughput — completed FLOPs over elapsed device time —
+    /// survives the restart instead of resetting to the static peak.
+    /// If a restore would leave the whole fleet condemned, the most
+    /// recently condemned shard is revived (the same never-drain-all
+    /// invariant `serve` maintains) and `fleet.liveness` is reported.
+    pub fn restore_state(&mut self, state: &crate::persist::FleetState) -> Vec<String> {
+        let mut dropped = Vec::new();
+        for saved in &state.shards {
+            let Some(live) = self
+                .shards
+                .iter_mut()
+                .find(|s| s.shard.label == saved.label)
+            else {
+                dropped.push(format!("fleet.{}", saved.label));
+                continue;
+            };
+            let live_crc = crate::persist::device_fingerprint(live.shard.executor.queue().device());
+            if live_crc != saved.device_crc {
+                dropped.push(format!("fleet.{}.device", saved.label));
+                continue;
+            }
+            if saved.flops_done.is_finite()
+                && saved.flops_done >= 0.0
+                && saved.elapsed_s.is_finite()
+                && saved.elapsed_s >= 0.0
+            {
+                live.flops_done = saved.flops_done;
+                live.clock_origin = live.shard.clock.now_s() - saved.elapsed_s;
+            } else {
+                dropped.push(format!("fleet.{}.cost-model", saved.label));
+            }
+            live.alive = saved.alive;
+            live.served = saved.served;
+            live.batches = saved.batches;
+            live.reference_fallbacks = saved.reference_fallbacks;
+            live.condemned_seq = saved.condemned_seq;
+            match (&live.shard.online, &saved.online) {
+                (Some(online), Some(saved_online))
+                    if online.restore_state(saved_online).is_err() =>
+                {
+                    dropped.push(format!("fleet.{}.online", saved.label));
+                }
+                (Some(_), None) => dropped.push(format!("fleet.{}.online", saved.label)),
+                _ => {}
+            }
+            let serving = live.shard.executor.selector();
+            match serving
+                .cache()
+                .restore_state(&saved.cache, serving.selector().configs())
+            {
+                Ok(stats) if stats.entries_skipped == 0 && stats.bloom_restored => {}
+                _ => dropped.push(format!("fleet.{}.cache", saved.label)),
+            }
+            if serving.telemetry().restore_state(&saved.telemetry).is_err() {
+                dropped.push(format!("fleet.{}.telemetry", saved.label));
+            }
+        }
+        self.condemn_counter = self.condemn_counter.max(state.condemn_counter);
+        if self.shards.iter().all(|s| !s.alive) {
+            if let Some(revived) = self.shards.iter_mut().max_by_key(|s| s.condemned_seq) {
+                revived.alive = true;
+            }
+            dropped.push("fleet.liveness".to_string());
+        }
+        dropped
+    }
+
     /// Serve a request stream to completion.
     pub fn serve(&mut self, requests: &[GemmRequest]) -> Result<SchedReport> {
         self.serve_inner(requests, None)

@@ -1,0 +1,155 @@
+//! Crash recovery demo: durable serving state surviving a hard kill.
+//!
+//! A pipeline trains on the AMD R9 Nano and serves through an
+//! [`autokernel::core::Ingress`] front door whose dispatcher snapshots
+//! the fleet's learned state — bandit arms, drift generation, warm
+//! decision cache, telemetry, measured cost models — to disk at a
+//! configurable chunk cadence (atomic temp-file + rename writes). The
+//! serving device is a desktop GPU the offline model never saw, so
+//! drift trips and the online layer relearns live. Mid-stream the
+//! process "crashes" (the ingress is dropped, its report is lost);
+//! a completely fresh stack then warm-restarts from the last snapshot
+//! via [`autokernel::core::Ingress::start_restored`] and resumes
+//! serving at oracle level immediately, while a cold stack would pay
+//! the whole adaptation price again. A deliberately corrupted snapshot
+//! shows the typed degraded path: bad sections are salvaged around or
+//! the restore falls back to a cold start — never a panic.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use autokernel::core::resilient::ResilientPolicy;
+use autokernel::core::{
+    DeviceShard, GemmRequest, Ingress, IngressConfig, IngressRequest, OnlineConfig,
+    PerformanceDataset, PipelineConfig, RestoreOutcome, SchedConfig, ShardedScheduler, Snapshot,
+    SnapshotFault, SnapshotFaultInjector, SnapshotterConfig, TuningPipeline,
+};
+use autokernel::gemm::GemmShape;
+use autokernel::sim::{DeviceSpec, Queue};
+use std::sync::Arc;
+
+fn shapes() -> Vec<(GemmShape, String)> {
+    [
+        (64, 64, 64),
+        (512, 512, 512),
+        (1, 4096, 1000),
+        (12544, 27, 64),
+        (196, 2304, 256),
+        (3136, 144, 24),
+        (49, 960, 160),
+        (784, 1152, 128),
+        (32, 4096, 4096),
+        (2, 2048, 1000),
+        (6272, 576, 128),
+        (1024, 1024, 1024),
+    ]
+    .iter()
+    .map(|&(m, k, n)| (GemmShape::new(m, k, n), "conv/fc".to_string()))
+    .collect()
+}
+
+fn gpu_shard(pipeline: &TuningPipeline, label: &str) -> DeviceShard {
+    let queue = Queue::timing_only(Arc::new(DeviceSpec::desktop_gpu()));
+    let (exec, online) = pipeline
+        .device_adaptive_executor(queue, ResilientPolicy::default(), OnlineConfig::default())
+        .expect("adaptive shard builds");
+    // The serving device differs from the training substrate; declare
+    // drift up front so the bandit learns the GPU from launch one, as
+    // an operator rolling out new hardware would.
+    online.force_drift();
+    DeviceShard::new(label, exec)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nano = DeviceSpec::amd_r9_nano();
+    let gpu = DeviceSpec::desktop_gpu();
+    let dir =
+        std::env::temp_dir().join(format!("autokernel-crash-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let snap_path = dir.join("serving.snap");
+
+    println!("training the pipeline on {} ...", nano.name);
+    let dataset = PerformanceDataset::collect(&nano, &shapes())?;
+    let pipeline = TuningPipeline::from_dataset(dataset.clone(), PipelineConfig::default())?;
+    let pool: Vec<GemmShape> = dataset.shapes.clone();
+
+    // --- Phase 1: serve with background snapshotting, then crash. ---
+    let config = IngressConfig {
+        dispatch_chunk: 16,
+        ..IngressConfig::default()
+    };
+    let snapshots = SnapshotterConfig::new(&snap_path, gpu.clone()).with_cadence(2);
+    let sched = ShardedScheduler::new(vec![gpu_shard(&pipeline, "gpu-0")], SchedConfig::default())?;
+    let ingress = Ingress::start_with_snapshots(sched, config, snapshots.clone());
+    println!(
+        "phase 1: serving 20 rounds on {} with snapshots every 2 chunks ...",
+        gpu.name
+    );
+    for round in 0..20usize {
+        for &shape in &pool {
+            ingress.submit(IngressRequest::new(GemmRequest::zeroed(shape)))?;
+        }
+        if round == 19 {
+            println!("phase 1: killing the process mid-stream (report lost)");
+        }
+    }
+    drop(ingress); // the crash: only the snapshot file survives
+    println!(
+        "phase 1: crashed; last snapshot on disk: {} ({} bytes)",
+        snap_path.display(),
+        std::fs::metadata(&snap_path)?.len()
+    );
+
+    // --- Phase 2: warm restart a fresh stack from the snapshot. ---
+    let fresh_pipeline = TuningPipeline::from_dataset(dataset.clone(), PipelineConfig::default())?;
+    let sched = ShardedScheduler::new(
+        vec![gpu_shard(&fresh_pipeline, "gpu-0")],
+        SchedConfig::default(),
+    )?;
+    let (ingress, outcome) = Ingress::start_restored(sched, config, snapshots.clone());
+    println!("phase 2: restore outcome: {outcome:?}");
+    for _ in 0..5usize {
+        for &shape in &pool {
+            ingress.submit(IngressRequest::new(GemmRequest::zeroed(shape)))?;
+        }
+    }
+    let (report, sched) = ingress.finish()?;
+    let fleet = sched.export_state();
+    println!(
+        "phase 2: submitted {} served {} shed {} (accounted: {}), \
+         cumulative shard served across the restart: {}",
+        report.submitted,
+        report.served,
+        report.shed_total(),
+        report.accounted(),
+        fleet.shards[0].served,
+    );
+
+    // --- Phase 3: the corruption-tolerant path. ---
+    let injector = SnapshotFaultInjector::new(42);
+    for fault in [
+        SnapshotFault::BitFlips { count: 6 },
+        SnapshotFault::Truncate { keep_fraction: 0.4 },
+    ] {
+        let hurt = dir.join(format!("{}.snap", fault.label()));
+        std::fs::copy(&snap_path, &hurt)?;
+        injector.inject(&hurt, &fault)?;
+        let sched = ShardedScheduler::new(
+            vec![gpu_shard(&fresh_pipeline, "gpu-0")],
+            SchedConfig::default(),
+        )?;
+        let outcome = match Snapshot::load(&hurt) {
+            Ok(snapshot) => {
+                let mut sched = sched;
+                let o = snapshot.restore_fleet(&mut sched, &gpu);
+                drop(sched);
+                o
+            }
+            Err(error) => RestoreOutcome::ColdStart { error },
+        };
+        println!("phase 3: {:<10} -> {outcome:?}", fault.label());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done: durable state survived the crash; corruption degraded typed");
+    Ok(())
+}

@@ -29,6 +29,8 @@ AUTOKERNEL_BENCH_DIR="${PWD}/${candidate_dir}" \
     cargo bench -q -p autokernel-bench --bench micro_online -- --test
 AUTOKERNEL_BENCH_DIR="${PWD}/${candidate_dir}" \
     cargo bench -q -p autokernel-bench --bench micro_ingress -- --test
+AUTOKERNEL_BENCH_DIR="${PWD}/${candidate_dir}" \
+    cargo bench -q -p autokernel-bench --bench micro_persist -- --test
 
 if [ "${BLESS:-0}" = "1" ]; then
     echo "==> BLESS=1: overwriting baselines in ${baseline_dir}/"

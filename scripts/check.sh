@@ -78,6 +78,9 @@ cargo run --release --example sharded_serving
 echo "==> ingress serving example (cargo run --release --example ingress_serving)"
 cargo run --release --example ingress_serving
 
+echo "==> crash recovery example (cargo run --release --example crash_recovery)"
+cargo run --release --example crash_recovery
+
 echo "==> bench-regression gate (scripts/bench_gate.sh)"
 scripts/bench_gate.sh
 

@@ -3,9 +3,35 @@
 //!
 //! Floats are printed with Rust's shortest-roundtrip `Display`, so a
 //! serialise → parse cycle reproduces every finite `f64` exactly.
+//! Non-finite floats (NaN, ±inf — they appear in telemetry means and
+//! bandit arm statistics) have no JSON literal; they are written as a
+//! tagged object `{"$f64":"nan"|"inf"|"-inf"}` and collapsed back to
+//! `Value::Num` on parse, so the cycle never panics or errors on them.
 
 pub use serde::Error;
 pub use serde::Value;
+
+/// Key of the tagged-object encoding for non-finite floats.
+const NONFINITE_TAG: &str = "$f64";
+
+fn nonfinite_label(n: f64) -> &'static str {
+    if n.is_nan() {
+        "nan"
+    } else if n > 0.0 {
+        "inf"
+    } else {
+        "-inf"
+    }
+}
+
+fn nonfinite_from_label(label: &str) -> Option<f64> {
+    match label {
+        "nan" => Some(f64::NAN),
+        "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        _ => None,
+    }
+}
 
 /// Serialise to compact JSON.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
@@ -70,9 +96,15 @@ fn write_value(
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Num(n) => {
             if !n.is_finite() {
-                return Err(Error::msg(format!("cannot serialise non-finite {n}")));
+                // Tagged encoding: JSON has no literal for these.
+                out.push_str("{\"");
+                out.push_str(NONFINITE_TAG);
+                out.push_str("\":\"");
+                out.push_str(nonfinite_label(*n));
+                out.push_str("\"}");
+            } else {
+                out.push_str(&n.to_string());
             }
-            out.push_str(&n.to_string());
         }
         Value::Str(s) => write_escaped(s, out),
         Value::Array(items) => {
@@ -280,12 +312,26 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Object(entries));
+                    return Ok(collapse_nonfinite(entries));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
+}
+
+/// Collapse the tagged non-finite encoding back to a number: an object
+/// that is exactly `{"$f64": "<label>"}` with a recognised label parses
+/// as `Value::Num`; anything else stays a plain object.
+fn collapse_nonfinite(entries: Vec<(String, Value)>) -> Value {
+    if let [(key, Value::Str(label))] = entries.as_slice() {
+        if key == NONFINITE_TAG {
+            if let Some(n) = nonfinite_from_label(label) {
+                return Value::Num(n);
+            }
+        }
+    }
+    Value::Object(entries)
 }
 
 #[cfg(test)]
@@ -318,6 +364,43 @@ mod tests {
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s}");
         }
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_via_tagged_encoding() {
+        // Typed round-trip: the tagged object collapses back to Num, so
+        // the existing f64 Deserialize impl sees a plain number.
+        for (x, label) in [
+            (f64::NAN, "nan"),
+            (f64::INFINITY, "inf"),
+            (f64::NEG_INFINITY, "-inf"),
+        ] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(s, format!("{{\"$f64\":\"{label}\"}}"), "{x}");
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s}");
+        }
+        // Nested inside containers, compact and pretty.
+        let v = vec![1.0f64, f64::NAN, f64::NEG_INFINITY];
+        for s in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Vec<f64> = from_str(&s).unwrap();
+            assert_eq!(back.len(), 3);
+            assert_eq!(back[0], 1.0);
+            assert!(back[1].is_nan());
+            assert_eq!(back[2], f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn nonfinite_tag_lookalikes_stay_plain_objects() {
+        // Unrecognised label, extra keys, non-string payload: all parse
+        // as ordinary objects, never as numbers.
+        let v: Value = from_str(r#"{"$f64":"huge"}"#).unwrap();
+        assert_eq!(v["$f64"], "huge");
+        let v: Value = from_str(r#"{"$f64":"nan","extra":1}"#).unwrap();
+        assert_eq!(v["extra"], 1);
+        let v: Value = from_str(r#"{"$f64":3}"#).unwrap();
+        assert_eq!(v["$f64"], 3);
     }
 
     #[test]
