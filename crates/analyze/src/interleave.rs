@@ -1,0 +1,1110 @@
+//! Loom-lite deterministic interleaving model checker.
+//!
+//! The static audit in [`crate::concurrency`] checks that every atomic
+//! site *declares* an ordering contract; this module checks that the
+//! *protocols built from those sites* are actually correct, by
+//! exhaustively exploring thread interleavings of small-bound models of
+//! the hand-rolled primitives:
+//!
+//! - the crossbeam channel shim (bounded queue, two condvars, sender
+//!   disconnect with `notify_all`),
+//! - the `ShardedCache` bounded-LRU insert path with CountingBloom
+//!   admission,
+//! - `LatencyHistogram::record`'s bucket-then-count publication,
+//! - the `OnlineSelector` drift flip (generation bump published before
+//!   the adaptive flag), and
+//! - the ingress `submitted == served + shed` accounting identity with
+//!   tenant hold/release.
+//!
+//! **How it explores.** CHESS-style stateless search: a model is a
+//! deterministic function of a *decision tape*. Every nondeterministic
+//! point — which runnable thread steps next, which visible write a load
+//! observes, which waiter a `notify_one` wakes — calls
+//! [`Trace::choose`], which replays a recorded decision or records a
+//! new zero. After each complete execution the explorer backtracks by
+//! incrementing the last decision that has alternatives left and
+//! truncating the tape after it, re-running the model from scratch.
+//! The search is seed-free, fully deterministic, and exhaustive at the
+//! configured bounds; a violation's counterexample *is* the tape.
+//!
+//! **Memory model.** Mutex-protected state takes coarse atomic critical
+//! sections (sound for data races — interleavings inside a region the
+//! lock serialises are invisible — while still catching protocol bugs:
+//! lost wakeups, missed notifies, check-then-act races). Atomics get an
+//! operational release/acquire model ([`WeakMemory`]): each location
+//! keeps an append-only write history; a `Release` write captures the
+//! writer's view (per-location visibility floors); a load chooses *any*
+//! write at or after the thread's floor, and an `Acquire` load of a
+//! released write joins the writer's captured view. RMWs always read
+//! the latest write (modification-order atomicity) and carry the read
+//! write's view forward, modelling C++20 release sequences. `SeqCst`
+//! is treated as `AcqRel`: the checker models coherence + RA
+//! synchronisation, not the SC total order — none of the audited
+//! protocols rely on it.
+//!
+//! **What the bounds prove.** Exhaustive at 2–3 threads and one or two
+//! operations per thread: enough to exhibit every two-party ordering
+//! bug seeded in the mutation suite (weakened `Release`, reordered
+//! publication, torn read-modify-write, missing `notify_all`, leaked
+//! tenant slot), and small enough to finish in well under a second.
+//! They are *not* a proof for unbounded thread counts.
+//!
+//! [`self_check`] runs every faithful model (expecting a clean
+//! exhaustive pass) and every seeded mutation (expecting the checker to
+//! catch it); the `concurrency_audit` binary folds the rows into the
+//! SARIF report, pinning the exact execution counts in the golden.
+
+use crate::concurrency::ModelCheckRow;
+
+/// One recorded nondeterministic decision.
+#[derive(Debug, Clone)]
+struct Decision {
+    chosen: usize,
+    limit: usize,
+}
+
+/// Replayable decision tape driving one execution of a model.
+#[derive(Debug, Default)]
+pub struct Trace {
+    decisions: Vec<Decision>,
+    cursor: usize,
+}
+
+impl Trace {
+    /// Resolve a nondeterministic point with `n` alternatives,
+    /// returning a value in `0..n`: the recorded decision during
+    /// replay, `0` (and a new record) past the end of the tape.
+    pub fn choose(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let idx = self.cursor;
+        self.cursor += 1;
+        match self.decisions.get(idx) {
+            Some(d) => d.chosen.min(n - 1),
+            None => {
+                self.decisions.push(Decision {
+                    chosen: 0,
+                    limit: n,
+                });
+                0
+            }
+        }
+    }
+
+    fn tape(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
+}
+
+/// A completed exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Complete executions explored.
+    pub executions: usize,
+    /// Whether every schedule at the bounds was visited (`false` when
+    /// the execution budget truncated the search).
+    pub complete: bool,
+}
+
+/// A violating execution: the invariant message plus the decision tape
+/// that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterExample {
+    /// What went wrong.
+    pub message: String,
+    /// The decision tape reproducing the violation.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [schedule {:?}]", self.message, self.schedule)
+    }
+}
+
+/// Exhaustive DFS over decision tapes.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Execution budget; exploration truncates (incomplete) beyond it.
+    pub max_executions: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_executions: 2_000_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// Run `model` under every decision tape at the configured bounds.
+    /// Returns the first violation found, or the exploration summary.
+    pub fn explore(
+        &self,
+        mut model: impl FnMut(&mut Trace) -> Result<(), String>,
+    ) -> Result<Exploration, CounterExample> {
+        let mut prefix: Vec<Decision> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            let mut trace = Trace {
+                decisions: std::mem::take(&mut prefix),
+                cursor: 0,
+            };
+            let outcome = model(&mut trace);
+            executions += 1;
+            if let Err(message) = outcome {
+                return Err(CounterExample {
+                    message,
+                    schedule: trace.tape(),
+                });
+            }
+            if executions >= self.max_executions {
+                return Ok(Exploration {
+                    executions,
+                    complete: false,
+                });
+            }
+            prefix = trace.decisions;
+            loop {
+                match prefix.last_mut() {
+                    None => {
+                        return Ok(Exploration {
+                            executions,
+                            complete: true,
+                        })
+                    }
+                    Some(d) if d.chosen + 1 < d.limit => {
+                        d.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Step bound per execution — a backstop against modelling bugs, far
+/// above what any of the bundled models can reach.
+const MAX_STEPS: usize = 512;
+
+/// Drive a model's threads to completion under `trace`: at every step
+/// one runnable (unfinished, enabled) thread is chosen and stepped.
+/// All threads blocked but unfinished is a deadlock.
+fn drive<S>(
+    trace: &mut Trace,
+    state: &mut S,
+    threads: usize,
+    finished: impl Fn(&S, usize) -> bool,
+    enabled: impl Fn(&S, usize) -> bool,
+    mut step: impl FnMut(&mut S, usize, &mut Trace) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut steps = 0usize;
+    loop {
+        let mut runnable = Vec::with_capacity(threads);
+        for t in 0..threads {
+            if !finished(state, t) && enabled(state, t) {
+                runnable.push(t);
+            }
+        }
+        if runnable.is_empty() {
+            if (0..threads).all(|t| finished(state, t)) {
+                return Ok(());
+            }
+            let blocked: Vec<usize> = (0..threads).filter(|&t| !finished(state, t)).collect();
+            return Err(format!("deadlock: threads {blocked:?} blocked forever"));
+        }
+        let pick = runnable[trace.choose(runnable.len()).min(runnable.len() - 1)];
+        step(state, pick, trace)?;
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err("step bound exceeded (livelock?)".to_string());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operational release/acquire memory
+// ---------------------------------------------------------------------
+
+/// Memory ordering strength for [`WeakMemory`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ord {
+    /// No synchronisation.
+    Relaxed,
+    /// Load half of a synchronises-with edge.
+    Acquire,
+    /// Store half of a synchronises-with edge.
+    Release,
+    /// Both halves (RMW).
+    AcqRel,
+}
+
+impl Ord {
+    fn acquires(self) -> bool {
+        matches!(self, Ord::Acquire | Ord::AcqRel)
+    }
+    fn releases(self) -> bool {
+        matches!(self, Ord::Release | Ord::AcqRel)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WriteRec {
+    value: u64,
+    /// Writer's visibility floors captured at a release write; carried
+    /// along RMW chains (release sequences).
+    view: Option<Vec<usize>>,
+}
+
+/// Append-only per-location write histories plus per-thread visibility
+/// floors — an operational release/acquire memory model.
+#[derive(Debug, Clone)]
+pub struct WeakMemory {
+    locs: Vec<Vec<WriteRec>>,
+    /// `views[tid][loc]`: earliest write index this thread may observe.
+    views: Vec<Vec<usize>>,
+}
+
+impl WeakMemory {
+    /// `n_locs` zero-initialised locations shared by `n_threads`.
+    pub fn new(n_locs: usize, n_threads: usize) -> WeakMemory {
+        WeakMemory {
+            locs: (0..n_locs)
+                .map(|_| {
+                    vec![WriteRec {
+                        value: 0,
+                        view: None,
+                    }]
+                })
+                .collect(),
+            views: (0..n_threads).map(|_| vec![0; n_locs]).collect(),
+        }
+    }
+
+    fn join(view: &mut [usize], other: &[usize]) {
+        for (v, &o) in view.iter_mut().zip(other) {
+            *v = (*v).max(o);
+        }
+    }
+
+    /// Load: observe any write at or after this thread's floor (the
+    /// choice comes from `trace`); an acquire load of a released write
+    /// joins the writer's view.
+    pub fn load(&mut self, trace: &mut Trace, tid: usize, loc: usize, ord: Ord) -> u64 {
+        let floor = self.views[tid][loc];
+        let latest = self.locs[loc].len() - 1;
+        let idx = floor + trace.choose(latest - floor + 1);
+        let rec = self.locs[loc][idx].clone();
+        if ord.acquires() {
+            if let Some(view) = &rec.view {
+                Self::join(&mut self.views[tid], view);
+            }
+        }
+        self.views[tid][loc] = self.views[tid][loc].max(idx);
+        rec.value
+    }
+
+    /// Store: append a new write; a release store captures this
+    /// thread's view for later acquirers.
+    pub fn store(&mut self, tid: usize, loc: usize, value: u64, ord: Ord) {
+        let idx = self.locs[loc].len();
+        self.views[tid][loc] = idx;
+        let view = ord.releases().then(|| self.views[tid].clone());
+        self.locs[loc].push(WriteRec { value, view });
+    }
+
+    /// Atomic read-modify-write: always reads the latest write
+    /// (modification-order atomicity), acquires its view when `ord`
+    /// acquires, and carries the read write's view into the new write
+    /// regardless of `ord` (release sequences), additionally merging
+    /// this thread's view when `ord` releases. Returns the old value.
+    pub fn rmw(&mut self, tid: usize, loc: usize, f: impl Fn(u64) -> u64, ord: Ord) -> u64 {
+        let latest = self.locs[loc].len() - 1;
+        let rec = self.locs[loc][latest].clone();
+        if ord.acquires() {
+            if let Some(view) = &rec.view {
+                Self::join(&mut self.views[tid], view);
+            }
+        }
+        let idx = self.locs[loc].len();
+        self.views[tid][loc] = idx;
+        let own = ord.releases().then(|| self.views[tid].clone());
+        let view = match (rec.view, own) {
+            (None, None) => None,
+            (Some(v), None) | (None, Some(v)) => Some(v),
+            (Some(mut a), Some(b)) => {
+                Self::join(&mut a, &b);
+                Some(a)
+            }
+        };
+        self.locs[loc].push(WriteRec {
+            value: f(rec.value),
+            view,
+        });
+        rec.value
+    }
+
+    /// The latest value in modification order (for final-state checks).
+    pub fn latest(&self, loc: usize) -> u64 {
+        self.locs[loc].last().map_or(0, |r| r.value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Models and mutations
+// ---------------------------------------------------------------------
+
+/// The modelled subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Crossbeam channel shim: bounded queue, two condvars, disconnect.
+    Channel,
+    /// ShardedCache bounded-LRU insert with CountingBloom admission.
+    Cache,
+    /// LatencyHistogram bucket-then-count publication.
+    Histogram,
+    /// OnlineSelector drift flip: generation bump before adaptive flag.
+    Drift,
+    /// Ingress `submitted == served + shed` with tenant hold/release.
+    Ingress,
+}
+
+impl Model {
+    /// All models, in reporting order.
+    pub const ALL: [Model; 5] = [
+        Model::Channel,
+        Model::Cache,
+        Model::Histogram,
+        Model::Drift,
+        Model::Ingress,
+    ];
+
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Channel => "channel-shim",
+            Model::Cache => "cache-admission",
+            Model::Histogram => "latency-histogram",
+            Model::Drift => "drift-publication",
+            Model::Ingress => "ingress-accounting",
+        }
+    }
+}
+
+/// Seeded bugs the checker must catch — each is a deliberately broken
+/// variant of one model, mirroring a real class of concurrency bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Last sender drops without any notify: blocked receivers hang.
+    ChannelDropNoNotify,
+    /// Disconnect uses `notify_one` instead of `notify_all`: with two
+    /// blocked receivers one never wakes.
+    ChannelDropNotifyOne,
+    /// Receiver waits on the `not_full` condvar (wrong condvar).
+    ChannelRecvWaitsWrongCv,
+    /// Bloom increment as separate load + store instead of one RMW:
+    /// concurrent observes lose updates.
+    CacheTornBloom,
+    /// Capacity check outside the shard lock (check-then-act): two
+    /// inserters both pass and overflow the shard.
+    CacheCheckThenAct,
+    /// `count` increment relaxed instead of release: a reader can
+    /// observe the new count with a stale bucket.
+    HistogramRelaxedCount,
+    /// `count` increment as separate load + store: lost update.
+    HistogramTornCount,
+    /// Adaptive flag stored relaxed instead of release: readers see the
+    /// flag without the generation bump it publishes.
+    DriftRelaxedFlagStore,
+    /// Adaptive flag flipped *before* the generation bump.
+    DriftFlipBeforeBump,
+    /// Queue-full shed path forgets to release the tenant slot.
+    IngressLeakTenantOnShed,
+    /// Shed path double-counts, breaking the accounting identity.
+    IngressDoubleCountShed,
+}
+
+impl Mutation {
+    /// All mutations, in reporting order.
+    pub const ALL: [Mutation; 11] = [
+        Mutation::ChannelDropNoNotify,
+        Mutation::ChannelDropNotifyOne,
+        Mutation::ChannelRecvWaitsWrongCv,
+        Mutation::CacheTornBloom,
+        Mutation::CacheCheckThenAct,
+        Mutation::HistogramRelaxedCount,
+        Mutation::HistogramTornCount,
+        Mutation::DriftRelaxedFlagStore,
+        Mutation::DriftFlipBeforeBump,
+        Mutation::IngressLeakTenantOnShed,
+        Mutation::IngressDoubleCountShed,
+    ];
+
+    /// The model this mutation breaks.
+    pub fn model(&self) -> Model {
+        match self {
+            Mutation::ChannelDropNoNotify
+            | Mutation::ChannelDropNotifyOne
+            | Mutation::ChannelRecvWaitsWrongCv => Model::Channel,
+            Mutation::CacheTornBloom | Mutation::CacheCheckThenAct => Model::Cache,
+            Mutation::HistogramRelaxedCount | Mutation::HistogramTornCount => Model::Histogram,
+            Mutation::DriftRelaxedFlagStore | Mutation::DriftFlipBeforeBump => Model::Drift,
+            Mutation::IngressLeakTenantOnShed | Mutation::IngressDoubleCountShed => Model::Ingress,
+        }
+    }
+
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::ChannelDropNoNotify => "drop-no-notify",
+            Mutation::ChannelDropNotifyOne => "drop-notify-one",
+            Mutation::ChannelRecvWaitsWrongCv => "recv-waits-wrong-cv",
+            Mutation::CacheTornBloom => "torn-bloom-increment",
+            Mutation::CacheCheckThenAct => "capacity-check-then-act",
+            Mutation::HistogramRelaxedCount => "relaxed-count-publish",
+            Mutation::HistogramTornCount => "torn-count-increment",
+            Mutation::DriftRelaxedFlagStore => "relaxed-flag-store",
+            Mutation::DriftFlipBeforeBump => "flip-before-bump",
+            Mutation::IngressLeakTenantOnShed => "leak-tenant-on-shed",
+            Mutation::IngressDoubleCountShed => "double-count-shed",
+        }
+    }
+}
+
+/// Check one model, optionally with a seeded mutation.
+pub fn check(model: Model, mutation: Option<Mutation>) -> Result<Exploration, CounterExample> {
+    debug_assert!(mutation.is_none_or(|m| m.model() == model));
+    let explorer = Explorer::default();
+    match model {
+        Model::Channel => explorer.explore(|t| run_channel(t, mutation)),
+        Model::Cache => explorer.explore(|t| run_cache(t, mutation)),
+        Model::Histogram => explorer.explore(|t| run_histogram(t, mutation)),
+        Model::Drift => explorer.explore(|t| run_drift(t, mutation)),
+        Model::Ingress => explorer.explore(|t| run_ingress(t, mutation)),
+    }
+}
+
+/// Run every faithful model and every seeded mutation. Each row's
+/// `expected` records whether the outcome matched: faithful models must
+/// pass a *complete* exploration, mutated models must be caught.
+pub fn self_check() -> Vec<ModelCheckRow> {
+    let mut rows = Vec::new();
+    for model in Model::ALL {
+        let row = match check(model, None) {
+            Ok(exp) => ModelCheckRow {
+                model: model.name().to_string(),
+                mutation: "none".to_string(),
+                executions: exp.executions,
+                violation: None,
+                expected: exp.complete,
+            },
+            Err(cex) => ModelCheckRow {
+                model: model.name().to_string(),
+                mutation: "none".to_string(),
+                executions: 0,
+                violation: Some(cex.to_string()),
+                expected: false,
+            },
+        };
+        rows.push(row);
+    }
+    for mutation in Mutation::ALL {
+        let row = match check(mutation.model(), Some(mutation)) {
+            Ok(exp) => ModelCheckRow {
+                model: mutation.model().name().to_string(),
+                mutation: mutation.name().to_string(),
+                executions: exp.executions,
+                violation: None,
+                expected: false,
+            },
+            Err(cex) => ModelCheckRow {
+                model: mutation.model().name().to_string(),
+                mutation: mutation.name().to_string(),
+                executions: 0,
+                violation: Some(cex.to_string()),
+                expected: true,
+            },
+        };
+        rows.push(row);
+    }
+    rows
+}
+
+// --------------------------- channel model ---------------------------
+
+/// Two producers (one message each, then drop), two consumers, capacity
+/// one — the crossbeam shim's bounded queue with `not_empty`/`not_full`
+/// condvars and last-sender-drop disconnect. Critical sections are
+/// coarse (one step each), which the real mutex makes sound.
+struct ChanState {
+    queue: Vec<u64>,
+    cap: usize,
+    senders: usize,
+    /// Producer/consumer program counters. Producers: 0 = sending,
+    /// 1 = dropping, 2 = done. Consumers: 0 = receiving, 1 = done.
+    pc: [usize; 4],
+    parked: [bool; 4],
+    /// Waiter lists per condvar (thread ids).
+    not_empty: Vec<usize>,
+    not_full: Vec<usize>,
+    received: Vec<u64>,
+}
+
+const CHAN_PRODUCERS: usize = 2;
+const CHAN_THREADS: usize = 4;
+
+impl ChanState {
+    fn notify_one(&mut self, trace: &mut Trace, cv: bool) {
+        let set = if cv {
+            &mut self.not_empty
+        } else {
+            &mut self.not_full
+        };
+        if set.is_empty() {
+            return;
+        }
+        let idx = trace.choose(set.len());
+        let tid = set.remove(idx.min(set.len() - 1));
+        self.parked[tid] = false;
+    }
+
+    fn notify_all_not_empty(&mut self) {
+        for tid in self.not_empty.drain(..) {
+            self.parked[tid] = false;
+        }
+    }
+}
+
+fn run_channel(trace: &mut Trace, mutation: Option<Mutation>) -> Result<(), String> {
+    let mut st = ChanState {
+        queue: Vec::new(),
+        cap: 1,
+        senders: CHAN_PRODUCERS,
+        pc: [0; CHAN_THREADS],
+        parked: [false; CHAN_THREADS],
+        not_empty: Vec::new(),
+        not_full: Vec::new(),
+        received: Vec::new(),
+    };
+    drive(
+        trace,
+        &mut st,
+        CHAN_THREADS,
+        |s, t| {
+            if t < CHAN_PRODUCERS {
+                s.pc[t] == 2
+            } else {
+                s.pc[t] == 1
+            }
+        },
+        |s, t| !s.parked[t],
+        |s, t, trace| {
+            if t < CHAN_PRODUCERS {
+                match s.pc[t] {
+                    0 => {
+                        // send(): whole critical section in one step.
+                        if s.queue.len() < s.cap {
+                            s.queue.push(t as u64 + 1);
+                            s.notify_one(trace, true);
+                            s.pc[t] = 1;
+                        } else {
+                            s.parked[t] = true;
+                            s.not_full.push(t);
+                        }
+                    }
+                    _ => {
+                        // Drop the sender; last one announces disconnect.
+                        s.senders -= 1;
+                        if s.senders == 0 {
+                            match mutation {
+                                Some(Mutation::ChannelDropNoNotify) => {}
+                                Some(Mutation::ChannelDropNotifyOne) => s.notify_one(trace, true),
+                                _ => s.notify_all_not_empty(),
+                            }
+                        }
+                        s.pc[t] = 2;
+                    }
+                }
+            } else {
+                // recv(): pop, or observe disconnect, or park.
+                if let Some(v) = s.queue.first().copied() {
+                    s.queue.remove(0);
+                    s.received.push(v);
+                    s.notify_one(trace, false);
+                } else if s.senders == 0 {
+                    s.pc[t] = 1;
+                } else {
+                    s.parked[t] = true;
+                    if matches!(mutation, Some(Mutation::ChannelRecvWaitsWrongCv)) {
+                        s.not_full.push(t);
+                    } else {
+                        s.not_empty.push(t);
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+    let mut got = st.received.clone();
+    got.sort_unstable();
+    if got != vec![1, 2] {
+        return Err(format!(
+            "channel lost or duplicated messages: received {got:?}, sent [1, 2]"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------- cache model ----------------------------
+
+/// Two inserters of distinct shapes into one capacity-1 shard, each
+/// first observing the CountingBloom (admission threshold 1). The bloom
+/// counter is a single RMW; the shard insert (contains check, LRU
+/// evict, insert) is one coarse locked step.
+struct CacheState {
+    bloom: u64,
+    /// Torn-increment staging: the loaded value per thread.
+    staged: [Option<u64>; 2],
+    entries: Vec<u64>,
+    /// Unlocked capacity pre-check result (check-then-act mutation).
+    precheck: [bool; 2],
+    evictions: usize,
+    pc: [usize; 2],
+}
+
+fn run_cache(trace: &mut Trace, mutation: Option<Mutation>) -> Result<(), String> {
+    let torn = matches!(mutation, Some(Mutation::CacheTornBloom));
+    let check_then_act = matches!(mutation, Some(Mutation::CacheCheckThenAct));
+    let cap = 1usize;
+    let mut st = CacheState {
+        bloom: 0,
+        staged: [None; 2],
+        entries: Vec::new(),
+        precheck: [false; 2],
+        evictions: 0,
+        pc: [0; 2],
+    };
+    // Program: 0 = observe bloom (torn: load), 1 = (torn: store),
+    // 2 = (check-then-act: unlocked capacity check), 3 = locked insert,
+    // 4 = done. Faithful threads skip the stages their mutation owns.
+    let done = 4usize;
+    drive(
+        trace,
+        &mut st,
+        2,
+        |s, t| s.pc[t] == done,
+        |_, _| true,
+        |s, t, _trace| {
+            match s.pc[t] {
+                0 => {
+                    if torn {
+                        s.staged[t] = Some(s.bloom);
+                        s.pc[t] = 1;
+                    } else {
+                        s.bloom += 1;
+                        s.pc[t] = 2;
+                    }
+                }
+                1 => {
+                    s.bloom = s.staged[t].unwrap_or(0) + 1;
+                    s.pc[t] = 2;
+                }
+                2 => {
+                    if check_then_act {
+                        s.precheck[t] = s.entries.len() < cap;
+                    }
+                    s.pc[t] = 3;
+                }
+                _ => {
+                    let key = t as u64 + 1;
+                    if check_then_act {
+                        // Mutated: trust the stale unlocked check.
+                        if s.precheck[t] {
+                            s.entries.push(key);
+                        }
+                    } else if !s.entries.contains(&key) {
+                        if s.entries.len() == cap {
+                            s.entries.remove(0);
+                            s.evictions += 1;
+                        }
+                        s.entries.push(key);
+                    }
+                    if s.entries.len() > cap {
+                        return Err(format!(
+                            "shard overflow: {} entries with capacity {cap}",
+                            s.entries.len()
+                        ));
+                    }
+                    s.pc[t] = done;
+                }
+            }
+            Ok(())
+        },
+    )?;
+    if st.bloom != 2 {
+        return Err(format!(
+            "bloom lost an update: {} observes recorded for 2 observers",
+            st.bloom
+        ));
+    }
+    if st.entries.len() != 1 || st.evictions != 1 {
+        return Err(format!(
+            "LRU conservation broken: {} entries, {} evictions (expected 1, 1)",
+            st.entries.len(),
+            st.evictions
+        ));
+    }
+    Ok(())
+}
+
+// -------------------------- histogram model --------------------------
+
+const H_BUCKET: usize = 0;
+const H_COUNT: usize = 1;
+
+/// Two recorders (`bucket.fetch_add(Relaxed)` then
+/// `count.fetch_add(Release)`) and one reader (`count.load(Acquire)`
+/// then `bucket.load(Relaxed)`), under the weak memory model. The
+/// quantile walk's soundness reduces to: a reader must never observe
+/// more counted records than bucketed ones.
+struct HistState {
+    mem: WeakMemory,
+    staged: [Option<u64>; 2],
+    pc: [usize; 3],
+    reader_count: u64,
+}
+
+fn run_histogram(trace: &mut Trace, mutation: Option<Mutation>) -> Result<(), String> {
+    let relaxed_count = matches!(mutation, Some(Mutation::HistogramRelaxedCount));
+    let torn_count = matches!(mutation, Some(Mutation::HistogramTornCount));
+    let mut st = HistState {
+        mem: WeakMemory::new(2, 3),
+        staged: [None; 2],
+        pc: [0; 3],
+        reader_count: 0,
+    };
+    let done = [3usize, 3, 2];
+    drive(
+        trace,
+        &mut st,
+        3,
+        |s, t| s.pc[t] == done[t],
+        |_, _| true,
+        |s, t, trace| {
+            if t < 2 {
+                match s.pc[t] {
+                    0 => {
+                        s.mem.rmw(t, H_BUCKET, |v| v + 1, Ord::Relaxed);
+                        s.pc[t] = 1;
+                    }
+                    1 => {
+                        if torn_count {
+                            s.staged[t] = Some(s.mem.load(trace, t, H_COUNT, Ord::Relaxed));
+                            s.pc[t] = 2;
+                        } else {
+                            let ord = if relaxed_count {
+                                Ord::Relaxed
+                            } else {
+                                Ord::Release
+                            };
+                            s.mem.rmw(t, H_COUNT, |v| v + 1, ord);
+                            s.pc[t] = 3;
+                        }
+                    }
+                    _ => {
+                        s.mem
+                            .store(t, H_COUNT, s.staged[t].unwrap_or(0) + 1, Ord::Relaxed);
+                        s.pc[t] = 3;
+                    }
+                }
+            } else {
+                match s.pc[t] {
+                    0 => {
+                        s.reader_count = s.mem.load(trace, t, H_COUNT, Ord::Acquire);
+                        s.pc[t] = 1;
+                    }
+                    _ => {
+                        let bucketed = s.mem.load(trace, t, H_BUCKET, Ord::Relaxed);
+                        if bucketed < s.reader_count {
+                            return Err(format!(
+                                "stale bucket behind published count: count {} but only {} bucketed \
+                                 (quantile would fall off the cumulative walk)",
+                                s.reader_count, bucketed
+                            ));
+                        }
+                        s.pc[t] = 2;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+    let (b, c) = (st.mem.latest(H_BUCKET), st.mem.latest(H_COUNT));
+    if b != 2 || c != 2 {
+        return Err(format!(
+            "conservation broken after join: {b} bucketed, {c} counted, 2 recorded"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------- drift model ----------------------------
+
+const D_GEN: usize = 0;
+const D_FLAG: usize = 1;
+
+/// Writer performs the drift flip (generation bump `AcqRel`, then
+/// adaptive flag store `Release`); reader does the decide-path check
+/// (flag load `Acquire`; if set, the generation must be visible).
+fn run_drift(trace: &mut Trace, mutation: Option<Mutation>) -> Result<(), String> {
+    let relaxed_store = matches!(mutation, Some(Mutation::DriftRelaxedFlagStore));
+    let flip_first = matches!(mutation, Some(Mutation::DriftFlipBeforeBump));
+    struct St {
+        mem: WeakMemory,
+        pc: [usize; 2],
+        flag: u64,
+    }
+    let mut st = St {
+        mem: WeakMemory::new(2, 2),
+        pc: [0; 2],
+        flag: 0,
+    };
+    drive(
+        trace,
+        &mut st,
+        2,
+        |s, t| s.pc[t] == 2,
+        |_, _| true,
+        |s, t, trace| {
+            if t == 0 {
+                let bump_now = (s.pc[t] == 0) != flip_first;
+                if bump_now {
+                    s.mem.rmw(t, D_GEN, |v| v + 1, Ord::AcqRel);
+                } else {
+                    let ord = if relaxed_store {
+                        Ord::Relaxed
+                    } else {
+                        Ord::Release
+                    };
+                    s.mem.store(t, D_FLAG, 1, ord);
+                }
+                s.pc[t] += 1;
+            } else {
+                match s.pc[t] {
+                    0 => {
+                        s.flag = s.mem.load(trace, t, D_FLAG, Ord::Acquire);
+                        s.pc[t] = 1;
+                    }
+                    _ => {
+                        if s.flag == 1 {
+                            let generation = s.mem.load(trace, t, D_GEN, Ord::Acquire);
+                            if generation == 0 {
+                                return Err("adaptive flag observed without its generation bump: \
+                                     decide path would reuse a stale generation tag"
+                                    .to_string());
+                            }
+                        }
+                        s.pc[t] = 2;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+// --------------------------- ingress model ---------------------------
+
+/// Two producers submit one request each through the tenant gate
+/// (quota 2) into a capacity-1 queue; a dispatcher drains, releasing
+/// the tenant slot and counting `served`. Queue-full submissions take
+/// the shed path: release the slot, count `shed`. Checks the
+/// `submitted == served + shed` identity and that no tenant slot leaks.
+fn run_ingress(trace: &mut Trace, mutation: Option<Mutation>) -> Result<(), String> {
+    let leak = matches!(mutation, Some(Mutation::IngressLeakTenantOnShed));
+    let double = matches!(mutation, Some(Mutation::IngressDoubleCountShed));
+    struct St {
+        held: usize,
+        queue: Vec<u64>,
+        submitted: u64,
+        served: u64,
+        shed: u64,
+        pc: [usize; 3],
+    }
+    let mut st = St {
+        held: 0,
+        queue: Vec::new(),
+        submitted: 0,
+        served: 0,
+        shed: 0,
+        pc: [0; 3],
+    };
+    let producers_done = |s: &St| s.pc[0] == 2 && s.pc[1] == 2;
+    drive(
+        trace,
+        &mut st,
+        3,
+        |s, t| s.pc[t] == 2,
+        |s, t| t < 2 || !s.queue.is_empty() || producers_done(s),
+        |s, t, _trace| {
+            if t < 2 {
+                match s.pc[t] {
+                    0 => {
+                        // Tenant gate (quota 2 — both fit) + submit count.
+                        s.submitted += 1;
+                        s.held += 1;
+                        s.pc[t] = 1;
+                    }
+                    _ => {
+                        // Enqueue, or shed on a full (capacity 1) queue.
+                        if s.queue.is_empty() {
+                            s.queue.push(t as u64);
+                        } else {
+                            if !leak {
+                                s.held -= 1;
+                            }
+                            s.shed += 1;
+                            if double {
+                                s.shed += 1;
+                            }
+                        }
+                        s.pc[t] = 2;
+                    }
+                }
+            } else if !s.queue.is_empty() {
+                s.queue.remove(0);
+                s.held -= 1;
+                s.served += 1;
+            } else {
+                // Queue empty and producers done: dispatcher exits.
+                s.pc[t] = 2;
+            }
+            Ok(())
+        },
+    )?;
+    if st.submitted != st.served + st.shed {
+        return Err(format!(
+            "accounting identity broken: submitted {} != served {} + shed {}",
+            st.submitted, st.served, st.shed
+        ));
+    }
+    if st.held != 0 {
+        return Err(format!(
+            "tenant slot leak: {} slots still held after drain",
+            st.held
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explorer_enumerates_all_tapes() {
+        // Two binary choices -> 4 executions.
+        let mut seen = Vec::new();
+        let exp = Explorer::default()
+            .explore(|t| {
+                let a = t.choose(2);
+                let b = t.choose(2);
+                seen.push((a, b));
+                Ok(())
+            })
+            .expect("no violation");
+        assert_eq!(exp.executions, 4);
+        assert!(exp.complete);
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn explorer_returns_the_violating_tape() {
+        let cex = Explorer::default()
+            .explore(|t| {
+                if t.choose(3) == 2 && t.choose(2) == 1 {
+                    return Err("boom".to_string());
+                }
+                Ok(())
+            })
+            .expect_err("must find the violation");
+        assert_eq!(cex.schedule, vec![2, 1]);
+        assert_eq!(cex.message, "boom");
+    }
+
+    #[test]
+    fn weak_memory_stale_read_requires_acquire() {
+        // Without acquire, a reader may see the flag but stale data; the
+        // release/acquire pair forbids it.
+        let cex = Explorer::default().explore(|trace| {
+            let mut mem = WeakMemory::new(2, 2);
+            // Writer (inline, sequential for this unit test).
+            mem.store(0, 0, 42, Ord::Relaxed);
+            mem.store(0, 1, 1, Ord::Release);
+            // Reader.
+            if mem.load(trace, 1, 1, Ord::Acquire) == 1 {
+                let data = mem.load(trace, 1, 0, Ord::Relaxed);
+                if data != 42 {
+                    return Err(format!("stale data {data}"));
+                }
+            }
+            Ok(())
+        });
+        assert!(cex.is_ok(), "release/acquire forbids the stale read");
+
+        let cex = Explorer::default().explore(|trace| {
+            let mut mem = WeakMemory::new(2, 2);
+            mem.store(0, 0, 42, Ord::Relaxed);
+            mem.store(0, 1, 1, Ord::Relaxed); // no release
+            if mem.load(trace, 1, 1, Ord::Acquire) == 1 {
+                let data = mem.load(trace, 1, 0, Ord::Relaxed);
+                if data != 42 {
+                    return Err(format!("stale data {data}"));
+                }
+            }
+            Ok(())
+        });
+        assert!(cex.is_err(), "without release the stale read exists");
+    }
+
+    #[test]
+    fn faithful_models_pass_exhaustively() {
+        for model in Model::ALL {
+            let exp =
+                check(model, None).unwrap_or_else(|cex| panic!("{} violated: {cex}", model.name()));
+            assert!(exp.complete, "{} exploration truncated", model.name());
+            assert!(exp.executions > 1, "{} explored nothing", model.name());
+        }
+    }
+
+    #[test]
+    fn every_seeded_mutation_is_caught() {
+        for mutation in Mutation::ALL {
+            let outcome = check(mutation.model(), Some(mutation));
+            assert!(
+                outcome.is_err(),
+                "mutation {} on {} was not caught",
+                mutation.name(),
+                mutation.model().name()
+            );
+        }
+    }
+
+    #[test]
+    fn self_check_rows_are_all_expected() {
+        let rows = self_check();
+        assert_eq!(rows.len(), Model::ALL.len() + Mutation::ALL.len());
+        for row in &rows {
+            assert!(
+                row.expected,
+                "{}/{} unexpected outcome",
+                row.model, row.mutation
+            );
+        }
+    }
+}

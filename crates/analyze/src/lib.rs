@@ -1,6 +1,6 @@
 //! # autokernel-analyze
 //!
-//! Static analysis for the kernel-selection system, in two prongs:
+//! Static analysis for the kernel-selection system, in three prongs:
 //!
 //! 1. **Kernel-space analysis** ([`analyzer`]) — every configuration in
 //!    the 640-point GEMM space is checked against a device's resource
@@ -14,8 +14,19 @@
 //! 2. **Hot-path lint** ([`lint`]) — a source-level scanner that bans
 //!    latent panics (`unwrap`/`expect`/`panic!`/`todo!`/
 //!    `unimplemented!`), NaN-hazardous `partial_cmp` and non-literal
-//!    slice indexing from the serving modules, with
-//!    `// lint:allow(<rule>)` escape hatches.
+//!    slice indexing from the serving modules, plus allocation idioms
+//!    (`no-alloc`) from the decide path, with `// lint:allow(<rule>)`
+//!    and item-scoped `// lint:allow-fn(<rule>)` escape hatches.
+//! 3. **Concurrency analysis** ([`concurrency`], [`interleave`]) — an
+//!    atomic-ordering audit (every atomic site declares a role via
+//!    `// atomic:role(...)`, checked against the orderings it uses),
+//!    per-function lock-order extraction with cycle detection, and a
+//!    loom-lite deterministic interleaving model checker that
+//!    exhaustively explores small-bound models of the hand-rolled
+//!    concurrent primitives (channel shim, LRU+Bloom cache, latency
+//!    histogram, drift publication, ingress accounting), with seeded
+//!    mutations proving the checker catches real ordering bugs.
+//!    Findings render as SARIF (`reports/concurrency_audit.json`).
 //!
 //! The motivating observation (tritonBLAS, arXiv:2512.04226; Lawson,
 //! arXiv:1904.05347) is that much of a kernel configuration space can
@@ -28,11 +39,21 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod concurrency;
+pub mod interleave;
 pub mod lint;
 pub mod report;
 
 pub use analyzer::{
     ConfigAnalysis, KernelSpaceAnalyzer, SpaceAnalysis, Verdict, DEGRADED_OCCUPANCY,
 };
-pub use lint::{lint_file, lint_source, Rule, Violation, HOT_PATH_FILES};
+pub use concurrency::{
+    audit_source, audit_workspace, render_concurrency_report, ConcurrencyAudit, Finding,
+    FindingRule, ModelCheckRow, Role, AUDIT_TARGETS,
+};
+pub use interleave::{self_check, CounterExample, Exploration, Model, Mutation};
+pub use lint::{
+    lint_file, lint_source, lint_source_with, rules_for, Rule, Violation, DECIDE_PATH_FILES,
+    HOT_PATH_FILES,
+};
 pub use report::{render_report, sarif_report, TOOL_NAME};

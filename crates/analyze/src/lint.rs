@@ -22,10 +22,20 @@
 //! | `no-unimplemented` | `unimplemented!`                             |
 //! | `no-partial-cmp`   | `partial_cmp` (prefer `total_cmp`)           |
 //! | `no-index`         | non-literal slice/array indexing `xs[i]`     |
+//! | `no-alloc`         | allocation on the decide path                |
 //!
 //! `no-index` permits integer-literal subscripts (`range[0]` on a
 //! `[usize; 2]` cannot move out of bounds at runtime) and fires on
 //! everything else, including range slicing.
+//!
+//! `no-alloc` bans `Vec::new`, `Box::new`, `String::from`, `format!`,
+//! `.push(`, `.to_vec(` and `.clone()` — the allocation idioms that
+//! can sneak onto the sub-100ns decide path. It applies only to
+//! [`DECIDE_PATH_FILES`] (the panic rules cover all of
+//! [`HOT_PATH_FILES`]); cold paths inside those files opt out
+//! per-item with `// lint:allow-fn(no-alloc) <justification>`, which
+//! suppresses the named rules from the comment through the end of the
+//! next item's body.
 //!
 //! To add a rule: extend [`Rule`], its `ALL`/`id`/`from_id` tables, and
 //! the matching arm in `scan_line` (or `scan_indexing` for token-level
@@ -59,6 +69,13 @@ pub const HOT_PATH_FILES: [&str; 13] = [
     "examples/sharded_serving.rs",
 ];
 
+/// Files whose non-cold code is the *decide path* — the sub-microsecond
+/// cached-selection route a serving request takes on every pick. These
+/// additionally carry the `no-alloc` rule (ROADMAP item 4): a malloc on
+/// this path costs more than the decision itself. Matched by file name
+/// so both workspace-relative and absolute invocations agree.
+pub const DECIDE_PATH_FILES: [&str; 3] = ["cache.rs", "online.rs", "select.rs"];
+
 /// A lint rule the hot path must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
@@ -76,11 +93,25 @@ pub enum Rule {
     NoPartialCmp,
     /// Ban non-literal slice indexing — prefer `.get(...)`.
     NoIndex,
+    /// Ban allocation idioms on the decide path.
+    NoAlloc,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
+        Rule::NoUnwrap,
+        Rule::NoExpect,
+        Rule::NoPanic,
+        Rule::NoTodo,
+        Rule::NoUnimplemented,
+        Rule::NoPartialCmp,
+        Rule::NoIndex,
+        Rule::NoAlloc,
+    ];
+
+    /// The panic-safety rules applied to every hot-path file.
+    pub const PANIC_SAFETY: [Rule; 7] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -100,6 +131,7 @@ impl Rule {
             Rule::NoUnimplemented => "no-unimplemented",
             Rule::NoPartialCmp => "no-partial-cmp",
             Rule::NoIndex => "no-index",
+            Rule::NoAlloc => "no-alloc",
         }
     }
 
@@ -138,18 +170,42 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Lint a file on disk.
-pub fn lint_file(path: &Path) -> std::io::Result<Vec<Violation>> {
-    let source = std::fs::read_to_string(path)?;
-    Ok(lint_source(&path.display().to_string(), &source))
+/// The rule set a given path must satisfy: panic safety everywhere, plus
+/// `no-alloc` when the file name is one of [`DECIDE_PATH_FILES`].
+pub fn rules_for(path: &str) -> Vec<Rule> {
+    let name = Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(path);
+    let mut rules: Vec<Rule> = Rule::PANIC_SAFETY.to_vec();
+    if DECIDE_PATH_FILES.contains(&name) {
+        rules.push(Rule::NoAlloc);
+    }
+    rules
 }
 
-/// Lint source text, reporting violations outside `#[cfg(test)]` code
-/// that are not suppressed by a `// lint:allow(<rule>)` comment on the
-/// same or the preceding line.
+/// Lint a file on disk with the rule set from [`rules_for`].
+pub fn lint_file(path: &Path) -> std::io::Result<Vec<Violation>> {
+    let source = std::fs::read_to_string(path)?;
+    let display = path.display().to_string();
+    let rules = rules_for(&display);
+    Ok(lint_source_with(&display, &source, &rules))
+}
+
+/// Lint source text with the panic-safety rule set, reporting violations
+/// outside `#[cfg(test)]` code that are not suppressed by a
+/// `// lint:allow(<rule>)` comment on the same or the preceding line.
 pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
+    lint_source_with(file, source, &Rule::PANIC_SAFETY)
+}
+
+/// Lint source text against an explicit rule set. Suppression comes in
+/// two scopes: `lint:allow(<rules>)` on the same or preceding line, and
+/// `lint:allow-fn(<rules>)` covering the whole next item body.
+pub fn lint_source_with(file: &str, source: &str, rules: &[Rule]) -> Vec<Violation> {
     let allows = collect_allows(source);
     let sanitized = sanitize(source);
+    let fn_allows = collect_fn_allows(source, &sanitized);
     let test_lines = test_region_lines(&sanitized);
     let raw_lines: Vec<&str> = source.lines().collect();
 
@@ -160,7 +216,13 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
             continue;
         }
         for rule in scan_line(line) {
-            let allowed = allows_rule(&allows, lineno, rule);
+            if !rules.contains(&rule) {
+                continue;
+            }
+            let allowed = allows_rule(&allows, lineno, rule)
+                || fn_allows
+                    .iter()
+                    .any(|&(r, start, end)| r == rule && (start..=end).contains(&lineno));
             if !allowed {
                 violations.push(Violation {
                     file: file.to_string(),
@@ -209,9 +271,86 @@ fn collect_allows(source: &str) -> Vec<Vec<Rule>> {
         .collect()
 }
 
+/// Item-scoped allows. A `// lint:allow-fn(<rules>) <why>` comment
+/// suppresses the named rules from its own line through the end of the
+/// next item's brace-matched body (or its terminating semicolon, for
+/// braceless items). Returns `(rule, start_line, end_line)` triples,
+/// 1-based inclusive.
+fn collect_fn_allows(source: &str, sanitized: &str) -> Vec<(Rule, usize, usize)> {
+    let bytes = sanitized.as_bytes();
+    // Byte offset where each sanitized line starts, and line of each byte.
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    };
+
+    let mut regions = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let Some(pos) = raw_line.find("lint:allow-fn(") else {
+            continue;
+        };
+        let rest = &raw_line[pos + "lint:allow-fn(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let listed: Vec<Rule> = rest[..close]
+            .split(',')
+            .filter_map(|id| Rule::from_id(id.trim()))
+            .collect();
+        if listed.is_empty() {
+            continue;
+        }
+        // Walk the sanitized source from this line for the item body:
+        // first `{` opens a brace-matched region; a `;` first means a
+        // braceless item ending there.
+        let mut j = *line_starts.get(idx).unwrap_or(&bytes.len());
+        let mut end = bytes.len().saturating_sub(1);
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    let mut depth = 0usize;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = j;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                b';' => {
+                    end = j;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end_line = line_of(end.min(bytes.len().saturating_sub(1))) + 1;
+        for rule in listed {
+            regions.push((rule, idx + 1, end_line));
+        }
+    }
+    regions
+}
+
 /// Replace comments and string/char literals with spaces, preserving
 /// line structure, so token scans cannot fire inside text.
-fn sanitize(source: &str) -> String {
+pub(crate) fn sanitize(source: &str) -> String {
     let bytes = source.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -350,7 +489,7 @@ fn is_char_literal(bytes: &[u8], i: usize) -> bool {
 /// Mark the lines covered by `#[cfg(test)]` items (attribute through
 /// the matching close brace, or the terminating semicolon for
 /// braceless items).
-fn test_region_lines(sanitized: &str) -> Vec<bool> {
+pub(crate) fn test_region_lines(sanitized: &str) -> Vec<bool> {
     let n_lines = sanitized.lines().count();
     let mut flags = vec![false; n_lines];
     let bytes = sanitized.as_bytes();
@@ -414,12 +553,12 @@ fn test_region_lines(sanitized: &str) -> Vec<bool> {
     flags
 }
 
-fn is_ident(b: u8) -> bool {
+pub(crate) fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Whether `pat` occurs in `line` starting at a non-identifier boundary.
-fn contains_token(line: &str, pat: &str) -> bool {
+pub(crate) fn contains_token(line: &str, pat: &str) -> bool {
     let bytes = line.as_bytes();
     let mut from = 0;
     while let Some(pos) = line[from..].find(pat) {
@@ -457,7 +596,23 @@ fn scan_line(line: &str) -> Vec<Rule> {
     if scan_indexing(line) {
         hits.push(Rule::NoIndex);
     }
+    if scan_alloc(line) {
+        hits.push(Rule::NoAlloc);
+    }
     hits
+}
+
+/// Detect allocation idioms: constructor paths (`Vec::new`, `Box::new`,
+/// `String::from`), the `format!` macro, and allocating method calls
+/// (`.push(`, `.to_vec(`, `.clone()`).
+fn scan_alloc(line: &str) -> bool {
+    contains_token(line, "Vec::new")
+        || contains_token(line, "Box::new")
+        || contains_token(line, "String::from")
+        || contains_token(line, "format!")
+        || line.contains(".push(")
+        || line.contains(".to_vec(")
+        || line.contains(".clone()")
 }
 
 /// Detect non-literal index expressions `expr[subscript]`: a `[`
@@ -561,6 +716,73 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::NoIndex);
         assert_eq!(v[0].line, 6);
+    }
+
+    fn alloc_rules_in(src: &str) -> Vec<Rule> {
+        lint_source_with("cache.rs", src, &[Rule::NoAlloc])
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn no_alloc_flags_each_allocation_idiom() {
+        for src in [
+            "let v: Vec<u32> = Vec::new();",
+            "let b = Box::new(1u32);",
+            "let s = String::from(name);",
+            "let m = format!(\"{n}\");",
+            "xs.push(1);",
+            "let v = xs.to_vec();",
+            "let c = cfg.clone();",
+        ] {
+            assert_eq!(alloc_rules_in(src), vec![Rule::NoAlloc], "src: {src}");
+        }
+        // Non-allocating lookalikes pass.
+        assert!(alloc_rules_in("let r = Clone::clone_from(&mut a, &b);").is_empty());
+        assert!(alloc_rules_in("let v = MyVec::newish();").is_empty());
+    }
+
+    #[test]
+    fn no_alloc_applies_only_to_decide_path_files() {
+        assert!(rules_for("crates/core/src/cache.rs").contains(&Rule::NoAlloc));
+        assert!(rules_for("crates/core/src/online.rs").contains(&Rule::NoAlloc));
+        assert!(rules_for("crates/core/src/select.rs").contains(&Rule::NoAlloc));
+        assert!(!rules_for("crates/core/src/ingress.rs").contains(&Rule::NoAlloc));
+        assert!(!rules_for("crates/core/src/sched.rs").contains(&Rule::NoAlloc));
+    }
+
+    #[test]
+    fn allow_fn_covers_the_whole_next_item_body() {
+        let src = "\
+// lint:allow-fn(no-alloc) cold restore path
+fn restore(xs: &[u32]) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(xs.to_vec().len() as u32);
+    v
+}
+
+fn hot(v: &mut Vec<u32>) {
+    v.push(1);
+}
+";
+        let v = lint_source_with("cache.rs", src, &[Rule::NoAlloc]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 9);
+    }
+
+    #[test]
+    fn allow_fn_names_only_the_listed_rules() {
+        let src = "\
+// lint:allow-fn(no-alloc) justified
+fn f(xs: &[u32], i: usize) -> u32 {
+    let v = xs.to_vec();
+    v[i]
+}
+";
+        let v = lint_source_with("cache.rs", src, &[Rule::NoAlloc, Rule::NoIndex]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoIndex);
     }
 
     #[test]

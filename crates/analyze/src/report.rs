@@ -18,7 +18,7 @@ use serde_json::Value;
 /// Tool name recorded in each SARIF run.
 pub const TOOL_NAME: &str = "kernel-space-analyzer";
 
-fn s(v: impl Into<String>) -> Value {
+pub(crate) fn s(v: impl Into<String>) -> Value {
     Value::Str(v.into())
 }
 
@@ -26,11 +26,11 @@ fn n(v: f64) -> Value {
     Value::Num(v)
 }
 
-fn int(v: usize) -> Value {
+pub(crate) fn int(v: usize) -> Value {
     Value::Num(v as f64)
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(
         entries
             .into_iter()
@@ -39,7 +39,7 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
-fn rule_descriptor(id: &str, text: &str) -> Value {
+pub(crate) fn rule_descriptor(id: &str, text: &str) -> Value {
     obj(vec![
         ("id", s(id)),
         ("shortDescription", obj(vec![("text", s(text))])),

@@ -1,0 +1,36 @@
+//! Deliberate decide-path allocation violations for the `no-alloc`
+//! lint fixtures. Named `cache.rs` so `rules_for` applies the
+//! decide-path rule set; never compiled by Cargo.
+
+pub fn decide(xs: &[u32]) -> u32 {
+    let mut v: Vec<u32> = Vec::new();
+    v.push(1);
+    let copy = xs.to_vec();
+    let owned = copy.clone();
+    let boxed = Box::new(owned);
+    let label = String::from("decide");
+    let msg = format!("{label}: {}", boxed.len());
+    msg.len() as u32 + v[0]
+}
+
+// lint:allow-fn(no-alloc) cold path: runs once at startup
+pub fn warm_up() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(0);
+    v.to_vec()
+}
+
+pub fn partially_allowed() -> usize {
+    // lint:allow(no-alloc) justified one-off
+    let v = [1u32].to_vec();
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_alloc_is_exempt() {
+        let v = [1u32, 2].to_vec();
+        assert_eq!(v.clone().len(), 2);
+    }
+}

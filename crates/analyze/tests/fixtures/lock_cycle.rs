@@ -1,0 +1,17 @@
+//! Deliberate AB/BA lock-order inversion for the concurrency-audit
+//! fixtures: `transfer` takes `ledger` before `journal`, `reconcile`
+//! the reverse, so the lock graph has a two-node cycle. Never compiled
+//! by Cargo.
+
+pub fn transfer(a: &Account, b: &Account, amount: i64) {
+    let mut from = a.ledger.lock();
+    let mut to = b.journal.lock();
+    *from -= amount;
+    *to += amount;
+}
+
+pub fn reconcile(a: &Account, b: &Account) -> i64 {
+    let to = b.journal.lock();
+    let from = a.ledger.lock();
+    *to - *from
+}

@@ -1,13 +1,21 @@
 //! Fixture tests for the hot-path linter: the deliberately violating
-//! file under `tests/fixtures/` (never compiled by Cargo) must produce
-//! exactly the expected rule hits, `lint:allow` must suppress, and
-//! `#[cfg(test)]` code must be exempt.
+//! files under `tests/fixtures/` (never compiled by Cargo) must produce
+//! exactly the expected rule hits, `lint:allow` and `lint:allow-fn`
+//! must suppress, `#[cfg(test)]` code must be exempt, and the
+//! decide-path `no-alloc` rule must apply only to decide-path file
+//! names.
 
-use autokernel_analyze::{lint_file, Rule};
+use autokernel_analyze::{lint_file, rules_for, Rule, DECIDE_PATH_FILES};
 use std::path::Path;
 
 fn fixture() -> Vec<autokernel_analyze::Violation> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations.rs");
+    lint_file(&path).expect("fixture file is readable")
+}
+
+fn alloc_fixture() -> Vec<autokernel_analyze::Violation> {
+    // Named `cache.rs` so `rules_for` turns the no-alloc rule on.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/alloc/cache.rs");
     lint_file(&path).expect("fixture file is readable")
 }
 
@@ -55,6 +63,71 @@ fn cfg_test_code_is_exempt() {
         violations.iter().any(|v| v.rule == Rule::NoUnwrap),
         "the same construct outside tests is still flagged"
     );
+}
+
+#[test]
+fn alloc_fixture_flags_every_allocation_idiom() {
+    let violations = alloc_fixture();
+    let got: Vec<(usize, &'static str)> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::NoAlloc)
+        .map(|v| (v.line, v.rule.id()))
+        .collect();
+    // One violation per allocating line in `decide`: Vec::new, push,
+    // to_vec, clone, Box::new, String::from, format!.
+    assert_eq!(
+        got,
+        vec![
+            (6, "no-alloc"),
+            (7, "no-alloc"),
+            (8, "no-alloc"),
+            (9, "no-alloc"),
+            (10, "no-alloc"),
+            (11, "no-alloc"),
+            (12, "no-alloc"),
+        ],
+        "full violation list: {violations:#?}"
+    );
+}
+
+#[test]
+fn allow_fn_suppresses_the_whole_item_and_allow_the_line() {
+    let violations = alloc_fixture();
+    // `warm_up` (lines 16-21) carries lint:allow-fn(no-alloc); its
+    // Vec::new/push/to_vec must all be suppressed.
+    assert!(
+        violations.iter().all(|v| !(16..=21).contains(&v.line)),
+        "lint:allow-fn must cover the whole function body: {violations:#?}"
+    );
+    // The single line-level allow in `partially_allowed` (line 25).
+    assert!(
+        violations.iter().all(|v| v.line != 25),
+        "lint:allow must suppress the annotated line: {violations:#?}"
+    );
+    // And test-only allocation (lines 29+) is exempt.
+    assert!(
+        violations.iter().all(|v| v.line < 29),
+        "cfg(test) allocation must be exempt: {violations:#?}"
+    );
+}
+
+#[test]
+fn no_alloc_applies_only_to_decide_path_file_names() {
+    for file in DECIDE_PATH_FILES {
+        assert!(
+            rules_for(file).contains(&Rule::NoAlloc),
+            "{file} must carry the no-alloc rule"
+        );
+    }
+    for file in ["ingress.rs", "sched.rs", "violations.rs"] {
+        assert!(
+            !rules_for(file).contains(&Rule::NoAlloc),
+            "{file} must not carry the no-alloc rule"
+        );
+    }
+    // The panic-safety fixture allocates freely and must stay exactly
+    // as clean of no-alloc hits as before the rule existed.
+    assert!(fixture().iter().all(|v| v.rule != Rule::NoAlloc));
 }
 
 #[test]

@@ -77,7 +77,7 @@ impl CountingBloom {
     /// Count one occurrence of `shape` and return the *new* estimated
     /// occurrence count (the minimum probed counter after increment).
     pub fn observe(&self, shape: &GemmShape) -> u8 {
-        self.observed.fetch_add(1, Ordering::Relaxed);
+        self.observed.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
         let mut min = u8::MAX;
         for i in 0..self.hashes {
             let idx = self.probe(shape, i);
@@ -86,11 +86,12 @@ impl CountingBloom {
             };
             // Saturating increment via CAS: counters never wrap back to
             // "rare" once a shape has earned its admission.
-            let mut current = counter.load(Ordering::Relaxed);
+            let mut current = counter.load(Ordering::Relaxed); // atomic:role(counter)
             loop {
                 if current == u8::MAX {
                     break;
                 }
+                // atomic:role(counter)
                 match counter.compare_exchange_weak(
                     current,
                     current + 1,
@@ -116,7 +117,7 @@ impl CountingBloom {
         for i in 0..self.hashes {
             let idx = self.probe(shape, i);
             if let Some(counter) = self.counters.get(idx) {
-                min = min.min(counter.load(Ordering::Relaxed));
+                min = min.min(counter.load(Ordering::Relaxed)); // atomic:role(counter)
             }
         }
         min
@@ -124,7 +125,7 @@ impl CountingBloom {
 
     /// Total `observe` calls so far.
     pub fn observed(&self) -> u64 {
-        self.observed.load(Ordering::Relaxed)
+        self.observed.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// The configured counter-array size.
@@ -271,12 +272,13 @@ impl ShardedCache {
     /// written before the last [`ShardedCache::bump_generation`] read as
     /// absent. A live hit refreshes the entry's LRU stamp.
     pub fn get(&self, shape: &GemmShape) -> Option<usize> {
-        let generation = self.generation.load(Ordering::Acquire);
+        let generation = self.generation.load(Ordering::Acquire); // atomic:role(publish)
         let shard = self.shard_of(shape);
         let map = shard.map.read();
         let entry = map.get(shape).filter(|e| e.generation == generation)?;
+        // atomic:role(tick)
         entry.last_used.store(
-            shard.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            shard.tick.fetch_add(1, Ordering::Relaxed) + 1, // atomic:role(tick)
             Ordering::Relaxed,
         );
         Some(entry.config_index)
@@ -291,20 +293,20 @@ impl ShardedCache {
     /// shard evicts the least-recently-used entry — stale-generation
     /// entries first.
     pub fn insert(&self, shape: GemmShape, config_index: usize) -> Option<usize> {
-        let generation = self.generation.load(Ordering::Acquire);
+        let generation = self.generation.load(Ordering::Acquire); // atomic:role(publish)
         let shard = self.shard_of(&shape);
         let mut map = shard.map.write();
-        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1; // atomic:role(tick)
         if let Some(entry) = map.get_mut(&shape) {
             let previous = (entry.generation == generation).then_some(entry.config_index);
             entry.generation = generation;
             entry.config_index = config_index;
-            entry.last_used.store(tick, Ordering::Relaxed);
+            entry.last_used.store(tick, Ordering::Relaxed); // atomic:role(tick)
             return previous;
         }
         if let Some(bloom) = &self.bloom {
             if bloom.observe(&shape) < self.admit_threshold {
-                self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                self.admission_rejects.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
                 return None;
             }
         }
@@ -330,21 +332,21 @@ impl ShardedCache {
             .map(|(shape, entry)| {
                 let stale = entry.generation != generation;
                 // Stale entries sort before every live one.
-                let key = (!stale, entry.last_used.load(Ordering::Relaxed));
+                let key = (!stale, entry.last_used.load(Ordering::Relaxed)); // atomic:role(tick)
                 (*shape, key)
             })
             .min_by(|a, b| a.1.cmp(&b.1))
             .map(|(shape, _)| shape);
         if let Some(shape) = victim {
             map.remove(&shape);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
         }
     }
 
     /// Number of distinct shapes cached across all shards (current
     /// generation only).
     pub fn len(&self) -> usize {
-        let generation = self.generation.load(Ordering::Acquire);
+        let generation = self.generation.load(Ordering::Acquire); // atomic:role(publish)
         self.shards
             .iter()
             .map(|s| {
@@ -379,13 +381,13 @@ impl ShardedCache {
     /// generation. Stale entries are filtered on read and overwritten on
     /// the next insert for their shape; no lock is taken.
     pub fn bump_generation(&self) -> u64 {
-        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1 // atomic:role(publish)
     }
 
     /// The current cache generation (starts at 0, advanced by
     /// [`ShardedCache::bump_generation`]).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::Acquire) // atomic:role(publish)
     }
 
     /// The configured shard count.
@@ -400,13 +402,13 @@ impl ShardedCache {
 
     /// Entries evicted to make room (0 in unbounded mode).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Inserts the Bloom admission filter rejected (the shape had not
     /// yet recurred `admit_threshold` times).
     pub fn admission_rejects(&self) -> u64 {
-        self.admission_rejects.load(Ordering::Relaxed)
+        self.admission_rejects.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// The Bloom admission filter, when in bounded mode.
@@ -420,7 +422,7 @@ impl ShardedCache {
     /// hash so the encoding (and hence the section CRC) is
     /// deterministic for a given cache state.
     pub fn export_state(&self) -> crate::persist::CacheState {
-        let generation = self.generation.load(Ordering::Acquire);
+        let generation = self.generation.load(Ordering::Acquire); // atomic:role(publish)
         let shards = self
             .shards
             .iter()
@@ -432,12 +434,12 @@ impl ShardedCache {
                     .map(|(shape, e)| crate::persist::CacheEntryState {
                         shape: *shape,
                         config_index: e.config_index,
-                        last_used: e.last_used.load(Ordering::Relaxed),
+                        last_used: e.last_used.load(Ordering::Relaxed), // atomic:role(tick)
                     })
                     .collect();
                 entries.sort_by_key(|e| e.shape.stable_hash());
                 crate::persist::CacheShardState {
-                    tick: shard.tick.load(Ordering::Relaxed),
+                    tick: shard.tick.load(Ordering::Relaxed), // atomic:role(tick)
                     entries,
                 }
             })
@@ -448,7 +450,7 @@ impl ShardedCache {
             counters: b
                 .counters
                 .iter()
-                .map(|c| c.load(Ordering::Relaxed) as u64)
+                .map(|c| c.load(Ordering::Relaxed) as u64) // atomic:role(counter)
                 .collect(),
         });
         crate::persist::CacheState {
@@ -468,23 +470,24 @@ impl ShardedCache {
     /// Bloom counters apply only when the live filter has the same
     /// geometry; otherwise they are left cold and
     /// [`crate::persist::CacheRestoreStats::bloom_restored`] is false.
+    // lint:allow-fn(no-alloc) snapshot restore is a cold startup path
     pub fn restore_state(
         &self,
         state: &crate::persist::CacheState,
         shipped: &[usize],
     ) -> std::result::Result<crate::persist::CacheRestoreStats, String> {
-        let live = self.generation.load(Ordering::Acquire);
+        let live = self.generation.load(Ordering::Acquire); // atomic:role(publish)
         if state.generation < live {
             return Err(format!(
                 "cache generation regression: snapshot {} < live {}",
                 state.generation, live
             ));
         }
-        self.generation.store(state.generation, Ordering::Release);
+        self.generation.store(state.generation, Ordering::Release); // atomic:role(publish)
         let max_tick = state.shards.iter().map(|s| s.tick).max().unwrap_or(0);
         for shard in &self.shards {
-            let current = shard.tick.load(Ordering::Relaxed);
-            shard.tick.store(current.max(max_tick), Ordering::Relaxed);
+            let current = shard.tick.load(Ordering::Relaxed); // atomic:role(tick)
+            shard.tick.store(current.max(max_tick), Ordering::Relaxed); // atomic:role(tick)
         }
         let mut restored = 0u64;
         let mut skipped = 0u64;
@@ -519,9 +522,10 @@ impl ShardedCache {
                 if live.counters.len() == saved.counters.len() && live.hashes == saved.hashes =>
             {
                 for (counter, &value) in live.counters.iter().zip(&saved.counters) {
+                    // atomic:role(counter)
                     counter.store(value.min(u8::MAX as u64) as u8, Ordering::Relaxed);
                 }
-                live.observed.store(saved.observed, Ordering::Relaxed);
+                live.observed.store(saved.observed, Ordering::Relaxed); // atomic:role(counter)
                 true
             }
             (None, None) => true,
@@ -542,12 +546,18 @@ pub const LATENCY_BUCKETS: usize = 64;
 
 /// A fixed-bucket log2 latency histogram over lock-free atomics.
 ///
-/// The record path is two relaxed atomic increments and zero
-/// allocation — cheap enough for every request on the ingress hot path
-/// (and `hotpath_lint`-clean). Quantiles are read by walking the 64
-/// bucket counters and interpolating linearly inside the winning
-/// bucket, which bounds the error by the bucket's width (a factor of
-/// two — plenty for p50/p99 SLO telemetry).
+/// The record path is two atomic increments and zero allocation —
+/// cheap enough for every request on the ingress hot path (and
+/// `hotpath_lint`-clean). The bucket increment is relaxed; the `count`
+/// increment *releases* it, and quantile reads load `count` with
+/// acquire, so a reader can never observe more counted samples than
+/// bucketed ones (the `analyze::interleave` latency-histogram model
+/// checks exactly this invariant — with both increments relaxed, a
+/// reader could fall off the cumulative walk and return the `f64::MAX`
+/// sentinel). Quantiles walk the 64 bucket counters and interpolate
+/// linearly inside the winning bucket, which bounds the error by the
+/// bucket's width (a factor of two — plenty for p50/p99 SLO
+/// telemetry).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
@@ -570,18 +580,19 @@ impl LatencyHistogram {
     }
 
     /// Record one sample of `nanos` (0 is clamped to 1). Lock-free,
-    /// allocation-free.
+    /// allocation-free. The release on `count` publishes the bucket
+    /// increment to acquire readers.
     pub fn record(&self, nanos: u64) {
         let idx = 63 - nanos.max(1).leading_zeros() as usize;
         if let Some(bucket) = self.buckets.get(idx) {
-            bucket.fetch_add(1, Ordering::Relaxed);
-            self.count.fetch_add(1, Ordering::Relaxed);
+            bucket.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
+            self.count.fetch_add(1, Ordering::Release); // atomic:role(publish)
         }
     }
 
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Acquire) // atomic:role(publish)
     }
 
     /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`),
@@ -595,7 +606,7 @@ impl LatencyHistogram {
         let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            let n = bucket.load(Ordering::Relaxed);
+            let n = bucket.load(Ordering::Relaxed); // atomic:role(counter)
             if n == 0 {
                 continue;
             }
@@ -627,7 +638,7 @@ impl LatencyHistogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // atomic:role(counter)
             .collect()
     }
 
@@ -642,10 +653,10 @@ impl LatencyHistogram {
         }
         let mut total = 0u64;
         for (bucket, &n) in self.buckets.iter().zip(counts) {
-            bucket.store(n, Ordering::Relaxed);
+            bucket.store(n, Ordering::Relaxed); // atomic:role(counter)
             total = total.saturating_add(n);
         }
-        self.count.store(total, Ordering::Relaxed);
+        self.count.store(total, Ordering::Release); // atomic:role(publish)
         true
     }
 }
@@ -691,6 +702,7 @@ pub struct SelectionTelemetry {
 }
 
 impl SelectionTelemetry {
+    // lint:allow-fn(no-alloc) constructed once per selector, not per decision
     fn new(shipped: &[usize]) -> Self {
         SelectionTelemetry {
             hits: AtomicU64::new(0),
@@ -716,77 +728,77 @@ impl SelectionTelemetry {
     }
 
     pub(crate) fn record_stale_reward_dropped(&self) {
-        self.stale_rewards_dropped.fetch_add(1, Ordering::Relaxed);
+        self.stale_rewards_dropped.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_reward_update(&self) {
-        self.reward_updates.fetch_add(1, Ordering::Relaxed);
+        self.reward_updates.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_drift_event(&self) {
-        self.drift_events.fetch_add(1, Ordering::Relaxed);
+        self.drift_events.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_adaptive_pick(&self) {
-        self.adaptive_picks.fetch_add(1, Ordering::Relaxed);
+        self.adaptive_picks.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_resilient_launch(&self) {
-        self.resilient_launches.fetch_add(1, Ordering::Relaxed);
+        self.resilient_launches.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_launch_failure(&self) {
-        self.launch_failures.fetch_add(1, Ordering::Relaxed);
+        self.launch_failures.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_breaker_trip(&self) {
-        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_quarantine_skip(&self) {
-        self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
+        self.quarantine_skips.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_fallback_next_best(&self) {
-        self.fallback_next_best.fetch_add(1, Ordering::Relaxed);
+        self.fallback_next_best.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_fallback_reference(&self) {
-        self.fallback_reference.fetch_add(1, Ordering::Relaxed);
+        self.fallback_reference.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     pub(crate) fn record_fallback_skipped_invalid(&self) {
         self.fallback_skipped_invalid
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
     }
 
     fn record(&self, hit: bool, nanos: u64, config_index: usize) {
         self.decision_latency.record(nanos);
         if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.hit_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
+            self.hit_nanos.fetch_add(nanos, Ordering::Relaxed); // atomic:role(counter)
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.miss_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
+            self.miss_nanos.fetch_add(nanos, Ordering::Relaxed); // atomic:role(counter)
         }
         if let Some(slot) = self.shipped.iter().position(|&c| c == config_index) {
             // lint:allow(no-index) slot comes from position() over picks' twin
-            self.picks[slot].fetch_add(1, Ordering::Relaxed);
+            self.picks[slot].fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
         }
     }
 
     /// Selections answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Selections that ran the model.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Total completed selections (`hits + misses`).
@@ -810,7 +822,7 @@ impl SelectionTelemetry {
         if hits == 0 {
             0.0
         } else {
-            self.hit_nanos.load(Ordering::Relaxed) as f64 / hits as f64
+            self.hit_nanos.load(Ordering::Relaxed) as f64 / hits as f64 // atomic:role(counter)
         }
     }
 
@@ -820,73 +832,73 @@ impl SelectionTelemetry {
         if misses == 0 {
             0.0
         } else {
-            self.miss_nanos.load(Ordering::Relaxed) as f64 / misses as f64
+            self.miss_nanos.load(Ordering::Relaxed) as f64 / misses as f64 // atomic:role(counter)
         }
     }
 
     /// Launches completed through the resilient executor.
     pub fn resilient_launches(&self) -> u64 {
-        self.resilient_launches.load(Ordering::Relaxed)
+        self.resilient_launches.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Individual failed launch attempts the executor absorbed.
     pub fn launch_failures(&self) -> u64 {
-        self.launch_failures.load(Ordering::Relaxed)
+        self.launch_failures.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Retries of the *same* configuration after a transient fault.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Circuit-breaker transitions into the open state.
     pub fn breaker_trips(&self) -> u64 {
-        self.breaker_trips.load(Ordering::Relaxed)
+        self.breaker_trips.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Candidate configurations skipped because their breaker was open.
     pub fn quarantine_skips(&self) -> u64 {
-        self.quarantine_skips.load(Ordering::Relaxed)
+        self.quarantine_skips.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Launches served by a next-best shipped configuration.
     pub fn fallback_next_best(&self) -> u64 {
-        self.fallback_next_best.load(Ordering::Relaxed)
+        self.fallback_next_best.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Launches degraded all the way to the reference GEMM.
     pub fn fallback_reference(&self) -> u64 {
-        self.fallback_reference.load(Ordering::Relaxed)
+        self.fallback_reference.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Configurations excluded from the fallback chain (or skipped as a
     /// primary pick) because static analysis proved them invalid or
     /// dominated on the serving device.
     pub fn fallback_skipped_invalid(&self) -> u64 {
-        self.fallback_skipped_invalid.load(Ordering::Relaxed)
+        self.fallback_skipped_invalid.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Measured launch outcomes fed back into the online bandit.
     pub fn reward_updates(&self) -> u64 {
-        self.reward_updates.load(Ordering::Relaxed)
+        self.reward_updates.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Drift-detector trips (each re-ranks the bandit and bumps the
     /// decision-cache generation).
     pub fn drift_events(&self) -> u64 {
-        self.drift_events.load(Ordering::Relaxed)
+        self.drift_events.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Primary picks made by the adaptive (post-drift) stage rather
     /// than the offline classifier. These bypass the shape cache, so
     /// they are *not* part of `hits + misses`.
     pub fn adaptive_picks(&self) -> u64 {
-        self.adaptive_picks.load(Ordering::Relaxed)
+        self.adaptive_picks.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// Rewards discarded for carrying a stale selector generation.
     pub fn stale_rewards_dropped(&self) -> u64 {
-        self.stale_rewards_dropped.load(Ordering::Relaxed)
+        self.stale_rewards_dropped.load(Ordering::Relaxed) // atomic:role(counter)
     }
 
     /// The decision-latency histogram (cache hits and model runs).
@@ -900,7 +912,7 @@ impl SelectionTelemetry {
         self.shipped
             .iter()
             .zip(&self.picks)
-            .map(|(&c, n)| (c, n.load(Ordering::Relaxed)))
+            .map(|(&c, n)| (c, n.load(Ordering::Relaxed))) // atomic:role(counter)
             .collect()
     }
 
@@ -938,17 +950,18 @@ impl SelectionTelemetry {
 
     /// Export every counter and the latency histogram for
     /// `core::persist` snapshots.
+    // lint:allow-fn(no-alloc) snapshot export runs off the decide path
     pub fn export_state(&self) -> crate::persist::TelemetryState {
         crate::persist::TelemetryState {
             hits: self.hits(),
             misses: self.misses(),
-            hit_nanos: self.hit_nanos.load(Ordering::Relaxed),
-            miss_nanos: self.miss_nanos.load(Ordering::Relaxed),
+            hit_nanos: self.hit_nanos.load(Ordering::Relaxed), // atomic:role(counter)
+            miss_nanos: self.miss_nanos.load(Ordering::Relaxed), // atomic:role(counter)
             shipped: self.shipped.clone(),
             picks: self
                 .picks
                 .iter()
-                .map(|p| p.load(Ordering::Relaxed))
+                .map(|p| p.load(Ordering::Relaxed)) // atomic:role(counter)
                 .collect(),
             resilient_launches: self.resilient_launches(),
             launch_failures: self.launch_failures(),
@@ -969,6 +982,7 @@ impl SelectionTelemetry {
     /// Overwrite every counter from an exported state, so restart-
     /// spanning reports stay cumulative. The snapshot's shipped set and
     /// histogram geometry must match the live block exactly.
+    // lint:allow-fn(no-alloc) snapshot restore is a cold startup path
     pub fn restore_state(
         &self,
         state: &crate::persist::TelemetryState,
@@ -987,36 +1001,36 @@ impl SelectionTelemetry {
                 LATENCY_BUCKETS
             ));
         }
-        self.hits.store(state.hits, Ordering::Relaxed);
-        self.misses.store(state.misses, Ordering::Relaxed);
-        self.hit_nanos.store(state.hit_nanos, Ordering::Relaxed);
-        self.miss_nanos.store(state.miss_nanos, Ordering::Relaxed);
+        self.hits.store(state.hits, Ordering::Relaxed); // atomic:role(counter)
+        self.misses.store(state.misses, Ordering::Relaxed); // atomic:role(counter)
+        self.hit_nanos.store(state.hit_nanos, Ordering::Relaxed); // atomic:role(counter)
+        self.miss_nanos.store(state.miss_nanos, Ordering::Relaxed); // atomic:role(counter)
         for (pick, &n) in self.picks.iter().zip(&state.picks) {
-            pick.store(n, Ordering::Relaxed);
+            pick.store(n, Ordering::Relaxed); // atomic:role(counter)
         }
         self.resilient_launches
-            .store(state.resilient_launches, Ordering::Relaxed);
+            .store(state.resilient_launches, Ordering::Relaxed); // atomic:role(counter)
         self.launch_failures
-            .store(state.launch_failures, Ordering::Relaxed);
-        self.retries.store(state.retries, Ordering::Relaxed);
+            .store(state.launch_failures, Ordering::Relaxed); // atomic:role(counter)
+        self.retries.store(state.retries, Ordering::Relaxed); // atomic:role(counter)
         self.breaker_trips
-            .store(state.breaker_trips, Ordering::Relaxed);
+            .store(state.breaker_trips, Ordering::Relaxed); // atomic:role(counter)
         self.quarantine_skips
-            .store(state.quarantine_skips, Ordering::Relaxed);
+            .store(state.quarantine_skips, Ordering::Relaxed); // atomic:role(counter)
         self.fallback_next_best
-            .store(state.fallback_next_best, Ordering::Relaxed);
+            .store(state.fallback_next_best, Ordering::Relaxed); // atomic:role(counter)
         self.fallback_reference
-            .store(state.fallback_reference, Ordering::Relaxed);
+            .store(state.fallback_reference, Ordering::Relaxed); // atomic:role(counter)
         self.fallback_skipped_invalid
-            .store(state.fallback_skipped_invalid, Ordering::Relaxed);
+            .store(state.fallback_skipped_invalid, Ordering::Relaxed); // atomic:role(counter)
         self.reward_updates
-            .store(state.reward_updates, Ordering::Relaxed);
+            .store(state.reward_updates, Ordering::Relaxed); // atomic:role(counter)
         self.drift_events
-            .store(state.drift_events, Ordering::Relaxed);
+            .store(state.drift_events, Ordering::Relaxed); // atomic:role(counter)
         self.adaptive_picks
-            .store(state.adaptive_picks, Ordering::Relaxed);
+            .store(state.adaptive_picks, Ordering::Relaxed); // atomic:role(counter)
         self.stale_rewards_dropped
-            .store(state.stale_rewards_dropped, Ordering::Relaxed);
+            .store(state.stale_rewards_dropped, Ordering::Relaxed); // atomic:role(counter)
         Ok(())
     }
 }

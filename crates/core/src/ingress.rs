@@ -271,16 +271,16 @@ impl Shared {
 
     fn bump(counters: &[AtomicU64; PRIORITY_CLASSES], priority: Priority) {
         if let Some(c) = counters.get(priority.index()) {
-            c.fetch_add(1, Ordering::Relaxed);
+            c.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
         }
     }
 
     fn shed(&self, priority: Priority, reason: ShedReason) -> SubmitOutcome {
         match reason {
-            ShedReason::TenantQuota => self.shed_tenant.fetch_add(1, Ordering::Relaxed),
-            ShedReason::QueueFull => self.shed_queue.fetch_add(1, Ordering::Relaxed),
-            ShedReason::DeadlineExpired => self.shed_deadline.fetch_add(1, Ordering::Relaxed),
-            ShedReason::Shutdown => self.shed_shutdown.fetch_add(1, Ordering::Relaxed),
+            ShedReason::TenantQuota => self.shed_tenant.fetch_add(1, Ordering::Relaxed), // atomic:role(counter)
+            ShedReason::QueueFull => self.shed_queue.fetch_add(1, Ordering::Relaxed), // atomic:role(counter)
+            ShedReason::DeadlineExpired => self.shed_deadline.fetch_add(1, Ordering::Relaxed), // atomic:role(counter)
+            ShedReason::Shutdown => self.shed_shutdown.fetch_add(1, Ordering::Relaxed), // atomic:role(counter)
         };
         Self::bump(&self.class_shed, priority);
         SubmitOutcome::Shed(reason)
@@ -377,7 +377,7 @@ impl IngressHandle {
     /// misuse, not load.
     pub fn submit(&self, request: IngressRequest) -> Result<SubmitOutcome> {
         let shared = &self.shared;
-        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.submitted.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
         Shared::bump(&shared.class_submitted, request.priority);
 
         let now = Instant::now();
@@ -436,7 +436,7 @@ impl IngressHandle {
         };
         match sent {
             Ok(()) => {
-                shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                shared.enqueued.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
                 Ok(SubmitOutcome::Enqueued)
             }
             Err(()) => {
@@ -482,10 +482,10 @@ impl Snapshotter {
         match snapshot.save(&self.config.path) {
             Ok(()) => {
                 self.next_seq = self.next_seq.saturating_add(1);
-                shared.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                shared.snapshots_written.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
             }
             Err(_) => {
-                shared.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                shared.snapshot_errors.fetch_add(1, Ordering::Relaxed); // atomic:role(counter)
             }
         }
     }
@@ -677,7 +677,7 @@ fn report_from(shared: &Shared, waves: u64, fleet_degraded: bool) -> IngressRepo
         .map(|&p| {
             let i = p.index();
             let load = |c: &[AtomicU64; PRIORITY_CLASSES]| {
-                c.get(i).map(|v| v.load(Ordering::Relaxed)).unwrap_or(0)
+                c.get(i).map(|v| v.load(Ordering::Relaxed)).unwrap_or(0) // atomic:role(counter)
             };
             let (p50, p99) = shared
                 .latency
@@ -695,15 +695,15 @@ fn report_from(shared: &Shared, waves: u64, fleet_degraded: bool) -> IngressRepo
         })
         .collect();
     IngressReport {
-        submitted: shared.submitted.load(Ordering::Relaxed),
-        enqueued: shared.enqueued.load(Ordering::Relaxed),
-        served: shared.served.load(Ordering::Relaxed),
-        shed_tenant_quota: shared.shed_tenant.load(Ordering::Relaxed),
-        shed_queue_full: shared.shed_queue.load(Ordering::Relaxed),
-        shed_deadline: shared.shed_deadline.load(Ordering::Relaxed),
-        shed_shutdown: shared.shed_shutdown.load(Ordering::Relaxed),
-        snapshots_written: shared.snapshots_written.load(Ordering::Relaxed),
-        snapshot_errors: shared.snapshot_errors.load(Ordering::Relaxed),
+        submitted: shared.submitted.load(Ordering::Relaxed), // atomic:role(counter)
+        enqueued: shared.enqueued.load(Ordering::Relaxed),   // atomic:role(counter)
+        served: shared.served.load(Ordering::Relaxed),       // atomic:role(counter)
+        shed_tenant_quota: shared.shed_tenant.load(Ordering::Relaxed), // atomic:role(counter)
+        shed_queue_full: shared.shed_queue.load(Ordering::Relaxed), // atomic:role(counter)
+        shed_deadline: shared.shed_deadline.load(Ordering::Relaxed), // atomic:role(counter)
+        shed_shutdown: shared.shed_shutdown.load(Ordering::Relaxed), // atomic:role(counter)
+        snapshots_written: shared.snapshots_written.load(Ordering::Relaxed), // atomic:role(counter)
+        snapshot_errors: shared.snapshot_errors.load(Ordering::Relaxed), // atomic:role(counter)
         classes,
         waves,
         fleet_degraded,
@@ -777,7 +777,7 @@ fn dispatch(
         }
         shared
             .served
-            .fetch_add(kept.len() as u64, Ordering::Relaxed);
+            .fetch_add(kept.len() as u64, Ordering::Relaxed); // atomic:role(counter)
         if let Some(snapshotter) = snapshotter.as_mut() {
             snapshotter.after_chunk(&scheduler, &shared);
         }

@@ -195,6 +195,7 @@ impl OnlineSelector {
     /// offline score in `[0, 1]` per shipped configuration, in
     /// `Selector::configs()` order (the pipeline's train-set mean
     /// normalised performance — see `TuningPipeline::online_selector`).
+    // lint:allow-fn(no-alloc) constructed once per deployment, not per decision
     pub fn new(
         cached: Arc<CachedSelector>,
         priors: Vec<f64>,
@@ -246,7 +247,7 @@ impl OnlineSelector {
 
     /// Whether the adaptive stage is active (false until first drift).
     pub fn is_adaptive(&self) -> bool {
-        self.adaptive.load(Ordering::Acquire)
+        self.adaptive.load(Ordering::Acquire) // atomic:role(flag)
     }
 
     /// The current selector generation. Capture this at decision time
@@ -254,7 +255,7 @@ impl OnlineSelector {
     /// generation are discarded (see
     /// [`OnlineSelector::record_success`]).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::Acquire) // atomic:role(publish)
     }
 
     /// Point-in-time online counters.
@@ -477,6 +478,7 @@ impl OnlineSelector {
     /// Clusters are emitted in sorted key order so the encoding is
     /// deterministic (snapshot CRCs are stable across captures of the
     /// same state).
+    // lint:allow-fn(no-alloc) snapshot export runs off the decide path
     pub fn export_state(&self) -> crate::persist::OnlineState {
         let inner = self.inner.lock();
         let mut clusters: Vec<crate::persist::ClusterSnapshot> = inner
@@ -520,6 +522,7 @@ impl OnlineSelector {
     /// dropped rather than poisoning the bandit; the return value is
     /// the number of clusters dropped. A restored adaptive selector
     /// resumes in the adaptive stage with its evidence intact.
+    // lint:allow-fn(no-alloc) snapshot restore is a cold startup path
     pub fn restore_state(
         &self,
         state: &crate::persist::OnlineState,
@@ -586,8 +589,8 @@ impl OnlineSelector {
             min_m: state.ph_min_m,
         };
         drop(inner);
-        self.generation.store(state.generation, Ordering::Release);
-        self.adaptive.store(state.adaptive, Ordering::Release);
+        self.generation.store(state.generation, Ordering::Release); // atomic:role(publish)
+        self.adaptive.store(state.adaptive, Ordering::Release); // atomic:role(flag)
         Ok(dropped)
     }
 
@@ -607,8 +610,8 @@ impl OnlineSelector {
         // Advance the selector generation *before* flipping adaptive on:
         // a reward captured under the old generation must already see
         // the new value and be dropped.
-        self.generation.fetch_add(1, Ordering::AcqRel);
-        self.adaptive.store(true, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::AcqRel); // atomic:role(publish)
+        self.adaptive.store(true, Ordering::Release); // atomic:role(flag)
         self.cached.invalidate_generation();
         self.cached.telemetry().record_drift_event();
     }

@@ -110,6 +110,7 @@ impl Selector {
     /// Train a selector with an explicit feature representation.
     ///
     /// Labels are the best shipped configuration per training shape.
+    // lint:allow-fn(no-alloc) training is offline; the decide path never runs it
     pub fn train_in_space(
         kind: SelectorKind,
         ds: &PerformanceDataset,
@@ -206,6 +207,8 @@ impl Selector {
         }
     }
 
+    // lint:allow-fn(no-alloc) model-run path: executes once per distinct shape
+    // (cache misses only), and the Matrix API takes owned rows
     fn featurise_shape(&self, shape: &GemmShape) -> Result<Matrix> {
         let raw = match self.space {
             FeatureSpace::RawSizes => shape.features(),

@@ -5,9 +5,11 @@
 #                              after a warm build; the inner-loop gate)
 #   scripts/check.sh full   -- everything: the whole test suite, the
 #                              hot-path lint and its must-fail fixture,
-#                              the analyzer self-check, the serving
-#                              examples and the bench-regression gate
-#                              (the default, and what CI runs)
+#                              the analyzer self-check, the concurrency
+#                              audit (atomic roles, lock order, model
+#                              checker), the serving examples and the
+#                              bench-regression gate (the default, and
+#                              what CI runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +67,17 @@ echo "    fixture correctly rejected"
 
 echo "==> kernel-space analyzer self-check (analyzer vs validate_launch)"
 cargo run -q --release --bin analyze_space
+
+echo "==> concurrency audit (atomic roles + lock order + model checker, < 60s)"
+cargo build -q --release --bin concurrency_audit
+conc_start=$(date +%s%N)
+./target/release/concurrency_audit
+conc_ms=$(( ($(date +%s%N) - conc_start) / 1000000 ))
+echo "    audit wall time: ${conc_ms} ms"
+if [ "${conc_ms}" -ge 60000 ]; then
+    echo "    FAIL: concurrency audit exceeded the 60s budget" >&2
+    exit 1
+fi
 
 echo "==> resilient serving example (cargo run --release --example resilient_serving)"
 cargo run --release --example resilient_serving
