@@ -34,7 +34,10 @@
 //! and that doing so cheaply pays for itself many times over in a
 //! tuning sweep. The `TuningPipeline` consumes [`analyzer`] verdicts to
 //! pre-prune statically invalid configurations, and the resilient
-//! executor refuses to place them in its fallback chain.
+//! executor refuses to place them in its fallback chain. The
+//! [`scorer`] module pushes the observation to its limit: a
+//! zero-benchmark roofline ranking of the full space usable as a
+//! cold-start selector, a bandit prior and a pruning oracle.
 
 #![warn(missing_docs)]
 
@@ -43,6 +46,7 @@ pub mod concurrency;
 pub mod interleave;
 pub mod lint;
 pub mod report;
+pub mod scorer;
 
 pub use analyzer::{
     ConfigAnalysis, KernelSpaceAnalyzer, SpaceAnalysis, Verdict, DEGRADED_OCCUPANCY,
@@ -54,6 +58,7 @@ pub use concurrency::{
 pub use interleave::{self_check, CounterExample, Exploration, Model, Mutation};
 pub use lint::{
     lint_file, lint_source, lint_source_with, rules_for, Rule, Violation, DECIDE_PATH_FILES,
-    HOT_PATH_FILES,
+    HOT_PATH_FILES, TOTAL_CMP_FILES,
 };
 pub use report::{render_report, sarif_report, TOOL_NAME};
+pub use scorer::AnalyticalScorer;

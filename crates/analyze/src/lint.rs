@@ -76,6 +76,22 @@ pub const HOT_PATH_FILES: [&str; 13] = [
 /// so both workspace-relative and absolute invocations agree.
 pub const DECIDE_PATH_FILES: [&str; 3] = ["cache.rs", "online.rs", "select.rs"];
 
+/// Files carrying *only* the `no-partial-cmp` rule: training-time code
+/// whose NaN-ordering panics were swept in the hdbscan/svm/tree/eigen
+/// and tuner cleanups. They legitimately use `unwrap`/indexing off the
+/// serving path, so the full panic-safety set would drown them in
+/// false positives — but a `partial_cmp` regression here reintroduces
+/// the exact bug class the sweep removed. Matched by path suffix so
+/// workspace-relative and absolute invocations agree.
+pub const TOTAL_CMP_FILES: [&str; 6] = [
+    "crates/mlkit/src/eigen.rs",
+    "crates/mlkit/src/hdbscan.rs",
+    "crates/mlkit/src/svm.rs",
+    "crates/mlkit/src/tree.rs",
+    "crates/tuner/src/objective.rs",
+    "crates/tuner/src/strategies.rs",
+];
+
 /// A lint rule the hot path must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
@@ -170,13 +186,18 @@ impl fmt::Display for Violation {
     }
 }
 
-/// The rule set a given path must satisfy: panic safety everywhere, plus
+/// The rule set a given path must satisfy: `no-partial-cmp` alone for
+/// [`TOTAL_CMP_FILES`], otherwise panic safety everywhere, plus
 /// `no-alloc` when the file name is one of [`DECIDE_PATH_FILES`].
 pub fn rules_for(path: &str) -> Vec<Rule> {
     let name = Path::new(path)
         .file_name()
         .and_then(|n| n.to_str())
         .unwrap_or(path);
+    let normalized = path.replace('\\', "/");
+    if TOTAL_CMP_FILES.iter().any(|f| normalized.ends_with(f)) {
+        return vec![Rule::NoPartialCmp];
+    }
     let mut rules: Vec<Rule> = Rule::PANIC_SAFETY.to_vec();
     if DECIDE_PATH_FILES.contains(&name) {
         rules.push(Rule::NoAlloc);

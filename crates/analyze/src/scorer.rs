@@ -1,0 +1,317 @@
+//! Analytical zero-benchmark scorer for the kernel configuration space.
+//!
+//! [`AnalyticalScorer`] ranks all 640 [`KernelConfig`]s for any
+//! `(M, K, N)` on any [`DeviceSpec`] **without a single simulated
+//! launch**, in the spirit of tritonBLAS (arXiv:2512.04226): every term
+//! is derived from mechanisms the repo already owns —
+//!
+//! - **occupancy** and **latency hiding** from `sycl-sim::perf` (the
+//!   exact saturation curve the simulator prices with),
+//! - **coalescing**, **cache reuse** and **ILP** from `gemm::model`,
+//! - **tile-quantisation waste** (useful vs. dispatched items, the
+//!   `utilization` mechanism), and
+//! - **arithmetic intensity vs. the device roofline**
+//!   (`peak_flops` / `mem_bandwidth` / `cache_bandwidth`).
+//!
+//! The score of a configuration is its modelled *useful* FLOP rate as
+//! a fraction of device peak — higher is better, `0.0` means the
+//! runtime would reject the launch outright. The scorer deliberately
+//! omits the simulator's tail-pass quantisation, launch overhead and
+//! deterministic noise: overhead is configuration-independent (it
+//! cancels in ranking) and the other two are measurement-level detail
+//! a zero-benchmark model cannot see. The result is a coarser ranking
+//! than `estimate_cost`, exact enough to be a cold-start selector, a
+//! bandit prior and a pruning oracle (see `core::select`,
+//! `core::pipeline`).
+//!
+//! Construction classifies each configuration once (validity is
+//! shape-independent, exactly as [`crate::KernelSpaceAnalyzer`]
+//! establishes); per-shape scoring is then pure arithmetic —
+//! O(shipped-set) work per pick and well under a microsecond for a
+//! shipped set of six.
+
+use autokernel_gemm::{model, GemmShape, KernelConfig};
+use autokernel_sycl_sim::perf::{latency_hiding, occupancy};
+use autokernel_sycl_sim::resources::check_launch;
+use autokernel_sycl_sim::DeviceSpec;
+
+/// Shape-independent per-configuration facts, computed once.
+#[derive(Debug, Clone)]
+struct ConfigEntry {
+    config: KernelConfig,
+    /// Whether the runtime would accept a launch of this configuration
+    /// on the device (shape-independent: the checks read only the
+    /// work-group size and per-group LDS demand).
+    launchable: bool,
+    /// Achieved occupancy fraction (also shape-independent: registers
+    /// and LDS are functions of the configuration alone).
+    occupancy: f64,
+}
+
+/// Zero-benchmark analytical ranker over the 640-point space.
+///
+/// ```
+/// use autokernel_analyze::AnalyticalScorer;
+/// use autokernel_gemm::GemmShape;
+/// use autokernel_sycl_sim::DeviceSpec;
+///
+/// let scorer = AnalyticalScorer::new(&DeviceSpec::amd_r9_nano());
+/// let ranked = scorer.rank_all(&GemmShape::new(1024, 1024, 1024));
+/// assert_eq!(ranked.len(), 640);
+/// assert!(ranked[0].1 >= ranked[639].1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalyticalScorer {
+    device: DeviceSpec,
+    entries: Vec<ConfigEntry>,
+}
+
+impl AnalyticalScorer {
+    /// Build a scorer for `device`, classifying all 640 configurations
+    /// (launchability + occupancy) once up front.
+    pub fn new(device: &DeviceSpec) -> Self {
+        // Validity and occupancy are shape-independent; any well-formed
+        // shape works as the probe. 1024^3 matches the analyzer's
+        // canonical choice.
+        let probe = GemmShape::new(1024, 1024, 1024);
+        let entries = KernelConfig::all()
+            .into_iter()
+            .map(|config| {
+                let profile = model::profile(&config, &probe, device);
+                match model::launch_range(&config, &probe) {
+                    Ok(range) => ConfigEntry {
+                        launchable: check_launch(device, &profile, &range).is_ok(),
+                        occupancy: occupancy(device, &profile, &range),
+                        config,
+                    },
+                    Err(_) => ConfigEntry {
+                        launchable: false,
+                        occupancy: 0.0,
+                        config,
+                    },
+                }
+            })
+            .collect();
+        AnalyticalScorer {
+            device: device.clone(),
+            entries,
+        }
+    }
+
+    /// The device this scorer models.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Whether the runtime would accept config `index` on this device.
+    /// Unknown indices are not launchable.
+    pub fn launchable(&self, index: usize) -> bool {
+        self.entries.get(index).is_some_and(|e| e.launchable)
+    }
+
+    /// Analytical score of config `index` on `shape`: modelled useful
+    /// FLOP rate as a fraction of device peak, in `[0, 1]`. `0.0` for
+    /// unlaunchable configurations and unknown indices. Pure
+    /// arithmetic — no launch, no allocation.
+    pub fn score_index(&self, index: usize, shape: &GemmShape) -> f64 {
+        match self.entries.get(index) {
+            Some(entry) if entry.launchable => self.score_entry(entry, shape),
+            _ => 0.0,
+        }
+    }
+
+    /// Analytical score of `config` on `shape` (see [`Self::score_index`]).
+    pub fn score(&self, config: &KernelConfig, shape: &GemmShape) -> f64 {
+        self.score_index(config.index(), shape)
+    }
+
+    fn score_entry(&self, entry: &ConfigEntry, shape: &GemmShape) -> f64 {
+        let cfg = &entry.config;
+        let dev = &self.device;
+
+        // Tile quantisation: useful vs. dispatched work-items. Counted
+        // in f64 so degenerate shapes cannot overflow.
+        let grid = model::useful_grid(cfg, shape);
+        let padded_rows = grid[0].div_ceil(cfg.work_group.rows) * cfg.work_group.rows;
+        let padded_cols = grid[1].div_ceil(cfg.work_group.cols) * cfg.work_group.cols;
+        let useful = grid[0] as f64 * grid[1] as f64;
+        let dispatched = padded_rows as f64 * padded_cols as f64;
+        if useful <= 0.0 || dispatched <= 0.0 {
+            return 0.0;
+        }
+        let util = (useful / dispatched).clamp(0.0, 1.0);
+
+        // Compute side of the roofline: peak scaled by the same
+        // latency-hiding saturation, device fill and ILP the simulator
+        // uses.
+        let ilp = model::ilp(cfg, shape).clamp(0.05, 1.0);
+        let hiding = latency_hiding(entry.occupancy, ilp);
+        let fill = (dispatched / dev.total_lanes() as f64).clamp(1e-6, 1.0);
+        let eff_flops = (dev.peak_flops * hiding * fill * ilp).max(1.0);
+
+        let k = shape.k as f64;
+        let flops_per_item = 2.0 * (cfg.tile_rows * cfg.tile_cols) as f64 * k;
+        let bytes_per_item = 4.0
+            * ((cfg.tile_rows + cfg.tile_cols) as f64 * k + (cfg.tile_rows * cfg.tile_cols) as f64);
+        let compute_s_per_item = flops_per_item / eff_flops;
+
+        // Memory side: raw traffic split by cache reuse, DRAM part
+        // divided by coalescing-scaled bandwidth.
+        let reuse = model::cache_reuse(cfg, shape).clamp(0.0, 0.999);
+        let coal = model::coalescing(cfg, dev, shape).clamp(0.02, 1.0);
+        let memory_s_per_item = bytes_per_item * (1.0 - reuse)
+            / (dev.mem_bandwidth * coal * fill.max(0.05))
+            + bytes_per_item * reuse / dev.cache_bandwidth;
+
+        // Roofline: the slower side bounds throughput. Useful FLOPs per
+        // second, normalised by peak, discounts padding waste exactly
+        // like `utilization` does in the priced model.
+        let s_per_item = compute_s_per_item
+            .max(memory_s_per_item)
+            .max(f64::MIN_POSITIVE);
+        let useful_flop_rate = flops_per_item * util / s_per_item;
+        (useful_flop_rate / dev.peak_flops.max(1.0)).clamp(0.0, 1.0)
+    }
+
+    /// Score every configuration for `shape`, returned as
+    /// `(config_index, score)` sorted best-first (ties broken by lower
+    /// index for determinism).
+    pub fn rank_all(&self, shape: &GemmShape) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = (0..self.entries.len())
+            .map(|i| (i, self.score_index(i, shape)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// The `n` best config indices for `shape`, best first. Only
+    /// launchable configurations are returned, so the result may be
+    /// shorter than `n` on restrictive devices.
+    pub fn top_n(&self, shape: &GemmShape, n: usize) -> Vec<usize> {
+        self.rank_all(shape)
+            .into_iter()
+            .filter(|&(i, s)| s > 0.0 && self.launchable(i))
+            .take(n)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Best launchable configuration among `allowed` for `shape`, or
+    /// `None` when the set is empty or nothing in it can launch.
+    /// Allocation-free argmax: this is the decide-path entry point.
+    pub fn pick_among(&self, shape: &GemmShape, allowed: &[usize]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for &index in allowed {
+            if !self.launchable(index) {
+                continue;
+            }
+            let score = self.score_index(index, shape);
+            let better = match best {
+                None => true,
+                Some((best_index, best_score)) => {
+                    score > best_score || (score == best_score && index < best_index)
+                }
+            };
+            if better {
+                best = Some((index, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Number of configurations this scorer knows (the full space).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the configuration space is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_finite_in_unit_range_and_zero_iff_unlaunchable() {
+        let scorer = AnalyticalScorer::new(&DeviceSpec::edge_dsp());
+        let shape = GemmShape::new(512, 512, 512);
+        for i in 0..scorer.len() {
+            let s = scorer.score_index(i, &shape);
+            assert!(s.is_finite(), "config {i} score {s} not finite");
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "config {i} score {s} out of range"
+            );
+            if !scorer.launchable(i) {
+                assert_eq!(s, 0.0, "unlaunchable config {i} must score 0");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_all_is_sorted_and_complete() {
+        let scorer = AnalyticalScorer::new(&DeviceSpec::amd_r9_nano());
+        let ranked = scorer.rank_all(&GemmShape::new(784, 1152, 128));
+        assert_eq!(ranked.len(), KernelConfig::count());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Every index appears exactly once.
+        let mut seen = vec![false; ranked.len()];
+        for &(i, _) in &ranked {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn pick_among_honours_the_allowed_set() {
+        let scorer = AnalyticalScorer::new(&DeviceSpec::amd_r9_nano());
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let allowed = [3, 77, 401, 638];
+        let pick = scorer.pick_among(&shape, &allowed).unwrap();
+        assert!(allowed.contains(&pick));
+        // And it picks the argmax of the allowed scores.
+        let best = allowed
+            .iter()
+            .map(|&i| (i, scorer.score_index(i, &shape)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        assert_eq!(pick, best);
+        assert_eq!(scorer.pick_among(&shape, &[]), None);
+    }
+
+    #[test]
+    fn unlaunchable_only_sets_yield_none() {
+        let scorer = AnalyticalScorer::new(&DeviceSpec::edge_dsp());
+        let shape = GemmShape::new(256, 256, 256);
+        let rejected: Vec<usize> = (0..scorer.len())
+            .filter(|&i| !scorer.launchable(i))
+            .collect();
+        assert!(!rejected.is_empty(), "edge DSP must reject some configs");
+        assert_eq!(
+            scorer.pick_among(&shape, &rejected[..6.min(rejected.len())]),
+            None
+        );
+    }
+
+    #[test]
+    fn bigger_tiles_win_on_big_compute_bound_shapes() {
+        // Sanity of the ranking direction: on a large square GEMM the
+        // scorer must prefer some multi-item tile over the scalar
+        // 1x1-tile configurations (which have minimal arithmetic
+        // intensity and ILP).
+        let scorer = AnalyticalScorer::new(&DeviceSpec::amd_r9_nano());
+        let shape = GemmShape::new(2048, 2048, 2048);
+        let best = scorer.rank_all(&shape)[0].0;
+        let cfg = KernelConfig::from_index(best).unwrap();
+        assert!(
+            cfg.tile_rows * cfg.tile_cols > 1,
+            "top config {cfg} should not be a scalar tile"
+        );
+    }
+}

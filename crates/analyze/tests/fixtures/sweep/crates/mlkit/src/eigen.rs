@@ -1,0 +1,19 @@
+//! Deliberately violating fixture for the NaN-ordering sweep set: the
+//! path ends in `crates/mlkit/src/eigen.rs`, so `rules_for` applies
+//! only `no-partial-cmp`. The unwrap and non-literal indexing below are
+//! training-time idiom and must NOT be flagged; both comparators MUST.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 7: no-partial-cmp
+}
+
+pub fn pick_min(xs: &[(usize, f64)]) -> usize {
+    xs.iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()) // line 12: no-partial-cmp
+        .map(|p| p.0)
+        .unwrap() // exempt: panic-safety rules do not apply to this set
+}
+
+pub fn first(xs: &[f64], i: usize) -> f64 {
+    xs[i + 1] // exempt: panic-safety rules do not apply to this set
+}

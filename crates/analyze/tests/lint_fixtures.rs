@@ -5,7 +5,7 @@
 //! decide-path `no-alloc` rule must apply only to decide-path file
 //! names.
 
-use autokernel_analyze::{lint_file, rules_for, Rule, DECIDE_PATH_FILES};
+use autokernel_analyze::{lint_file, rules_for, Rule, DECIDE_PATH_FILES, TOTAL_CMP_FILES};
 use std::path::Path;
 
 fn fixture() -> Vec<autokernel_analyze::Violation> {
@@ -128,6 +128,42 @@ fn no_alloc_applies_only_to_decide_path_file_names() {
     // The panic-safety fixture allocates freely and must stay exactly
     // as clean of no-alloc hits as before the rule existed.
     assert!(fixture().iter().all(|v| v.rule != Rule::NoAlloc));
+}
+
+fn sweep_fixture() -> Vec<autokernel_analyze::Violation> {
+    // Path suffix matches a TOTAL_CMP_FILES entry, so only the
+    // no-partial-cmp rule applies.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/sweep/crates/mlkit/src/eigen.rs");
+    lint_file(&path).expect("fixture file is readable")
+}
+
+#[test]
+fn sweep_fixture_flags_sort_comparators_and_nothing_else() {
+    let violations = sweep_fixture();
+    let got: Vec<(usize, &'static str)> =
+        violations.iter().map(|v| (v.line, v.rule.id())).collect();
+    assert_eq!(
+        got,
+        vec![(7, "no-partial-cmp"), (12, "no-partial-cmp")],
+        "full violation list: {violations:#?}"
+    );
+}
+
+#[test]
+fn total_cmp_files_carry_only_the_partial_cmp_rule() {
+    for file in TOTAL_CMP_FILES {
+        assert_eq!(
+            rules_for(file),
+            vec![Rule::NoPartialCmp],
+            "{file} must carry exactly the no-partial-cmp rule"
+        );
+        // Absolute invocations (as from CI working dirs) must agree.
+        let absolute = format!("/some/checkout/{file}");
+        assert_eq!(rules_for(&absolute), vec![Rule::NoPartialCmp]);
+    }
+    // Hot-path files keep the full panic-safety set.
+    assert!(rules_for("crates/core/src/online.rs").contains(&Rule::NoUnwrap));
 }
 
 #[test]

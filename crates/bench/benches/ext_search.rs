@@ -54,7 +54,10 @@ fn main() {
             let mut log_sum = 0.0f64;
             let mut count = 0usize;
             for shape in shapes {
-                let optimum = GemmObjective::new(&device, shape).brute_force_best().1;
+                let optimum = GemmObjective::new(&device, shape)
+                    .brute_force_best()
+                    .expect("non-empty space")
+                    .1;
                 for seed in 0..5u64 {
                     let obj = GemmObjective::new(&device, shape);
                     let r = strategy.tune(&obj, budget, seed);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the analytical zero-benchmark
+//! selector: how much does a roofline ranking cost per decision, and
+//! how close does it get to the shipped-set oracle without pricing a
+//! single launch?
+//!
+//! The serving claim is the same as the paper's Section IV argument for
+//! trees — a selection process is only useful if its cost disappears
+//! next to the kernel it selects — so the gate tracks the per-shape
+//! pick among the shipped set (must stay under a microsecond) and the
+//! full 640-config ranking, plus the deterministic quality metrics the
+//! head-to-head (`analytical_eval`) reports.
+
+use autokernel_bench::{paper_dataset, save_result, standard_split, SPLIT_SEED};
+use autokernel_core::evaluate::{achievable_score, selection_score};
+use autokernel_core::{AnalyticalSelector, PruneMethod};
+use autokernel_gemm::GemmShape;
+use autokernel_sycl_sim::DeviceSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic quality + wall-clock cost of the analytical selector,
+/// persisted for the bench gate and EXPERIMENTS.md.
+#[derive(serde::Serialize)]
+struct MicroAnalyticalResult {
+    /// ns per pick among the shipped set (the serving decision).
+    select_among_shipped_ns: f64,
+    /// ns to rank the full 640-config space for one shape.
+    rank_all_640_ns: f64,
+    /// Held-out geomean of the analytical picks (Table I metric).
+    analytical_test_geomean: f64,
+    /// Fraction of the shipped-set oracle ceiling the geomean reaches.
+    analytical_oracle_fraction: f64,
+}
+
+fn bench_analytical(c: &mut Criterion) {
+    let device = DeviceSpec::amd_r9_nano();
+    let ds = paper_dataset();
+    let split = standard_split(&ds);
+    let shipped = PruneMethod::DecisionTree
+        .select(&ds, &split.train, 6, SPLIT_SEED)
+        .unwrap();
+    let selector = AnalyticalSelector::with_candidates(&device, &shipped).unwrap();
+    let probe = GemmShape::new(3136, 576, 192);
+
+    let mut group = c.benchmark_group("analytical");
+    group.bench_function("select_among_shipped", |bench| {
+        bench.iter(|| black_box(selector.select_shape(black_box(&probe)).unwrap()));
+    });
+    let scorer = selector.scorer();
+    group.bench_function("rank_all_640", |bench| {
+        bench.iter(|| black_box(scorer.rank_all(black_box(&probe))));
+    });
+    group.finish();
+
+    // Quality on the held-out rows: zero launches spent deciding.
+    let chosen: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&row| selector.select_shape(&ds.shapes[row]).unwrap())
+        .collect();
+    let geomean = selection_score(&ds, &split.test, &chosen);
+    let ceiling = achievable_score(&ds, &split.test, &shipped);
+
+    let time_ns = |f: &dyn Fn()| {
+        let reps = 3000u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let result = MicroAnalyticalResult {
+        select_among_shipped_ns: time_ns(&|| {
+            black_box(selector.select_shape(black_box(&probe)).unwrap());
+        }),
+        rank_all_640_ns: time_ns(&|| {
+            black_box(scorer.rank_all(black_box(&probe)));
+        }),
+        analytical_test_geomean: geomean,
+        analytical_oracle_fraction: if ceiling > 0.0 {
+            geomean / ceiling
+        } else {
+            0.0
+        },
+    };
+    println!(
+        "analytical: pick among shipped {:.0} ns, rank all 640 {:.0} ns, \
+         held-out geomean {:.4} ({:.1}% of oracle ceiling)",
+        result.select_among_shipped_ns,
+        result.rank_all_640_ns,
+        result.analytical_test_geomean,
+        result.analytical_oracle_fraction * 100.0
+    );
+    // The serving-cost claim is absolute, not just regression-gated:
+    // one analytical pick must stay well under a microsecond.
+    assert!(
+        result.select_among_shipped_ns < 1000.0,
+        "analytical pick took {:.0} ns — the zero-benchmark selector lost its \
+         cheap-decision argument",
+        result.select_among_shipped_ns
+    );
+    save_result("micro_analytical", &result);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_analytical
+);
+criterion_main!(benches);

@@ -175,6 +175,34 @@ const MANIFEST: &[(&str, &str, Direction, f64)] = &[
         Direction::LowerBetter,
         TIMING_TOLERANCE,
     ),
+    // micro_analytical: deterministic zero-benchmark selection quality
+    // (pure functions of the device model + seeded split), plus the
+    // wall-clock cost of one analytical decision — the ISSUE's sub-µs
+    // serving claim is additionally hard-asserted inside the bench.
+    (
+        "micro_analytical",
+        "analytical_test_geomean",
+        Direction::HigherBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    (
+        "micro_analytical",
+        "analytical_oracle_fraction",
+        Direction::HigherBetter,
+        DEFAULT_TOLERANCE,
+    ),
+    (
+        "micro_analytical",
+        "select_among_shipped_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
+    (
+        "micro_analytical",
+        "rank_all_640_ns",
+        Direction::LowerBetter,
+        TIMING_TOLERANCE,
+    ),
 ];
 
 fn load(dir: &Path, stem: &str) -> Result<Value, String> {

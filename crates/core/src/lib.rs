@@ -78,7 +78,7 @@ pub use sched::{
     Assignment, DeviceReport, DeviceShard, GemmRequest, RoutingPolicy, SchedConfig, SchedReport,
     SchedTelemetry, ShardedScheduler,
 };
-pub use select::{Selector, SelectorKind};
+pub use select::{AnalyticalSelector, FeatureSpace, Selector, SelectorKind};
 
 /// Errors from the selection pipeline.
 #[derive(Debug)]
@@ -92,6 +92,10 @@ pub enum CoreError {
     /// A selector produced a configuration index outside the global
     /// 640-config space — a corrupted model artefact, not a user error.
     BadConfigIndex(usize),
+    /// No configuration in the candidate set can launch on the target
+    /// device (analytical cold-start selection over an empty or fully
+    /// rejected set).
+    NoLaunchableConfig,
     /// Every shard in the fleet has melted down: the scheduler degraded
     /// the leftover traffic to the reference-kernel path and reports it
     /// here instead of spinning or panicking.
@@ -109,6 +113,12 @@ impl std::fmt::Display for CoreError {
             CoreError::Dataset(s) => write!(f, "dataset error: {s}"),
             CoreError::BadConfigIndex(i) => {
                 write!(f, "config index {i} outside the kernel configuration space")
+            }
+            CoreError::NoLaunchableConfig => {
+                write!(
+                    f,
+                    "no candidate configuration can launch on the target device"
+                )
             }
             CoreError::FleetMeltdown { degraded } => write!(
                 f,

@@ -10,7 +10,7 @@ use crate::prune::PruneMethod;
 use crate::resilient::{ResilientExecutor, ResilientPolicy};
 use crate::select::{Selector, SelectorKind};
 use crate::{CoreError, Result};
-use autokernel_analyze::{KernelSpaceAnalyzer, SpaceAnalysis};
+use autokernel_analyze::{AnalyticalScorer, KernelSpaceAnalyzer, SpaceAnalysis};
 use autokernel_gemm::{GemmShape, KernelConfig};
 use autokernel_mlkit::model_selection::train_test_split;
 use autokernel_sycl_sim::{DeviceSpec, Queue};
@@ -35,6 +35,13 @@ pub struct PipelineConfig {
     /// would reject, and the sweep never prices them (see
     /// [`TuningPipeline::prune_stats`]).
     pub static_prune: bool,
+    /// Opt-in analytical pruning oracle: with `Some(n)`, the
+    /// zero-benchmark [`AnalyticalScorer`] ranks the space per dataset
+    /// shape and the sweep only prices configurations inside the union
+    /// of the per-shape analytical top-`n` sets (plus everything the
+    /// static analyzer already rejected). `None` (the default) prices
+    /// the full launchable space — bit-identical to previous releases.
+    pub analytical_prune: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -46,6 +53,7 @@ impl Default for PipelineConfig {
             test_fraction: 0.2,
             seed: 42,
             static_prune: true,
+            analytical_prune: None,
         }
     }
 }
@@ -121,18 +129,38 @@ impl TuningPipeline {
     /// Collect the dataset for `shapes` on `device`, then run. With
     /// `config.static_prune` set (the default), the kernel-space
     /// analyzer runs first and the sweep never prices configurations it
-    /// proves unlaunchable — see [`TuningPipeline::prune_stats`].
+    /// proves unlaunchable — see [`TuningPipeline::prune_stats`]. With
+    /// `config.analytical_prune = Some(n)` the zero-benchmark
+    /// [`AnalyticalScorer`] additionally restricts the sweep to the
+    /// union over dataset shapes of each shape's analytical top-`n`
+    /// launchable configurations.
     pub fn run(
         device: &DeviceSpec,
         shapes: &[(GemmShape, String)],
         config: PipelineConfig,
     ) -> Result<Self> {
-        if config.static_prune {
+        if config.static_prune || config.analytical_prune.is_some() {
             let analysis = KernelSpaceAnalyzer::new(device.clone())
                 .analyze()
                 .map_err(CoreError::Sim)?;
-            let (dataset, stats) =
-                PerformanceDataset::collect_pruned(device, shapes, &analysis.invalid_mask())?;
+            let mut skip = if config.static_prune {
+                analysis.invalid_mask()
+            } else {
+                vec![false; KernelConfig::count()]
+            };
+            if let Some(n) = config.analytical_prune {
+                let scorer = AnalyticalScorer::new(device);
+                let mut keep = vec![false; KernelConfig::count()];
+                for (shape, _) in shapes {
+                    for idx in scorer.top_n(shape, n) {
+                        keep[idx] = true;
+                    }
+                }
+                for (skip_it, kept) in skip.iter_mut().zip(&keep) {
+                    *skip_it = *skip_it || !kept;
+                }
+            }
+            let (dataset, stats) = PerformanceDataset::collect_pruned(device, shapes, &skip)?;
             let mut pipeline = Self::from_dataset(dataset, config)?;
             pipeline.prune_stats = Some(stats);
             Ok(pipeline)
@@ -235,6 +263,60 @@ impl TuningPipeline {
             .iter()
             .map(|&c| means.get(c).copied().unwrap_or(0.0))
             .collect();
+        Ok(Arc::new(OnlineSelector::new(
+            Arc::clone(&self.serving),
+            priors,
+            config,
+        )?))
+    }
+
+    /// Analytical bandit priors for the shipped set on `device`: each
+    /// shipped configuration's zero-benchmark [`AnalyticalScorer`]
+    /// score, averaged over the *training* shapes after per-shape
+    /// normalisation by the best shipped score (so priors live in
+    /// `[0, 1]` like the measured rewards they stand in for). Unlike
+    /// [`TuningPipeline::online_selector`]'s offline-rank priors these
+    /// need no benchmark data for `device` at all — the right seed when
+    /// the serving device differs from the training device.
+    pub fn analytical_priors(&self, device: &DeviceSpec) -> Vec<f64> {
+        let scorer = AnalyticalScorer::new(device);
+        let configs = self.serving.selector().configs().to_vec();
+        let mut priors = vec![0.0f64; configs.len()];
+        let mut rows = 0usize;
+        for &row in &self.train_rows {
+            let shape = &self.dataset.shapes[row];
+            let scores: Vec<f64> = configs
+                .iter()
+                .map(|&c| scorer.score_index(c, shape))
+                .collect();
+            let best = scores.iter().fold(0.0f64, |a, &b| a.max(b));
+            if best > 0.0 {
+                rows += 1;
+                for (prior, &s) in priors.iter_mut().zip(&scores) {
+                    *prior += s / best;
+                }
+            }
+        }
+        if rows > 0 {
+            let inv = 1.0 / rows as f64;
+            for prior in &mut priors {
+                *prior *= inv;
+            }
+        }
+        priors
+    }
+
+    /// [`TuningPipeline::online_selector`] seeded with
+    /// [`TuningPipeline::analytical_priors`] for `device` instead of the
+    /// offline training ranking: the bandit starts from what the
+    /// roofline model predicts *this* device will reward, with zero
+    /// benchmark launches spent on the seed.
+    pub fn analytical_online_selector(
+        &self,
+        device: &DeviceSpec,
+        config: OnlineConfig,
+    ) -> Result<Arc<OnlineSelector>> {
+        let priors = self.analytical_priors(device);
         Ok(Arc::new(OnlineSelector::new(
             Arc::clone(&self.serving),
             priors,
@@ -565,6 +647,81 @@ mod tests {
         let b = TuningPipeline::run(&DeviceSpec::amd_r9_nano(), &shapes(), cfg).unwrap();
         assert_eq!(a.shipped_configs(), b.shipped_configs());
         assert_eq!(a.test_score().unwrap(), b.test_score().unwrap());
+    }
+
+    #[test]
+    fn analytical_prune_shrinks_the_sweep_and_still_ships() {
+        let device = DeviceSpec::amd_r9_nano();
+        let baseline = TuningPipeline::run(&device, &shapes(), PipelineConfig::default()).unwrap();
+        let pruned = TuningPipeline::run(
+            &device,
+            &shapes(),
+            PipelineConfig {
+                analytical_prune: Some(64),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let base_stats = baseline.prune_stats().unwrap();
+        let pruned_stats = pruned.prune_stats().unwrap();
+        assert!(
+            pruned_stats.pruned_configs > base_stats.pruned_configs,
+            "analytical oracle must prune beyond static invalidity: {} vs {}",
+            pruned_stats.pruned_configs,
+            base_stats.pruned_configs
+        );
+        assert!(!pruned.shipped_configs().is_empty());
+        let score = pruned.test_score().unwrap();
+        assert!(score > 0.0 && score <= 1.0, "score {score}");
+    }
+
+    #[test]
+    fn analytical_prune_without_static_prune_also_works() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig {
+                static_prune: false,
+                analytical_prune: Some(32),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(p.prune_stats().unwrap().pruned_configs > 0);
+        assert!(!p.shipped_configs().is_empty());
+    }
+
+    #[test]
+    fn analytical_priors_are_normalised_rewards() {
+        let device = DeviceSpec::amd_r9_nano();
+        let p = TuningPipeline::run(&device, &shapes(), PipelineConfig::default()).unwrap();
+        let priors = p.analytical_priors(&device);
+        assert_eq!(priors.len(), p.serving().selector().configs().len());
+        assert!(priors.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(
+            priors.iter().any(|&x| x > 0.0),
+            "at least one shipped config must score on its own training device"
+        );
+        // The best shipped config should hold a meaningfully non-zero
+        // prior once averaged over the training shapes.
+        let best = priors.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(best > 0.5, "best shipped prior {best}");
+    }
+
+    #[test]
+    fn analytical_online_selector_builds_for_a_foreign_device() {
+        let p = TuningPipeline::run(
+            &DeviceSpec::amd_r9_nano(),
+            &shapes(),
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        let online = p
+            .analytical_online_selector(&DeviceSpec::edge_dsp(), OnlineConfig::default())
+            .unwrap();
+        let shape = GemmShape::new(300, 300, 300);
+        let idx = online.select(&shape).unwrap();
+        assert!(p.shipped_configs().contains(&idx));
     }
 
     #[test]

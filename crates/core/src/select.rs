@@ -13,10 +13,12 @@
 
 use crate::dataset::PerformanceDataset;
 use crate::{CoreError, Result};
-use autokernel_gemm::GemmShape;
+use autokernel_analyze::AnalyticalScorer;
+use autokernel_gemm::{GemmShape, KernelConfig};
 use autokernel_mlkit::preprocess::StandardScaler;
 use autokernel_mlkit::tree::{DecisionTreeClassifier, TreeParams};
 use autokernel_mlkit::{KNearestNeighbors, Matrix, RandomForestClassifier, Svc, SvmKernel};
+use autokernel_sycl_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
 
 /// The six classifiers compared in Table I.
@@ -296,10 +298,79 @@ impl Selector {
     }
 }
 
+/// Zero-benchmark cold-start selector: ranks candidates with the
+/// analytical roofline scorer ([`AnalyticalScorer`]) instead of a
+/// trained classifier, so a never-profiled device gets sane picks with
+/// **zero** benchmark launches and no training data. Drop-in where a
+/// trained [`Selector`] (or `CachedSelector`) sits today: it exposes
+/// the same `select_shape`/`configs` surface.
+///
+/// Selection is allocation-free arithmetic over the candidate set —
+/// O(candidates) per pick, well under a microsecond for a shipped set
+/// of six.
+pub struct AnalyticalSelector {
+    scorer: AnalyticalScorer,
+    configs: Vec<usize>,
+}
+
+impl AnalyticalSelector {
+    /// Cold-start selector over the **full** 640-config space on
+    /// `device`.
+    // lint:allow-fn(no-alloc) construction is offline; the decide path never runs it
+    pub fn new(device: &DeviceSpec) -> Self {
+        let scorer = AnalyticalScorer::new(device);
+        let configs: Vec<usize> = (0..scorer.len()).collect();
+        AnalyticalSelector { scorer, configs }
+    }
+
+    /// Cold-start selector restricted to `candidates` (e.g. the shipped
+    /// set of an existing pipeline, for head-to-head comparison with
+    /// the learned classifiers). Indices outside the 640-config space
+    /// are rejected; an empty candidate set is rejected.
+    // lint:allow-fn(no-alloc) construction is offline; the decide path never runs it
+    pub fn with_candidates(device: &DeviceSpec, candidates: &[usize]) -> Result<Self> {
+        if candidates.is_empty() {
+            return Err(CoreError::NoLaunchableConfig);
+        }
+        for &c in candidates {
+            if c >= KernelConfig::count() {
+                return Err(CoreError::BadConfigIndex(c));
+            }
+        }
+        Ok(AnalyticalSelector {
+            scorer: AnalyticalScorer::new(device),
+            configs: candidates.to_vec(),
+        })
+    }
+
+    /// Select the analytically best launchable candidate for `shape`.
+    /// Errors with [`CoreError::NoLaunchableConfig`] when the device
+    /// rejects every candidate.
+    pub fn select_shape(&self, shape: &GemmShape) -> Result<usize> {
+        self.scorer
+            .pick_among(shape, &self.configs)
+            .ok_or(CoreError::NoLaunchableConfig)
+    }
+
+    /// The candidate configuration set this selector chooses from.
+    pub fn configs(&self) -> &[usize] {
+        &self.configs
+    }
+
+    /// The underlying analytical scorer.
+    pub fn scorer(&self) -> &AnalyticalScorer {
+        &self.scorer
+    }
+
+    /// The device this selector models.
+    pub fn device(&self) -> &DeviceSpec {
+        self.scorer.device()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autokernel_sycl_sim::DeviceSpec;
 
     fn ds() -> PerformanceDataset {
         let shapes: Vec<(GemmShape, String)> = [
@@ -453,6 +524,60 @@ mod tests {
         let knn =
             Selector::train(SelectorKind::OneNearestNeighbor, &ds, &train, &configs, 0).unwrap();
         assert!(knn.as_tree().is_none());
+    }
+
+    #[test]
+    fn analytical_selector_picks_within_candidates_with_zero_launches() {
+        let device = DeviceSpec::amd_r9_nano();
+        let candidates = [0, 17, 300, 512, 639];
+        let sel = AnalyticalSelector::with_candidates(&device, &candidates).unwrap();
+        for shape in [
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(12544, 27, 64),
+            GemmShape::new(1, 4096, 1000),
+        ] {
+            let pick = sel.select_shape(&shape).unwrap();
+            assert!(candidates.contains(&pick));
+        }
+        assert_eq!(sel.configs(), &candidates);
+    }
+
+    #[test]
+    fn analytical_selector_full_space_matches_scorer_top_pick() {
+        let device = DeviceSpec::amd_r9_nano();
+        let sel = AnalyticalSelector::new(&device);
+        let shape = GemmShape::new(784, 1152, 128);
+        let pick = sel.select_shape(&shape).unwrap();
+        let top = sel.scorer().rank_all(&shape)[0].0;
+        assert_eq!(pick, top);
+    }
+
+    #[test]
+    fn analytical_selector_rejects_bad_inputs() {
+        let device = DeviceSpec::amd_r9_nano();
+        assert!(matches!(
+            AnalyticalSelector::with_candidates(&device, &[]),
+            Err(CoreError::NoLaunchableConfig)
+        ));
+        assert!(matches!(
+            AnalyticalSelector::with_candidates(&device, &[9999]),
+            Err(CoreError::BadConfigIndex(9999))
+        ));
+    }
+
+    #[test]
+    fn analytical_selector_errors_when_nothing_can_launch() {
+        // The edge DSP rejects large work-groups; find some rejected
+        // configs and restrict the selector to them.
+        let device = DeviceSpec::edge_dsp();
+        let probe = AnalyticalScorer::new(&device);
+        let rejected: Vec<usize> = (0..probe.len()).filter(|&i| !probe.launchable(i)).collect();
+        assert!(!rejected.is_empty());
+        let sel = AnalyticalSelector::with_candidates(&device, &rejected[..4]).unwrap();
+        assert!(matches!(
+            sel.select_shape(&GemmShape::new(256, 256, 256)),
+            Err(CoreError::NoLaunchableConfig)
+        ));
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub fn eigen_symmetric(a: &Matrix) -> Result<EigenDecomposition> {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    // Descending by eigenvalue (note the reversed operands); total_cmp
+    // keeps the order total even if a NaN input slips through Jacobi.
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
 
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
@@ -130,6 +132,32 @@ mod tests {
         assert!(eigen_symmetric(&Matrix::zeros(2, 3)).is_err());
         let a = mat(2, 2, &[1.0, 2.0, 3.0, 1.0]);
         assert!(eigen_symmetric(&a).is_err());
+    }
+
+    #[test]
+    fn nan_poisoned_matrix_does_not_panic() {
+        // A symmetric NaN entry sails through the symmetry check (NaN
+        // comparisons are all false), so Jacobi iterates on NaN and the
+        // final descending sort sees NaN eigenvalues. That sort used to
+        // panic; it must now return a decomposition of the right shape.
+        let a = mat(
+            3,
+            3,
+            &[1.0, f64::NAN, 0.0, f64::NAN, 2.0, 0.0, 0.0, 0.0, 3.0],
+        );
+        let e = eigen_symmetric(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert_eq!(e.vectors.rows(), 3);
+        assert_eq!(e.vectors.cols(), 3);
+    }
+
+    #[test]
+    fn descending_order_survives_total_cmp_rewrite() {
+        let a = mat(3, 3, &[-5.0, 0.0, 0.0, 0.0, 7.0, 0.0, 0.0, 0.0, 1.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 7.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!((e.values[2] + 5.0).abs() < 1e-10);
     }
 
     #[test]

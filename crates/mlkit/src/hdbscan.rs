@@ -145,7 +145,7 @@ impl Hdbscan {
                         .iter()
                         .map(|&m| Matrix::dist(x.row(b), x.row(m)))
                         .sum();
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 })
                 .ok_or_else(|| MlError::BadShape(format!("cluster {c} has no members")))?;
             medoids.push(medoid);
@@ -173,7 +173,7 @@ fn core_distances(dist: &Matrix, k: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
             let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[(i, j)]).collect();
-            row.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            row.sort_by(|a, b| a.total_cmp(b));
             row[k.saturating_sub(1).min(row.len() - 1)]
         })
         .collect()
@@ -182,7 +182,19 @@ fn core_distances(dist: &Matrix, k: usize) -> Vec<f64> {
 /// Prim's algorithm on the implicit complete mutual-reachability graph.
 fn mutual_reachability_mst(dist: &Matrix, core: &[f64]) -> Vec<MstEdge> {
     let n = dist.rows();
-    let mreach = |a: usize, b: usize| dist[(a, b)].max(core[a]).max(core[b]);
+    // NaN-safe: `f64::max` *ignores* NaN operands, so a NaN pairwise distance
+    // would silently collapse to the finite core distance — turning a
+    // NaN-featured row into a zero-cost bridge (a star hub in the MST) that
+    // merges every cluster at tiny radii. Treat any NaN leg as unreachable so
+    // poisoned rows attach last and condense out as noise.
+    let mreach = |a: usize, b: usize| {
+        let d = dist[(a, b)];
+        if d.is_nan() || core[a].is_nan() || core[b].is_nan() {
+            f64::INFINITY
+        } else {
+            d.max(core[a]).max(core[b])
+        }
+    };
 
     let mut in_tree = vec![false; n];
     let mut best_w = vec![f64::INFINITY; n];
@@ -197,7 +209,7 @@ fn mutual_reachability_mst(dist: &Matrix, core: &[f64]) -> Vec<MstEdge> {
     for _ in 1..n {
         let v = (0..n)
             .filter(|&v| !in_tree[v])
-            .min_by(|&a, &b| best_w[a].partial_cmp(&best_w[b]).unwrap())
+            .min_by(|&a, &b| best_w[a].total_cmp(&best_w[b]))
             .expect("non-empty frontier");
         in_tree[v] = true;
         edges.push(MstEdge {
@@ -254,7 +266,7 @@ struct DendroNode {
 /// Build the dendrogram; leaves are `0..n`, internal nodes `n..2n-1`.
 fn single_linkage(mst: &[MstEdge], n: usize) -> Vec<DendroNode> {
     let mut edges = mst.to_vec();
-    edges.sort_by(|a, b| a.w.partial_cmp(&b.w).unwrap());
+    edges.sort_by(|a, b| a.w.total_cmp(&b.w));
 
     let mut uf = UnionFind::new(n);
     let mut nodes: Vec<DendroNode> = Vec::with_capacity(n.saturating_sub(1));
@@ -622,6 +634,34 @@ mod tests {
         for v in 1..8 {
             assert_eq!(uf.find(v), root);
         }
+    }
+
+    #[test]
+    fn nan_poisoned_rows_do_not_panic_and_clean_blobs_still_separate() {
+        // Two clean blobs plus two rows whose features are NaN: every
+        // pairwise distance touching them is NaN. Fitting must not panic
+        // (the old partial_cmp(..).unwrap() comparators did), labels must
+        // stay in range, and the clean blobs must still come out as
+        // distinct clusters.
+        let mut rows = blob(0.0, 0.0, 10, 0.5);
+        rows.extend(blob(60.0, 60.0, 10, 0.5));
+        rows.push(vec![f64::NAN, 0.0]);
+        rows.push(vec![f64::NAN, f64::NAN]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut h = Hdbscan::new(4);
+        h.fit(&x).unwrap();
+        let k = h.n_clusters().unwrap() as i64;
+        assert!(k >= 2, "clean blobs must still separate, got {k} clusters");
+        for &l in h.labels().unwrap() {
+            assert!((-1..k).contains(&l));
+        }
+        let labels = h.labels().unwrap();
+        let first = labels[0];
+        assert!(first >= 0 && labels[..10].iter().all(|&l| l == first));
+        let second = labels[10];
+        assert!(second >= 0 && second != first);
+        assert!(labels[10..20].iter().all(|&l| l == second));
+        let _ = h.medoid_indices(&x).unwrap();
     }
 
     #[test]

@@ -288,7 +288,7 @@ impl Svc {
                     .max_by(|&i, &j| {
                         votes[i]
                             .cmp(&votes[j])
-                            .then(margins[i].partial_cmp(&margins[j]).unwrap())
+                            .then(margins[i].total_cmp(&margins[j]))
                     })
                     .expect("non-empty classes");
                 self.classes[best]
@@ -333,6 +333,28 @@ mod tests {
         let mut svm = Svc::new(SvmKernel::Linear, 1.0, 3);
         svm.fit(&x, &y).unwrap();
         assert_eq!(svm.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn nan_poisoned_prediction_rows_do_not_panic() {
+        // A NaN feature row makes every pairwise decision margin NaN.
+        // The vote tiebreak used to panic on partial_cmp(..).unwrap();
+        // it must now return *some* known class for the poisoned row and
+        // keep classifying clean rows correctly.
+        let (x, y) = linearly_separable();
+        let mut svm = Svc::new(SvmKernel::Linear, 1.0, 3);
+        svm.fit(&x, &y).unwrap();
+
+        let mut rows: Vec<Vec<f64>> = x.rows_iter().map(|r| r.to_vec()).collect();
+        rows.push(vec![f64::NAN, 1.0]);
+        rows.push(vec![f64::NAN, f64::NAN]);
+        let poisoned = Matrix::from_rows(&rows).unwrap();
+        let pred = svm.predict(&poisoned).unwrap();
+        assert_eq!(pred.len(), rows.len());
+        assert_eq!(&pred[..y.len()], &y[..], "clean rows must stay correct");
+        for &p in &pred[y.len()..] {
+            assert!(svm.classes().contains(&p), "pick must be a known class");
+        }
     }
 
     #[test]

@@ -288,7 +288,7 @@ fn find_best_split(
     let mut sorted = idx.to_vec();
 
     for &f in &features {
-        sorted.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).unwrap());
+        sorted.sort_by(|&a, &b| x[(a, f)].total_cmp(&x[(b, f)]));
         let mut left = Stats::new(n_outputs);
         let mut right = parent.clone();
 
@@ -299,8 +299,12 @@ fn find_best_split(
 
             let v_here = x[(i, f)];
             let v_next = x[(sorted[pos + 1], f)];
-            if v_next <= v_here + 1e-12 {
-                continue; // Can't split between equal values.
+            // `total_cmp` sorts NaNs to the tail, so a NaN `v_next` must be
+            // skipped explicitly: a NaN midpoint threshold would route
+            // *every* row to the same side — no-progress recursion, an
+            // infinite loop.
+            if v_next.is_nan() || v_next <= v_here + 1e-12 {
+                continue; // Can't split between equal (or NaN) values.
             }
             if left.n < params.min_samples_leaf || right.n < params.min_samples_leaf {
                 continue;
@@ -322,7 +326,7 @@ fn find_best_split(
         }
     }
 
-    best.map(|mut b| {
+    best.and_then(|mut b| {
         for &i in idx {
             if x[(i, b.feature)] <= b.threshold {
                 b.left_idx.push(i);
@@ -330,7 +334,12 @@ fn find_best_split(
                 b.right_idx.push(i);
             }
         }
-        b
+        // A split that moves nothing cannot make progress; growing on it
+        // would recurse forever on the same index set.
+        if b.left_idx.is_empty() || b.right_idx.is_empty() {
+            return None;
+        }
+        Some(b)
     })
 }
 
@@ -376,7 +385,7 @@ fn build_tree(x: &Matrix, y: &Matrix, params: &TreeParams, criterion: Criterion)
                 .max_by(|(_, a), (_, b)| {
                     let ga = a.split.as_ref().unwrap().gain;
                     let gb = b.split.as_ref().unwrap().gain;
-                    ga.partial_cmp(&gb).unwrap()
+                    ga.total_cmp(&gb)
                 })
                 .map(|(i, _)| i);
             let Some(pos) = pick else { break };
@@ -663,6 +672,36 @@ mod tests {
         // Depth-1 tree cannot solve XOR.
         let pred = clf.predict(&x).unwrap();
         assert_ne!(pred, y);
+    }
+
+    #[test]
+    fn nan_poisoned_features_do_not_panic_tree_growth() {
+        // NaN feature values used to panic the per-feature sort comparator
+        // (and, under best-first growth, the frontier gain comparator).
+        // Fitting must complete and predictions must stay valid classes.
+        let (mut x_rows, mut y) = {
+            let (x, y) = xor_data();
+            (x.rows_iter().map(|r| r.to_vec()).collect::<Vec<_>>(), y)
+        };
+        x_rows.push(vec![f64::NAN, 0.05]);
+        y.push(0);
+        x_rows.push(vec![f64::NAN, f64::NAN]);
+        y.push(1);
+        let x = Matrix::from_rows(&x_rows).unwrap();
+
+        let mut clf = DecisionTreeClassifier::new(TreeParams::default());
+        clf.fit(&x, &y).unwrap();
+        let pred = clf.predict(&x).unwrap();
+        assert_eq!(pred.len(), y.len());
+        assert!(pred.iter().all(|&p| p == 0 || p == 1));
+
+        // Best-first growth exercises the frontier comparator too.
+        let mut best_first = DecisionTreeClassifier::new(TreeParams {
+            max_leaf_nodes: Some(4),
+            ..TreeParams::default()
+        });
+        best_first.fit(&x, &y).unwrap();
+        assert!(best_first.tree().unwrap().n_leaves() <= 4);
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub fn occupancy(device: &DeviceSpec, profile: &KernelProfile, range: &NDRange) 
 
 /// Latency-hiding effectiveness: with few resident waves, memory latency
 /// leaks into execution time. Saturates towards 1 as occupancy rises.
-fn latency_hiding(occ: f64, ilp: f64) -> f64 {
+/// Public so the analytical scorer in `autokernel-analyze` ranks with
+/// the same saturation curve the simulator prices with.
+pub fn latency_hiding(occ: f64, ilp: f64) -> f64 {
     // Effective parallelism = waves * ILP; the curve is the classic
     // occupancy-throughput saturation 1 - exp(-k x).
     let x = (occ * ilp * 10.0).max(1e-3);
@@ -121,8 +123,8 @@ pub fn utilization(profile: &KernelProfile, range: &NDRange) -> f64 {
 }
 
 /// Parallelism saturation: a dispatch much smaller than the device
-/// cannot use all compute units.
-fn device_fill(device: &DeviceSpec, range: &NDRange) -> f64 {
+/// cannot use all compute units. Public for the analytical scorer.
+pub fn device_fill(device: &DeviceSpec, range: &NDRange) -> f64 {
     let lanes_needed = range.global_size() as f64;
     let lanes_available = device.total_lanes() as f64;
     (lanes_needed / lanes_available).clamp(1e-6, 1.0)

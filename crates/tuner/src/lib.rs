@@ -28,6 +28,23 @@ pub mod objective;
 pub mod space;
 pub mod strategies;
 
+/// Typed errors from the tuning layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TunerError {
+    /// A best-of search was asked to rank an empty candidate set.
+    EmptySpace,
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::EmptySpace => write!(f, "candidate set is empty: nothing to rank"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
 pub use objective::{GemmObjective, Objective};
 pub use strategies::{
     BasinHopping, Evolutionary, HillClimbing, RandomSearch, SearchStrategy, TuningResult,

@@ -2,6 +2,7 @@
 //! to a runtime, counting evaluations (the budget currency of
 //! auto-tuning).
 
+use crate::TunerError;
 use autokernel_gemm::{model, GemmShape, KernelConfig};
 use autokernel_sycl_sim::{DeviceSpec, Queue};
 use std::cell::RefCell;
@@ -44,15 +45,23 @@ impl GemmObjective {
 
     /// The true optimum (for scoring searches), found by brute force
     /// *without* touching the evaluation counter.
-    pub fn brute_force_best(&self) -> (KernelConfig, f64) {
-        KernelConfig::all()
-            .into_iter()
-            .map(|c| {
-                let t = self.price(&c);
-                (c, t)
-            })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("non-empty space")
+    pub fn brute_force_best(&self) -> Result<(KernelConfig, f64), TunerError> {
+        self.best_among(&KernelConfig::all())
+    }
+
+    /// The cheapest configuration among `candidates`, priced without
+    /// touching the evaluation counter. NaN prices sort last under
+    /// `total_cmp`, so a poisoned candidate can never win the minimum;
+    /// an empty candidate set is a typed error, not a panic.
+    pub fn best_among(
+        &self,
+        candidates: &[KernelConfig],
+    ) -> Result<(KernelConfig, f64), TunerError> {
+        candidates
+            .iter()
+            .map(|c| (*c, self.price(c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .ok_or(TunerError::EmptySpace)
     }
 
     fn price(&self, config: &KernelConfig) -> f64 {
@@ -108,7 +117,7 @@ mod tests {
     #[test]
     fn brute_force_matches_exhaustive_min() {
         let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(196, 256, 128));
-        let (best_cfg, best_t) = obj.brute_force_best();
+        let (best_cfg, best_t) = obj.brute_force_best().unwrap();
         for c in KernelConfig::all() {
             assert!(
                 obj.evaluate(&c) >= best_t - 1e-18,
@@ -121,7 +130,13 @@ mod tests {
     #[test]
     fn brute_force_does_not_consume_budget() {
         let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(32, 32, 32));
-        let _ = obj.brute_force_best();
+        let _ = obj.brute_force_best().unwrap();
         assert_eq!(obj.evaluations(), 0);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_typed_error_not_a_panic() {
+        let obj = GemmObjective::new(&DeviceSpec::amd_r9_nano(), GemmShape::new(32, 32, 32));
+        assert_eq!(obj.best_among(&[]), Err(crate::TunerError::EmptySpace));
     }
 }

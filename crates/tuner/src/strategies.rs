@@ -31,7 +31,7 @@ pub struct TuningResult {
 /// let result = HillClimbing.tune(&obj, 100, 7);
 /// assert!(result.evaluations <= 100);
 /// // The search gets close to the brute-force optimum at a sixth of its cost.
-/// let (_, optimum) = obj.brute_force_best();
+/// let (_, optimum) = obj.brute_force_best().expect("non-empty space");
 /// assert!(result.best_value <= optimum * 1.5);
 /// ```
 pub trait SearchStrategy {
@@ -323,7 +323,7 @@ impl SearchStrategy for Evolutionary {
             }
             // (μ+λ): keep the best μ of parents + offspring.
             pop.extend(children);
-            pop.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            pop.sort_by(|a, b| a.1.total_cmp(&b.1));
             pop.truncate(self.population.max(2));
         }
         t.finish()
@@ -387,7 +387,7 @@ mod tests {
     #[test]
     fn smart_strategies_find_near_optimum_within_a_quarter_of_the_space() {
         let obj = objective();
-        let (_, optimum) = obj.brute_force_best();
+        let (_, optimum) = obj.brute_force_best().unwrap();
         for s in all_strategies() {
             let obj = objective();
             let r = s.tune(&obj, 160, 5);

@@ -18,7 +18,7 @@ fn main() {
     // The dominant ResNet layer shape.
     let shape = GemmShape::new(784, 1152, 128);
     let reference = GemmObjective::new(&device, shape);
-    let (best_cfg, optimum) = reference.brute_force_best();
+    let (best_cfg, optimum) = reference.brute_force_best().expect("non-empty space");
     println!(
         "shape {shape}: brute-force optimum {best_cfg} at {:.2} us",
         optimum * 1e6

@@ -65,8 +65,18 @@ if ./target/release/hotpath_lint crates/analyze/tests/fixtures/violations.rs > /
 fi
 echo "    fixture correctly rejected"
 
+echo "==> hot-path lint (must fail on the NaN-sweep fixture)"
+if ./target/release/hotpath_lint crates/analyze/tests/fixtures/sweep/crates/mlkit/src/eigen.rs > /dev/null; then
+    echo "    FAIL: linter accepted partial_cmp in a swept comparator" >&2
+    exit 1
+fi
+echo "    sweep fixture correctly rejected"
+
 echo "==> kernel-space analyzer self-check (analyzer vs validate_launch)"
 cargo run -q --release --bin analyze_space
+
+echo "==> analytical selector head-to-head (geomean floor + golden report)"
+cargo run -q --release --bin analytical_eval
 
 echo "==> concurrency audit (atomic roles + lock order + model checker, < 60s)"
 cargo build -q --release --bin concurrency_audit

@@ -1,0 +1,227 @@
+//! Head-to-head evaluation of the analytical zero-benchmark selector
+//! against the six learned classifiers (the Table I protocol).
+//!
+//! The tool rebuilds the paper's experiment exactly — 170-shape dataset
+//! on the R9 Nano model, 136/34 split with seed 42, decision-tree
+//! pruning to a six-config shipped set — then scores on the held-out
+//! rows:
+//!
+//! 1. every learned classifier in [`SelectorKind::all`], trained on the
+//!    training rows (geomean + restricted-oracle accuracy), and
+//! 2. the [`AnalyticalSelector`]: the roofline scorer picking among the
+//!    same shipped set with **zero** benchmark launches — it never sees
+//!    the dataset at all, only the device model and the shape.
+//!
+//! Self-checks (exit 1 on violation):
+//! - the analytical geomean must reach at least
+//!   [`ANALYTICAL_FLOOR`] of the shipped-set oracle ceiling;
+//! - the rendered report must match the committed golden copy in
+//!   `reports/analytical_eval.json` byte-for-byte (re-bless an
+//!   intentional change with `BLESS=1`).
+//!
+//! Exit status: 0 ok, 1 threshold/drift failure, 2 IO failure.
+//!
+//! ```text
+//! cargo run --release --bin analytical_eval            # gate
+//! BLESS=1 cargo run --release --bin analytical_eval    # re-bless
+//! ```
+
+use autokernel::core::evaluate::{achievable_score, oracle_accuracy, selection_score};
+use autokernel::core::select::Selector;
+use autokernel::core::{AnalyticalSelector, PerformanceDataset, PruneMethod, SelectorKind};
+use autokernel::mlkit::model_selection::train_test_split;
+use autokernel::sim::DeviceSpec;
+
+/// Minimum analytical-selector geomean as a fraction of the shipped-set
+/// oracle ceiling (the PR's acceptance bar).
+const ANALYTICAL_FLOOR: f64 = 0.90;
+/// Where the blessed report lives.
+const GOLDEN_PATH: &str = "reports/analytical_eval.json";
+
+/// The paper's canonical experiment constants (pipeline defaults).
+const TEST_FRACTION: f64 = 0.2;
+const SEED: u64 = 42;
+const BUDGET: usize = 6;
+
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}
+
+fn obj(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(x: f64) -> serde_json::Value {
+    serde_json::Value::Num(x)
+}
+
+fn main() {
+    let device = DeviceSpec::amd_r9_nano();
+    let ds = match PerformanceDataset::collect_paper_dataset(&device) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("analytical_eval: dataset collection failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let split = train_test_split(ds.n_shapes(), TEST_FRACTION, SEED);
+    let shipped = match PruneMethod::DecisionTree.select(&ds, &split.train, BUDGET, SEED) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("analytical_eval: pruning failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ceiling = achievable_score(&ds, &split.test, &shipped);
+
+    // The six learned classifiers, trained on the training rows.
+    let mut classifiers = Vec::new();
+    for kind in SelectorKind::all() {
+        let sel = match Selector::train(kind, &ds, &split.train, &shipped, SEED) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("analytical_eval: training {} failed: {e}", kind.name());
+                std::process::exit(2);
+            }
+        };
+        let chosen = match sel.select_rows(&ds, &split.test) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("analytical_eval: {} selection failed: {e}", kind.name());
+                std::process::exit(2);
+            }
+        };
+        let geomean = selection_score(&ds, &split.test, &chosen);
+        let accuracy = oracle_accuracy(&ds, &split.test, &shipped, &chosen);
+        classifiers.push((kind.name().to_string(), geomean, accuracy));
+    }
+
+    // The analytical selector: same shipped set, zero benchmark data.
+    let analytical = match AnalyticalSelector::with_candidates(&device, &shipped) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analytical_eval: analytical selector failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut chosen = Vec::with_capacity(split.test.len());
+    for &row in &split.test {
+        match analytical.select_shape(&ds.shapes[row]) {
+            Ok(idx) => chosen.push(idx),
+            Err(e) => {
+                eprintln!("analytical_eval: analytical selection failed on row {row}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let analytical_geomean = selection_score(&ds, &split.test, &chosen);
+    let analytical_accuracy = oracle_accuracy(&ds, &split.test, &shipped, &chosen);
+    let oracle_fraction = if ceiling > 0.0 {
+        analytical_geomean / ceiling
+    } else {
+        0.0
+    };
+
+    println!("{:<22} {:>9} {:>11}", "selector", "geomean", "oracle-acc");
+    for (name, geomean, accuracy) in &classifiers {
+        println!("{name:<22} {geomean:>9.4} {accuracy:>11.2}");
+    }
+    println!(
+        "{:<22} {:>9.4} {:>11.2}  (zero benchmark launches)",
+        "analytical", analytical_geomean, analytical_accuracy
+    );
+    println!(
+        "shipped-set oracle ceiling {ceiling:.4}; analytical reaches {:.1}% of it",
+        oracle_fraction * 100.0
+    );
+
+    if oracle_fraction < ANALYTICAL_FLOOR {
+        eprintln!(
+            "analytical_eval: FAIL — analytical geomean {analytical_geomean:.4} is {:.3} of the \
+             oracle ceiling {ceiling:.4}, below the {ANALYTICAL_FLOOR} floor",
+            oracle_fraction
+        );
+        std::process::exit(1);
+    }
+
+    // Render the report (4-decimal rounding keeps the golden diff
+    // readable; every number is a pure function of seeded simulation).
+    let report = obj(vec![
+        ("device", serde_json::Value::Str(device.name.to_string())),
+        ("test_rows", num(split.test.len() as f64)),
+        ("shipped_budget", num(BUDGET as f64)),
+        (
+            "shipped_configs",
+            serde_json::Value::Array(shipped.iter().map(|&c| num(c as f64)).collect()),
+        ),
+        ("oracle_ceiling_geomean", num(round4(ceiling))),
+        (
+            "analytical",
+            obj(vec![
+                ("geomean", num(round4(analytical_geomean))),
+                ("oracle_fraction", num(round4(oracle_fraction))),
+                ("oracle_accuracy", num(round4(analytical_accuracy))),
+                ("benchmark_launches", num(0.0)),
+            ]),
+        ),
+        (
+            "classifiers",
+            serde_json::Value::Array(
+                classifiers
+                    .iter()
+                    .map(|(name, geomean, accuracy)| {
+                        obj(vec![
+                            ("name", serde_json::Value::Str(name.clone())),
+                            ("geomean", num(round4(*geomean))),
+                            ("oracle_accuracy", num(round4(*accuracy))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = match serde_json::to_string_pretty(&report) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analytical_eval: report serialisation failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if std::env::var_os("BLESS").is_some_and(|v| v == "1") {
+        if let Some(dir) = std::path::Path::new(GOLDEN_PATH).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("analytical_eval: cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+        if let Err(e) = std::fs::write(GOLDEN_PATH, rendered.as_bytes()) {
+            eprintln!("analytical_eval: cannot write {GOLDEN_PATH}: {e}");
+            std::process::exit(2);
+        }
+        println!("blessed {GOLDEN_PATH}; review and commit the diff");
+        return;
+    }
+
+    match std::fs::read_to_string(GOLDEN_PATH) {
+        Ok(golden) if golden == rendered => {
+            println!("report matches the golden copy at {GOLDEN_PATH}");
+        }
+        Ok(_) => {
+            eprintln!(
+                "analytical_eval: FAIL — report drifted from {GOLDEN_PATH} \
+                 (re-bless with BLESS=1 if intentional)"
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("analytical_eval: cannot read {GOLDEN_PATH}: {e} (bless with BLESS=1)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Hot-path lint driver: scan the serving modules for latent panics.
 //!
 //! With no arguments, lints the canonical hot-path file set
-//! ([`autokernel::analyze::lint::HOT_PATH_FILES`]) relative to the
-//! current directory (run from the workspace root, as `check.sh` does).
+//! ([`autokernel::analyze::lint::HOT_PATH_FILES`]) plus the
+//! NaN-ordering sweep set ([`TOTAL_CMP_FILES`], `no-partial-cmp` only)
+//! relative to the current directory (run from the workspace root, as
+//! `check.sh` does).
 //! With arguments, lints exactly those files instead — which is how the
 //! CI negative test points it at a fixture that *must* fail.
 //!
@@ -14,14 +16,18 @@
 //! cargo run --bin hotpath_lint -- path/to.rs   # explicit targets
 //! ```
 
-use autokernel::analyze::lint::{lint_file, Violation, HOT_PATH_FILES};
+use autokernel::analyze::lint::{lint_file, Violation, HOT_PATH_FILES, TOTAL_CMP_FILES};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<PathBuf> = if args.is_empty() {
-        HOT_PATH_FILES.iter().map(PathBuf::from).collect()
+        HOT_PATH_FILES
+            .iter()
+            .chain(TOTAL_CMP_FILES.iter())
+            .map(PathBuf::from)
+            .collect()
     } else {
         args.iter().map(PathBuf::from).collect()
     };

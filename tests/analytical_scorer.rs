@@ -1,0 +1,107 @@
+//! Degenerate-shape hardening of the analytical scorer: the roofline
+//! ranking must stay finite, bounded and launchability-consistent on
+//! the shapes most likely to break item-count arithmetic — the 1×1×1
+//! GEMV corner, a skinny-K outer product and the largest triple in the
+//! paper dataset — on every shipped device model.
+
+use autokernel::analyze::{AnalyticalScorer, KernelSpaceAnalyzer, Verdict};
+use autokernel::gemm::{GemmShape, KernelConfig};
+use autokernel::sim::DeviceSpec;
+use autokernel::workloads::dataset::paper_shapes;
+
+fn devices() -> [DeviceSpec; 5] {
+    [
+        DeviceSpec::amd_r9_nano(),
+        DeviceSpec::desktop_gpu(),
+        DeviceSpec::embedded_accelerator(),
+        DeviceSpec::host_cpu(),
+        DeviceSpec::edge_dsp(),
+    ]
+}
+
+/// The corner shapes: the scalar GEMM, a wide outer-product with a
+/// skinny reduction axis, and the largest (by item count) triple the
+/// paper's dataset actually contains.
+fn degenerate_shapes() -> Vec<GemmShape> {
+    let largest = paper_shapes()
+        .into_iter()
+        .max_by_key(|s| s.m * s.k * s.n)
+        .expect("paper dataset is non-empty");
+    vec![
+        GemmShape::new(1, 1, 1),
+        GemmShape::new(4096, 8, 4096),
+        largest,
+    ]
+}
+
+#[test]
+fn degenerate_shapes_score_finite_and_bounded_everywhere() {
+    for device in devices() {
+        let scorer = AnalyticalScorer::new(&device);
+        assert_eq!(scorer.len(), KernelConfig::count());
+        for shape in degenerate_shapes() {
+            for index in 0..scorer.len() {
+                let score = scorer.score_index(index, &shape);
+                assert!(
+                    score.is_finite() && (0.0..=1.0).contains(&score),
+                    "score {score} for config {index} on {shape} ({})",
+                    device.name
+                );
+                if !scorer.launchable(index) {
+                    assert_eq!(
+                        score, 0.0,
+                        "unlaunchable config {index} must score zero on {shape} ({})",
+                        device.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn top_ranked_config_is_never_statically_invalid() {
+    for device in devices() {
+        let analysis = KernelSpaceAnalyzer::new(device.clone())
+            .analyze()
+            .expect("space analysis runs");
+        let scorer = AnalyticalScorer::new(&device);
+        for shape in degenerate_shapes() {
+            let ranking = scorer.rank_all(&shape);
+            assert_eq!(ranking.len(), KernelConfig::count());
+            let (top, top_score) = ranking[0];
+            if top_score > 0.0 {
+                assert!(
+                    !matches!(analysis.configs[top].verdict, Verdict::Invalid { .. }),
+                    "top-ranked config {top} on {shape} ({}) is statically invalid",
+                    device.name
+                );
+            }
+            // Every positively-scored config must be launchable; the
+            // analyzer and the scorer share the launch predicate.
+            for &(index, score) in &ranking {
+                if score > 0.0 {
+                    assert!(
+                        scorer.launchable(index),
+                        "config {index} scored {score} on {shape} ({}) but cannot launch",
+                        device.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn top_n_returns_only_positive_launchable_configs() {
+    let device = DeviceSpec::edge_dsp();
+    let scorer = AnalyticalScorer::new(&device);
+    for shape in degenerate_shapes() {
+        let top = scorer.top_n(&shape, 32);
+        assert!(top.len() <= 32);
+        for &index in &top {
+            assert!(scorer.launchable(index));
+            assert!(scorer.score_index(index, &shape) > 0.0);
+        }
+    }
+}

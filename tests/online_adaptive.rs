@@ -374,3 +374,111 @@ fn device_swap_drift_recovers_to_near_oracle_while_static_stays_below() {
         shapes.len()
     );
 }
+
+/// The analytically-seeded bandit must recover from the nano → edge_dsp
+/// swap at least as fast as the offline-rank-seeded one. The priors
+/// set the bandit's forced-exploration scan order after the drift
+/// reset: offline priors rank the training device's favourites first
+/// (mostly unlaunchable on the DSP), while the analytical priors are
+/// computed for the *edge* device model with zero benchmark launches,
+/// so launchable configurations are explored first.
+#[test]
+fn analytically_seeded_bandit_recovers_at_least_as_fast_as_offline_seeded() {
+    const NANO_EPOCHS: usize = 2;
+    const EDGE_EPOCHS: usize = 8;
+    const RECOVERED: f64 = 0.95;
+
+    let shapes: Vec<GemmShape> = paper_dataset().shapes.clone();
+    let nano = Arc::new(DeviceSpec::amd_r9_nano());
+    let edge = Arc::new(DeviceSpec::edge_dsp());
+    let edge_device = DeviceSpec::edge_dsp();
+    let policy = ResilientPolicy::default();
+    let buffers: Vec<_> = shapes.iter().map(|&s| zero_buffers(s)).collect();
+
+    // The post-swap shipped-set oracle is prior-independent (both
+    // pipelines are trained identically, so they ship the same set).
+    let probe = Queue::timing_only(Arc::clone(&edge));
+
+    // Serve the identical nano → edge stream through one adaptive
+    // stack, returning the per-edge-epoch oracle-relative geomeans.
+    let serve = |analytical: bool| -> Vec<f64> {
+        let pipeline = pipeline_over(paper_dataset());
+        let online = if analytical {
+            pipeline
+                .analytical_online_selector(&edge_device, OnlineConfig::default())
+                .expect("analytical online selector builds")
+        } else {
+            pipeline
+                .online_selector(OnlineConfig::default())
+                .expect("offline online selector builds")
+        };
+        let nano_exec = pipeline
+            .resilient_executor(Queue::timing_only(Arc::clone(&nano)), policy.clone())
+            .with_online(Arc::clone(&online));
+        let edge_exec = pipeline
+            .resilient_executor(Queue::timing_only(Arc::clone(&edge)), policy.clone())
+            .with_online(Arc::clone(&online));
+
+        let oracle: Vec<f64> = shapes
+            .iter()
+            .map(|shape| {
+                pipeline
+                    .shipped_configs()
+                    .iter()
+                    .filter_map(|&c| priced(&probe, shape, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        assert!(oracle.iter().all(|d| d.is_finite()));
+
+        for _ in 0..NANO_EPOCHS {
+            for (shape, (a, b, c)) in shapes.iter().zip(&buffers) {
+                nano_exec.launch(*shape, a, b, c).expect("nano launch");
+            }
+        }
+        assert!(
+            !online.is_adaptive(),
+            "priors must not affect the pre-drift mirror stage"
+        );
+
+        let mut per_epoch = Vec::with_capacity(EDGE_EPOCHS);
+        for _ in 0..EDGE_EPOCHS {
+            let mut ratios = Vec::with_capacity(shapes.len());
+            for ((shape, (a, b, c)), &oracle_s) in shapes.iter().zip(&buffers).zip(&oracle) {
+                let report = edge_exec.launch(*shape, a, b, c).expect("edge launch");
+                assert!(!report.event.is_failed());
+                ratios.push(oracle_s / report.event.duration_s());
+            }
+            per_epoch.push(geomean(&ratios));
+        }
+        assert!(online.is_adaptive(), "the swap must trip drift");
+        per_epoch
+    };
+
+    let offline_epochs = serve(false);
+    let analytical_epochs = serve(true);
+    let recovery = |per_epoch: &[f64]| {
+        per_epoch
+            .iter()
+            .position(|&g| g >= RECOVERED)
+            .unwrap_or(usize::MAX)
+    };
+    let offline_at = recovery(&offline_epochs);
+    let analytical_at = recovery(&analytical_epochs);
+    println!(
+        "offline-seeded epochs {offline_epochs:?} (recovered at {offline_at}), \
+         analytical-seeded epochs {analytical_epochs:?} (recovered at {analytical_at})"
+    );
+
+    assert!(
+        *analytical_epochs.last().unwrap() >= RECOVERED,
+        "the analytically-seeded bandit must recover to >= {RECOVERED} of the \
+         shipped-set oracle (got {:.4})",
+        analytical_epochs.last().unwrap()
+    );
+    assert!(
+        analytical_at <= offline_at,
+        "analytical seeding must recover at least as fast: analytical epoch \
+         {analytical_at} vs offline epoch {offline_at}"
+    );
+}
