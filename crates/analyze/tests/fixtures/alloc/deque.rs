@@ -1,0 +1,28 @@
+//! Deliberate steal-path allocation violations for the `no-alloc`
+//! lint fixtures. Named `deque.rs` so `rules_for` applies the
+//! decide-path rule set; never compiled by Cargo.
+
+pub fn steal_all(items: &[u64]) -> usize {
+    let mut claimed: Vec<u64> = Vec::new();
+    claimed.push(items.len() as u64);
+    let ring = items.to_vec();
+    let spare = ring.clone();
+    let boxed = Box::new(spare);
+    boxed.len() + claimed.len()
+}
+
+// lint:allow-fn(no-alloc) cold path: ring built before workers spawn
+pub fn build_ring(capacity: usize) -> Vec<u64> {
+    let mut ring = Vec::new();
+    ring.push(capacity as u64);
+    ring
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_alloc_is_exempt() {
+        let ring = [1u64, 2].to_vec();
+        assert_eq!(ring.clone().len(), 2);
+    }
+}

@@ -119,6 +119,8 @@ fn no_alloc_applies_only_to_decide_path_file_names() {
             "{file} must carry the no-alloc rule"
         );
     }
+    // The executor around the deque allocates legitimately (arenas,
+    // leftover batches); only the deque itself is on the steal path.
     for file in ["ingress.rs", "sched.rs", "violations.rs"] {
         assert!(
             !rules_for(file).contains(&Rule::NoAlloc),
@@ -128,6 +130,38 @@ fn no_alloc_applies_only_to_decide_path_file_names() {
     // The panic-safety fixture allocates freely and must stay exactly
     // as clean of no-alloc hits as before the rule existed.
     assert!(fixture().iter().all(|v| v.rule != Rule::NoAlloc));
+}
+
+#[test]
+fn deque_fixture_flags_steal_path_allocations() {
+    // Named `deque.rs`, so the decide-path `no-alloc` rule applies to
+    // the steal path exactly as it does to the decide path.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/alloc/deque.rs");
+    let violations = lint_file(&path).expect("fixture file is readable");
+    let got: Vec<(usize, &'static str)> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::NoAlloc)
+        .map(|v| (v.line, v.rule.id()))
+        .collect();
+    // One per allocating line in `steal_all`: Vec::new, push, to_vec,
+    // clone, Box::new.
+    assert_eq!(
+        got,
+        vec![
+            (6, "no-alloc"),
+            (7, "no-alloc"),
+            (8, "no-alloc"),
+            (9, "no-alloc"),
+            (10, "no-alloc"),
+        ],
+        "full violation list: {violations:#?}"
+    );
+    // The allow-fn'd cold constructor (lines 15-19) and test module
+    // (lines 22+) stay clean.
+    assert!(
+        violations.iter().all(|v| (6..=10).contains(&v.line)),
+        "only steal_all may be flagged: {violations:#?}"
+    );
 }
 
 fn sweep_fixture() -> Vec<autokernel_analyze::Violation> {

@@ -41,6 +41,7 @@ pub mod cache;
 pub mod codegen;
 pub mod crossval;
 pub mod dataset;
+pub mod decide;
 pub mod evaluate;
 pub mod ingress;
 pub mod libsize;
@@ -59,6 +60,7 @@ pub use cache::{
     SelectionTelemetry, ShardedCache, TelemetrySnapshot,
 };
 pub use dataset::{PerformanceDataset, StaticPruneStats};
+pub use decide::{ClusterTable, ShapeTable, NO_SLOT};
 pub use ingress::{
     ClassReport, Ingress, IngressConfig, IngressReport, IngressRequest, Priority, ShedReason,
     SubmitOutcome, TenantQuota,
@@ -74,6 +76,7 @@ pub use regression::{RegressionParams, RegressionSelector};
 pub use resilient::{
     BreakerState, CircuitBreaker, FailureRecord, LaunchReport, ResilientExecutor, ResilientPolicy,
 };
+pub use sched::deque::StealDeque;
 pub use sched::{
     Assignment, DeviceReport, DeviceShard, GemmRequest, RoutingPolicy, SchedConfig, SchedReport,
     SchedTelemetry, ShardedScheduler,

@@ -28,10 +28,10 @@
 //! the policy to the adaptive stage.
 
 use crate::cache::{CachedSelector, SelectionOutcome};
+use crate::decide::ClusterTable;
 use crate::{CoreError, Result};
 use autokernel_gemm::GemmShape;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -149,7 +149,10 @@ struct ClusterState {
 /// picks do.
 #[derive(Debug)]
 struct Inner {
-    clusters: HashMap<[i64; 3], ClusterState>,
+    /// Open-addressed shape-cluster table ([`crate::decide`]): flat
+    /// probes and an allocation-free steady state in place of the
+    /// `HashMap` the bandit used to walk.
+    clusters: ClusterTable<ClusterState>,
     ph: PageHinkley,
 }
 
@@ -224,7 +227,7 @@ impl OnlineSelector {
             adaptive: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             inner: Mutex::new(Inner {
-                clusters: HashMap::new(),
+                clusters: ClusterTable::new(),
                 ph: PageHinkley::default(),
             }),
         })
@@ -310,8 +313,49 @@ impl OnlineSelector {
         Ok(self.select_outcome(shape)?.config_index)
     }
 
+    /// Decide on the fast path. Mirror stage: exactly
+    /// [`CachedSelector::decide`] — the lock-free sub-20ns pick.
+    /// Adaptive stage: the bandit pick (mutex + UCB argmax), returning
+    /// the same configuration [`OnlineSelector::select`] would.
+    #[inline]
+    pub fn decide(&self, shape: &GemmShape) -> Result<u16> {
+        if !self.is_adaptive() {
+            return self.cached.decide(shape);
+        }
+        self.decide_adaptive(shape)
+    }
+
+    #[cold]
+    fn decide_adaptive(&self, shape: &GemmShape) -> Result<u16> {
+        let outcome = self.select_outcome(shape)?;
+        u16::try_from(outcome.config_index)
+            .map_err(|_| CoreError::BadConfigIndex(outcome.config_index))
+    }
+
+    /// Batched decide: mirror stage amortises telemetry atomics across
+    /// the chunk via [`CachedSelector::decide_batch`]; adaptive stage
+    /// picks per shape (each pick consults live bandit evidence).
+    /// `out` must have one slot per shape.
+    pub fn decide_batch(&self, shapes: &[GemmShape], out: &mut [u16]) -> Result<()> {
+        if !self.is_adaptive() {
+            return self.cached.decide_batch(shapes, out);
+        }
+        if shapes.len() != out.len() {
+            // lint:allow(no-alloc) typed-error construction on the cold arity-mismatch arm
+            return Err(CoreError::Dataset(format!(
+                "decide_batch arity mismatch: {} shapes, {} output slots",
+                shapes.len(),
+                out.len()
+            )));
+        }
+        for (shape, decided) in shapes.iter().zip(out.iter_mut()) {
+            *decided = self.decide_adaptive(shape)?;
+        }
+        Ok(())
+    }
+
     fn cluster_entry<'a>(&self, inner: &'a mut Inner, key: [i64; 3]) -> &'a mut ClusterState {
-        inner.clusters.entry(key).or_insert_with(|| ClusterState {
+        inner.clusters.get_or_insert_with(key, || ClusterState {
             arms: self.priors.iter().map(|&p| Arm::fresh(p)).collect(),
         })
     }
@@ -549,7 +593,7 @@ impl OnlineSelector {
             return Err("drift-detector registers out of range".to_string());
         }
         let mut dropped = 0u64;
-        let mut clusters = HashMap::new();
+        let mut clusters = ClusterTable::with_capacity(state.clusters.len());
         for cluster in &state.clusters {
             let valid = cluster.arms.len() == self.shipped.len()
                 && cluster.arms.iter().all(|a| {

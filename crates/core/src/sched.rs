@@ -51,8 +51,11 @@
 //! `tests/sharded_scheduler.rs` pins with a property test comparing
 //! parallel and sequential execution of random streams.
 
+pub mod deque;
+
 use crate::online::OnlineSelector;
 use crate::resilient::{LaunchReport, ResilientExecutor};
+use crate::sched::deque::StealDeque;
 use crate::{CoreError, Result};
 use autokernel_analyze::SpaceAnalysis;
 use autokernel_gemm::GemmShape;
@@ -103,6 +106,16 @@ pub struct SchedConfig {
     /// the shard. Off by default: drift usually means the bandit is
     /// *re-learning* the device, not that the device is gone.
     pub fail_on_drift: bool,
+    /// Execute waves with work stealing: each shard worker drains its
+    /// own queue and then steals still-pending batches from busy
+    /// siblings through a Chase–Lev deque ([`deque::StealDeque`]),
+    /// instead of idling at the wave barrier. Routing, admission and
+    /// scheduling telemetry are identical either way — only which
+    /// device *executes* a planned batch (and therefore the makespan)
+    /// may differ, which `tests/sharded_scheduler.rs` pins with a
+    /// property test. Requires `parallel`; off by default so replay
+    /// stays strictly deterministic.
+    pub stealing: bool,
 }
 
 impl Default for SchedConfig {
@@ -115,6 +128,7 @@ impl Default for SchedConfig {
             parallel: true,
             meltdown_threshold: 3,
             fail_on_drift: false,
+            stealing: false,
         }
     }
 }
@@ -349,6 +363,20 @@ struct WaveOutcome {
     /// Trace items in launch order: absorbed-failure events, then the
     /// completing event with its decision.
     trace: Vec<(Event, Option<LaunchDecision>)>,
+}
+
+impl WaveOutcome {
+    fn empty() -> Self {
+        WaveOutcome {
+            served: 0,
+            batches_done: 0,
+            flops_done: 0.0,
+            reference_fallbacks: 0,
+            melted: false,
+            leftovers: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
 }
 
 struct ShardState {
@@ -887,6 +915,9 @@ impl ShardedScheduler {
     ) -> Result<Vec<WaveOutcome>> {
         let meltdown = self.config.meltdown_threshold.max(1);
         let collect_trace = true;
+        if self.config.stealing && self.config.parallel {
+            return self.execute_wave_stealing(requests, wave_queues, meltdown, collect_trace);
+        }
         if self.config.parallel {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
@@ -918,6 +949,100 @@ impl ShardedScheduler {
                 .collect()
         }
     }
+
+    /// Run one wave with work stealing: the wave's batches live in a
+    /// flat arena, each shard gets a [`StealDeque`] of its planned
+    /// arena indices (pushed in reverse, so the owner's LIFO pop drains
+    /// its queue in planning order while thieves take its tail), and a
+    /// worker that empties its own deque steals from its siblings in a
+    /// deterministic victim order instead of idling at the barrier.
+    /// Stolen batches execute on the *thief's* device stack and are
+    /// attributed to it. A worker stops at meltdown; whatever nobody
+    /// ended up executing is drained single-threaded after the scope
+    /// and re-routed as leftovers — the same zero-drop invariant as the
+    /// deterministic path.
+    fn execute_wave_stealing(
+        &self,
+        requests: &[GemmRequest],
+        wave_queues: &[Vec<Batch>],
+        meltdown: u32,
+        collect_trace: bool,
+    ) -> Result<Vec<WaveOutcome>> {
+        let arena: Vec<&Batch> = wave_queues.iter().flatten().collect();
+        let mut next = 0usize;
+        let deques: Vec<StealDeque> = wave_queues
+            .iter()
+            .map(|queue| {
+                let deque = StealDeque::with_capacity(queue.len().max(1));
+                let start = next;
+                next += queue.len();
+                for index in (start..next).rev() {
+                    // Sized to the queue: a failed push is impossible,
+                    // and ignoring it would surface as a leftover in
+                    // the post-scope drain, not a lost request.
+                    let _ = deque.push(index as u64);
+                }
+                deque
+            })
+            .collect();
+        let shard_count = self.shards.len();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, state)| {
+                    let deques = &deques;
+                    let arena = &arena;
+                    scope.spawn(move || -> Result<WaveOutcome> {
+                        let mut outcome = WaveOutcome::empty();
+                        let mut consecutive_reference = 0u32;
+                        while !outcome.melted {
+                            let item = deques.get(index).and_then(StealDeque::pop).or_else(|| {
+                                (1..shard_count).find_map(|offset| {
+                                    deques
+                                        .get((index + offset) % shard_count)
+                                        .and_then(StealDeque::steal)
+                                })
+                            });
+                            let Some(item) = item else { break };
+                            let Some(batch) = arena.get(item as usize) else {
+                                break;
+                            };
+                            run_batch(
+                                &state.shard,
+                                batch,
+                                requests,
+                                meltdown,
+                                collect_trace,
+                                &mut consecutive_reference,
+                                &mut outcome,
+                            )?;
+                        }
+                        Ok(outcome)
+                    })
+                })
+                .collect();
+            let mut outcomes = handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .map_err(|_| CoreError::Dataset("scheduler worker thread died".into()))?
+                })
+                .collect::<Result<Vec<WaveOutcome>>>()?;
+            // Anything still queued here had every eligible executor
+            // melt down mid-wave: hand it back for re-routing.
+            for (deque, outcome) in deques.iter().zip(&mut outcomes) {
+                while let Some(item) = deque.pop() {
+                    if let Some(batch) = arena.get(item as usize) {
+                        outcome.leftovers.push((*batch).clone());
+                    }
+                }
+            }
+            Ok(outcomes)
+        })
+    }
 }
 
 /// Drain one device's wave queue. Single-threaded per device: the
@@ -930,15 +1055,7 @@ fn run_worker(
     meltdown_threshold: u32,
     collect_trace: bool,
 ) -> Result<WaveOutcome> {
-    let mut outcome = WaveOutcome {
-        served: 0,
-        batches_done: 0,
-        flops_done: 0.0,
-        reference_fallbacks: 0,
-        melted: false,
-        leftovers: Vec::new(),
-        trace: Vec::new(),
-    };
+    let mut outcome = WaveOutcome::empty();
     let mut consecutive_reference = 0u32;
     for (position, batch) in batches.iter().enumerate() {
         if outcome.melted {
@@ -947,55 +1064,72 @@ fn run_worker(
                 .extend(batches.iter().skip(position).cloned());
             break;
         }
-        for (offset, &request_index) in batch.requests.iter().enumerate() {
-            let request = requests.get(request_index).ok_or_else(|| {
-                CoreError::Dataset(format!("request index {request_index} out of range"))
-            })?;
-            let report =
-                shard
-                    .executor
-                    .launch(request.shape, &request.a, &request.b, &request.c)?;
-            outcome.served += 1;
-            outcome.flops_done += request.shape.flops();
-            if is_reference(&report) {
-                outcome.reference_fallbacks += 1;
-                consecutive_reference += 1;
-            } else {
-                consecutive_reference = 0;
-            }
-            if collect_trace {
-                for failure in &report.failures {
-                    if let Some(event) = &failure.event {
-                        outcome.trace.push((event.clone(), None));
-                    }
-                }
-                outcome
-                    .trace
-                    .push((report.event.clone(), Some(report.decision)));
-            }
-            if consecutive_reference >= meltdown_threshold {
-                // Melted down: stop launching on this device *now*, not
-                // at the next batch boundary. The rest of the current
-                // batch becomes a partial leftover so the merge phase
-                // can re-route it to the survivors.
-                outcome.melted = true;
-                let remaining: Vec<usize> =
-                    batch.requests.iter().skip(offset + 1).copied().collect();
-                if !remaining.is_empty() {
-                    outcome.leftovers.push(Batch {
-                        shape: batch.shape,
-                        class: batch.class,
-                        requests: remaining,
-                    });
-                }
-                break;
-            }
-        }
-        if !outcome.melted {
-            outcome.batches_done += 1;
-        }
+        run_batch(
+            shard,
+            batch,
+            requests,
+            meltdown_threshold,
+            collect_trace,
+            &mut consecutive_reference,
+            &mut outcome,
+        )?;
     }
     Ok(outcome)
+}
+
+/// Execute one batch on `shard`, accumulating into `outcome`. On
+/// meltdown the batch's unserved tail is pushed onto
+/// `outcome.leftovers` and `outcome.melted` is set — the caller stops
+/// launching on this device *now*, not at the next batch boundary.
+fn run_batch(
+    shard: &DeviceShard,
+    batch: &Batch,
+    requests: &[GemmRequest],
+    meltdown_threshold: u32,
+    collect_trace: bool,
+    consecutive_reference: &mut u32,
+    outcome: &mut WaveOutcome,
+) -> Result<()> {
+    for (offset, &request_index) in batch.requests.iter().enumerate() {
+        let request = requests.get(request_index).ok_or_else(|| {
+            CoreError::Dataset(format!("request index {request_index} out of range"))
+        })?;
+        let report = shard
+            .executor
+            .launch(request.shape, &request.a, &request.b, &request.c)?;
+        outcome.served += 1;
+        outcome.flops_done += request.shape.flops();
+        if is_reference(&report) {
+            outcome.reference_fallbacks += 1;
+            *consecutive_reference += 1;
+        } else {
+            *consecutive_reference = 0;
+        }
+        if collect_trace {
+            for failure in &report.failures {
+                if let Some(event) = &failure.event {
+                    outcome.trace.push((event.clone(), None));
+                }
+            }
+            outcome
+                .trace
+                .push((report.event.clone(), Some(report.decision)));
+        }
+        if *consecutive_reference >= meltdown_threshold {
+            outcome.melted = true;
+            let remaining: Vec<usize> = batch.requests.iter().skip(offset + 1).copied().collect();
+            if !remaining.is_empty() {
+                outcome.leftovers.push(Batch {
+                    shape: batch.shape,
+                    class: batch.class,
+                    requests: remaining,
+                });
+            }
+            return Ok(());
+        }
+    }
+    outcome.batches_done += 1;
+    Ok(())
 }
 
 fn is_reference(report: &LaunchReport) -> bool {

@@ -1,0 +1,241 @@
+//! A Chase–Lev-style work-stealing deque for the shard executor.
+//!
+//! One owner pushes and pops batches at the *bottom*; any number of
+//! thieves steal from the *top*. The scheduler uses it in a restricted
+//! regime — each wave's deques are populated single-threaded before the
+//! workers spawn and never refilled mid-wave — but the implementation
+//! is the general algorithm so the `analyze::interleave` model can
+//! exercise (and mutate) the full publish protocol:
+//!
+//! * `push` writes the slot with a Relaxed store, then publishes it to
+//!   thieves with a Release store on `bottom`. A thief's Acquire (or
+//!   stronger) load of `bottom` therefore carries the slot value.
+//! * `pop` claims a slot by storing the decremented `bottom` with
+//!   SeqCst and *then* re-reading `top` with SeqCst — the racing
+//!   store/load pair at the heart of Chase–Lev. Without the total
+//!   order, the owner and a thief could both observe the other as "not
+//!   yet there" and take the same last item.
+//! * `steal` claims the top slot with a SeqCst compare-exchange; losing
+//!   the race retries, an empty deque returns `None`.
+//!
+//! Capacity is fixed at construction (the scheduler sizes each deque to
+//! the wave's batch count, so indices are never reused and ABA cannot
+//! arise there). Slots store `item + 1` so an unwritten slot reads as
+//! zero and maps to `None` instead of a bogus item — the decide path's
+//! totality discipline, and the observable a weakened-ordering mutation
+//! trips in the interleaving model checker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity work-stealing deque over `u64` items.
+///
+/// Single owner (push/pop at the bottom), many thieves (steal at the
+/// top). All operations are lock-free and panic-free.
+pub struct StealDeque {
+    /// Steal index: monotonically increasing claim cursor for thieves.
+    top: AtomicU64,
+    /// Owner index: next free slot; the owner works at `bottom - 1`.
+    bottom: AtomicU64,
+    /// Capacity mask (`capacity - 1`; capacity is a power of two).
+    mask: u64,
+    /// Ring of items, each stored as `item + 1` (0 = never written).
+    slots: Box<[AtomicU64]>,
+}
+
+impl StealDeque {
+    /// A deque able to hold at least `capacity` items at once.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        StealDeque {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Items currently in the deque (racy snapshot: exact only when no
+    /// other thread is mid-operation).
+    pub fn len(&self) -> usize {
+        // atomic:role(publish)
+        let b = self.bottom.load(Ordering::Acquire);
+        // atomic:role(publish)
+        let t = self.top.load(Ordering::Acquire);
+        b.saturating_sub(t) as usize
+    }
+
+    /// Whether the deque currently holds no items (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: append `item` at the bottom. Returns `false` when
+    /// the ring is full (the scheduler sizes deques exactly, so a full
+    /// deque is a caller bug surfaced as backpressure, not a panic).
+    pub fn push(&self, item: u64) -> bool {
+        // atomic:role(publish)
+        let b = self.bottom.load(Ordering::Acquire);
+        // atomic:role(publish)
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) > self.mask {
+            return false;
+        }
+        let Some(slot) = self.slots.get((b & self.mask) as usize) else {
+            return false;
+        };
+        // The slot value itself is ordered by the Release store on
+        // `bottom` below, not by its own ordering.
+        // atomic:role(tick)
+        slot.store(item + 1, Ordering::Relaxed);
+        // Publish the written slot to thieves.
+        // atomic:role(publish)
+        self.bottom.store(b + 1, Ordering::Release);
+        true
+    }
+
+    /// Owner-only: take the most recently pushed item, racing thieves
+    /// for the last one.
+    pub fn pop(&self) -> Option<u64> {
+        // atomic:role(publish)
+        let b = self.bottom.load(Ordering::Acquire);
+        // atomic:role(publish)
+        if b <= self.top.load(Ordering::SeqCst) {
+            return None;
+        }
+        let b = b - 1;
+        // Claim slot `b` before re-reading the steal index — the
+        // SeqCst store/load pair that makes owner and thief agree on
+        // who owns the last item.
+        // atomic:role(publish)
+        self.bottom.store(b, Ordering::SeqCst);
+        // atomic:role(publish)
+        let t = self.top.load(Ordering::SeqCst);
+        if t < b {
+            // At least one more item remains for the thieves; the
+            // claim on `b` is uncontested.
+            return self.read_slot(b);
+        }
+        if t == b {
+            // Exactly one item left: race the thieves through `top`.
+            let won = self
+                .top
+                // atomic:role(publish)
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            // atomic:role(publish)
+            self.bottom.store(b + 1, Ordering::Release);
+            return if won { self.read_slot(b) } else { None };
+        }
+        // A thief claimed the last item between the loads: restore.
+        // atomic:role(publish)
+        self.bottom.store(b + 1, Ordering::Release);
+        None
+    }
+
+    /// Thief: claim the oldest item. Loses to a concurrent owner or
+    /// thief by retrying; returns `None` once the deque is empty.
+    pub fn steal(&self) -> Option<u64> {
+        loop {
+            // atomic:role(publish)
+            let t = self.top.load(Ordering::SeqCst);
+            // atomic:role(publish)
+            let b = self.bottom.load(Ordering::SeqCst);
+            if t >= b {
+                return None;
+            }
+            let item = self.read_slot(t);
+            if self
+                .top
+                // atomic:role(publish)
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return item;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Read the slot at ring index `index`. An unwritten slot (raw 0)
+    /// reads as `None` — unreachable under the correct protocol, and
+    /// exactly what the interleaving model's weakened-ordering mutation
+    /// makes observable.
+    fn read_slot(&self, index: u64) -> Option<u64> {
+        let slot = self.slots.get((index & self.mask) as usize)?;
+        // Ordered by the `bottom` Release/Acquire pair, not locally.
+        // atomic:role(tick)
+        slot.load(Ordering::Relaxed).checked_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_the_owner() {
+        let d = StealDeque::with_capacity(8);
+        assert!(d.is_empty());
+        assert!(d.push(1) && d.push(2) && d.push(3));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thieves() {
+        let d = StealDeque::with_capacity(8);
+        for i in 0..4 {
+            assert!(d.push(i));
+        }
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.steal(), None);
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_push() {
+        let d = StealDeque::with_capacity(2);
+        assert!(d.push(10) && d.push(11));
+        assert!(!d.push(12), "ring of 2 is full");
+        assert_eq!(d.pop(), Some(11));
+        assert!(d.push(12), "slot freed by pop is reusable");
+    }
+
+    #[test]
+    fn every_item_claimed_exactly_once_under_contention() {
+        const ITEMS: u64 = 10_000;
+        const THIEVES: usize = 3;
+        let d = StealDeque::with_capacity(ITEMS as usize);
+        for i in 0..ITEMS {
+            assert!(d.push(i));
+        }
+        let seen: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                scope.spawn(|| {
+                    while let Some(item) = d.steal() {
+                        seen[item as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // The owner drains its own end concurrently.
+            while let Some(item) = d.pop() {
+                seen[item as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (item, count) in seen.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                1,
+                "item {item} claimed a wrong number of times"
+            );
+        }
+    }
+}

@@ -20,6 +20,24 @@ pub const WORK_GROUPS: [WorkGroup; 10] = [
     WorkGroup { rows: 128, cols: 1 },
 ];
 
+/// Perfect-hash position table for [`WORK_GROUPS`]: indexed by
+/// `log2(rows) * 8 + log2(cols)` (both dimensions are powers of two
+/// with `log2 <= 7`), each occupied key holds the shape's position in
+/// [`WORK_GROUPS`]; unoccupied keys hold `u8::MAX`.
+const WG_POS: [u8; 64] = build_wg_pos();
+
+const fn build_wg_pos() -> [u8; 64] {
+    let mut table = [u8::MAX; 64];
+    let mut i = 0;
+    while i < WORK_GROUPS.len() {
+        let wg = WORK_GROUPS[i];
+        let key = wg.rows.trailing_zeros() as usize * 8 + wg.cols.trailing_zeros() as usize;
+        table[key] = i as u8;
+        i += 1;
+    }
+    table
+}
+
 /// A work-group shape (rows × cols of work-items).
 ///
 /// Rows index the M direction of the output, columns the N direction.
@@ -120,15 +138,40 @@ impl KernelConfig {
 
     /// Stable index of this configuration within [`KernelConfig::all`].
     pub fn index(&self) -> usize {
-        let pos = |v: usize| TILE_SIZES.iter().position(|&t| t == v).expect("valid tile");
-        let wg = WORK_GROUPS
-            .iter()
-            .position(|&w| w == self.work_group)
-            .expect("valid wg");
-        ((pos(self.tile_rows) * TILE_SIZES.len() + pos(self.tile_cols)) * TILE_SIZES.len()
+        self.index_u16() as usize
+    }
+
+    /// Stable index as a `u16` — the decide path's native currency
+    /// (the space has 640 < 2^16 points).
+    ///
+    /// Branchless: every tile size is a power of two in `1..=8`, so its
+    /// position within [`TILE_SIZES`] *is* its `trailing_zeros`; every
+    /// work-group dimension is a power of two with `log2 <= 7`, so
+    /// `log2(rows) * 8 + log2(cols)` is a perfect 6-bit key into the
+    /// const [`WG_POS`] table. No iteration, no data-dependent branch.
+    #[inline]
+    pub fn index_u16(&self) -> u16 {
+        let pos = |v: usize| (v.trailing_zeros() as u16) & 3;
+        let key = (self.work_group.rows.trailing_zeros() & 7) * 8
+            + (self.work_group.cols.trailing_zeros() & 7);
+        let wg = WG_POS[key as usize & 63] as u16;
+        debug_assert!(wg != u8::MAX as u16, "work group outside the space");
+        ((pos(self.tile_rows) * TILE_SIZES.len() as u16 + pos(self.tile_cols))
+            * TILE_SIZES.len() as u16
             + pos(self.acc_depth))
-            * WORK_GROUPS.len()
+            * WORK_GROUPS.len() as u16
             + wg
+    }
+
+    /// Inverse of [`KernelConfig::index_u16`].
+    #[inline]
+    pub fn from_index_u16(index: u16) -> Option<KernelConfig> {
+        Self::from_index(index as usize)
+    }
+
+    /// Size of the space as a `u16` (640 fits comfortably).
+    pub const fn count_u16() -> u16 {
+        Self::count() as u16
     }
 
     /// Inverse of [`KernelConfig::index`].
@@ -205,6 +248,34 @@ mod tests {
             assert_eq!(KernelConfig::from_index(i).unwrap(), *cfg);
         }
         assert!(KernelConfig::from_index(640).is_none());
+    }
+
+    #[test]
+    fn u16_index_matches_usize_index() {
+        assert_eq!(KernelConfig::count_u16() as usize, KernelConfig::count());
+        for (i, cfg) in KernelConfig::all().iter().enumerate() {
+            assert_eq!(cfg.index_u16() as usize, i);
+            assert_eq!(KernelConfig::from_index_u16(i as u16).unwrap(), *cfg);
+        }
+        assert!(KernelConfig::from_index_u16(640).is_none());
+    }
+
+    #[test]
+    fn wg_pos_table_is_a_perfect_hash() {
+        // The branchless work-group lookup must agree with the linear
+        // scan it replaced, and unoccupied keys must stay sentinels.
+        let occupied: Vec<usize> = WORK_GROUPS
+            .iter()
+            .map(|wg| wg.rows.trailing_zeros() as usize * 8 + wg.cols.trailing_zeros() as usize)
+            .collect();
+        for (pos, key) in occupied.iter().enumerate() {
+            assert_eq!(WG_POS[*key] as usize, pos);
+        }
+        for (key, slot) in WG_POS.iter().enumerate() {
+            if !occupied.contains(&key) {
+                assert_eq!(*slot, u8::MAX, "key {key} should be unoccupied");
+            }
+        }
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl SimKernel for TiledGemmKernel {
                             };
                         }
                     }
-                    // The FMA block: tr × tc × depth independent updates.
+                    // The FMA block: tr × tc × depth independent updates,
+                    // eight accumulator columns per SIMD step (bit-exact
+                    // with the scalar loop — see `crate::simd::axpy`).
                     for r in 0..tr {
                         for q in 0..ad {
                             let av = a_frag[r * ad + q];
@@ -139,9 +141,7 @@ impl SimKernel for TiledGemmKernel {
                             }
                             let brow = &b_frag[q * tc..q * tc + tc];
                             let arow = &mut acc[r * tc..r * tc + tc];
-                            for (o, &bv) in arow.iter_mut().zip(brow) {
-                                *o += av * bv;
-                            }
+                            crate::simd::axpy(arow, av, brow);
                         }
                     }
                     p0 += ad;

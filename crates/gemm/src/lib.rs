@@ -22,6 +22,7 @@ pub mod kernel;
 pub mod model;
 pub mod reference;
 pub mod shape;
+pub mod simd;
 
 pub use batched::BatchedGemmKernel;
 pub use config::{KernelConfig, WorkGroup, TILE_SIZES, WORK_GROUPS};

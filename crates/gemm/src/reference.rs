@@ -32,7 +32,10 @@ pub fn reference_gemm(shape: GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
 
 /// Rayon-parallel reference (rows of C distributed over the pool); same
 /// results as [`reference_gemm`] because each row is an independent,
-/// sequentially-accumulated dot-product sweep.
+/// sequentially-accumulated dot-product sweep. The row update runs
+/// eight columns at a time through [`crate::simd::axpy`], which keeps
+/// the per-element operation sequence — one multiply, one add, in `p`
+/// order — exactly the scalar reference's, so the match is bitwise.
 pub fn parallel_reference_gemm(shape: GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), shape.m * shape.k);
     debug_assert_eq!(b.len(), shape.k * shape.n);
@@ -45,10 +48,7 @@ pub fn parallel_reference_gemm(shape: GemmShape, a: &[f32], b: &[f32], c: &mut [
             if aip == 0.0 {
                 continue;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aip * bv;
-            }
+            crate::simd::axpy(crow, aip, &b[p * n..(p + 1) * n]);
         }
     });
 }

@@ -1,0 +1,163 @@
+//! Portable 8-lane f32 SIMD for the GEMM microkernels.
+//!
+//! The crate has no target-feature dependencies, so the vector type is
+//! a plain aligned `[f32; 8]` whose lanewise loops compile to packed
+//! `mulps`/`addps` (or NEON equivalents) under LLVM's auto-vectoriser.
+//! Crucially, every lane performs exactly the scalar sequence — one
+//! multiply, one add, in the same reduction order — so the vectorised
+//! kernels stay **bit-identical** to the scalar reference (`max_abs_diff
+//! == 0.0`), not merely close: fused multiply-add is deliberately not
+//! used, because an FMA rounds once where `mul` + `add` round twice.
+
+use std::ops::{Add, Mul};
+
+/// Eight f32 lanes, 32-byte aligned so packed loads hit full vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(32))]
+pub struct F32x8(pub [f32; 8]);
+
+impl F32x8 {
+    /// Lane count.
+    pub const LANES: usize = 8;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        F32x8([v; 8])
+    }
+
+    /// Load from the first eight elements of `src` (zero-pads a short
+    /// slice, so the call is total).
+    #[inline(always)]
+    pub fn load(src: &[f32]) -> Self {
+        let mut lanes = [0.0f32; 8];
+        for (lane, value) in lanes.iter_mut().zip(src) {
+            *lane = *value;
+        }
+        F32x8(lanes)
+    }
+
+    /// Store into the first eight elements of `dst` (ignores the
+    /// overflow of a short slice, so the call is total).
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f32]) {
+        for (value, lane) in dst.iter_mut().zip(self.0) {
+            *value = lane;
+        }
+    }
+
+    /// Sum of all lanes (tree order; only used where the caller owns
+    /// the reduction order).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        let [a, b, c, d, e, f, g, h] = self.0;
+        ((a + b) + (c + d)) + ((e + f) + (g + h))
+    }
+}
+
+/// Lanewise multiply.
+impl Mul for F32x8 {
+    type Output = F32x8;
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (lane, r) in out.iter_mut().zip(rhs.0) {
+            *lane *= r;
+        }
+        F32x8(out)
+    }
+}
+
+/// Lanewise add.
+impl Add for F32x8 {
+    type Output = F32x8;
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (lane, r) in out.iter_mut().zip(rhs.0) {
+            *lane += r;
+        }
+        F32x8(out)
+    }
+}
+
+/// `acc[i] += scale * row[i]` over the common prefix of the slices —
+/// the axpy update at the heart of both the reference GEMM's row sweep
+/// and the tiled kernel's FMA block, eight columns per step with a
+/// scalar tail. Each element sees exactly one multiply and one add, in
+/// slice order, so the result is bit-identical to the scalar loop.
+#[inline]
+pub fn axpy(acc: &mut [f32], scale: f32, row: &[f32]) {
+    let n = acc.len().min(row.len());
+    let (acc, row) = (&mut acc[..n], &row[..n]);
+    let s = F32x8::splat(scale);
+    let mut acc_chunks = acc.chunks_exact_mut(F32x8::LANES);
+    let mut row_chunks = row.chunks_exact(F32x8::LANES);
+    for (a, r) in (&mut acc_chunks).zip(&mut row_chunks) {
+        (F32x8::load(a) + s * F32x8::load(r)).store(a);
+    }
+    for (a, &r) in acc_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(row_chunks.remainder())
+    {
+        *a += scale * r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_axpy(acc: &mut [f32], scale: f32, row: &[f32]) {
+        for (a, &r) in acc.iter_mut().zip(row) {
+            *a += scale * r;
+        }
+    }
+
+    fn noise(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64 + seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_scalar_for_all_tail_lengths() {
+        for len in 0..40 {
+            let row = noise(len, 7);
+            let mut fast = noise(len, 99);
+            let mut slow = fast.clone();
+            axpy(&mut fast, 0.7315, &row);
+            scalar_axpy(&mut slow, 0.7315, &row);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar() {
+        let a = F32x8([1.0, -2.0, 3.5, 0.0, 8.25, -0.5, 2.0, 7.0]);
+        let b = F32x8::splat(2.0);
+        assert_eq!((a * b).0, [2.0, -4.0, 7.0, 0.0, 16.5, -1.0, 4.0, 14.0]);
+        assert_eq!((a + b).0, [3.0, 0.0, 5.5, 2.0, 10.25, 1.5, 4.0, 9.0]);
+        assert_eq!(F32x8::splat(1.5).reduce_sum(), 12.0);
+    }
+
+    #[test]
+    fn load_and_store_are_total_on_short_slices() {
+        let v = F32x8::load(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.0, [1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut out = [9.0f32; 3];
+        v.store(&mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+    }
+}

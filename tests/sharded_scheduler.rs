@@ -133,6 +133,162 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Work stealing must change *where* a planned batch executes, and
+    /// nothing else: the served set (every request served exactly once,
+    /// zero drops), the batching decisions, the number of batches
+    /// routed and the wave count are all identical to the deterministic
+    /// executor. Makespan may differ — that is the point of stealing.
+    #[test]
+    fn stealing_preserves_routing_and_serving_accounting(
+        bursts in proptest::collection::vec((0usize..POOL.len(), 1usize..4), 1..12),
+        policy in arb_policy(),
+        seed in 0u64..1000,
+        queue_capacity in 1usize..5,
+        batch_window in 1usize..5,
+    ) {
+        let stream: Vec<GemmRequest> = bursts
+            .iter()
+            .flat_map(|&(idx, burst)| (0..burst).map(move |_| GemmRequest::zeroed(shape(idx))))
+            .collect();
+        let config = SchedConfig {
+            policy,
+            queue_capacity,
+            batch_window,
+            seed,
+            parallel: true,
+            stealing: false,
+            ..SchedConfig::default()
+        };
+        let stealing = SchedConfig { stealing: true, ..config.clone() };
+
+        let (report_d, sched_d) = run(&stream, config);
+        let (report_w, sched_w) = run(&stream, stealing);
+
+        // Served-set equality: the whole stream, exactly once, under
+        // both executors.
+        prop_assert_eq!(report_d.served, stream.len());
+        prop_assert_eq!(report_w.served, stream.len());
+        prop_assert_eq!(report_d.dropped, 0);
+        prop_assert_eq!(report_w.dropped, 0);
+        let sum_d: u64 = report_d.devices.iter().map(|d| d.served).sum();
+        let sum_w: u64 = report_w.devices.iter().map(|d| d.served).sum();
+        prop_assert_eq!(sum_d as usize, stream.len());
+        prop_assert_eq!(sum_w as usize, stream.len());
+
+        // Routing accounting: batching is a pure function of the
+        // stream, every batch is planned exactly once, and the healthy
+        // fleet admits the same number of batches per wave either way.
+        let t_d = sched_d.telemetry();
+        let t_w = sched_w.telemetry();
+        prop_assert_eq!(t_d.batched, t_w.batched);
+        prop_assert_eq!(t_d.routed, t_w.routed);
+        prop_assert_eq!(t_d.served, t_w.served);
+        prop_assert_eq!(t_d.waves, t_w.waves);
+        prop_assert_eq!(t_d.rebalanced, 0);
+        prop_assert_eq!(t_w.rebalanced, 0);
+        prop_assert_eq!(report_d.assignments.len(), report_w.assignments.len());
+        let planned_d: usize = report_d.assignments.iter().map(|a| a.requests).sum();
+        let planned_w: usize = report_w.assignments.iter().map(|a| a.requests).sum();
+        prop_assert_eq!(planned_d, stream.len());
+        prop_assert_eq!(planned_w, stream.len());
+    }
+
+    /// In the single-wave regime the whole plan is drawn up before any
+    /// launch, so execution placement cannot feed back into routing
+    /// through the device clocks: the assignment sequence must be
+    /// bit-identical between the deterministic and stealing executors,
+    /// for every policy.
+    #[test]
+    fn stealing_leaves_single_wave_plans_bit_identical(
+        bursts in proptest::collection::vec((0usize..POOL.len(), 1usize..3), 1..8),
+        policy in arb_policy(),
+        seed in 0u64..1000,
+    ) {
+        let stream: Vec<GemmRequest> = bursts
+            .iter()
+            .flat_map(|&(idx, burst)| (0..burst).map(move |_| GemmRequest::zeroed(shape(idx))))
+            .collect();
+        // Capacity comfortably above the batch count: one wave.
+        let config = SchedConfig {
+            policy,
+            queue_capacity: 32,
+            batch_window: 2,
+            seed,
+            parallel: true,
+            stealing: false,
+            ..SchedConfig::default()
+        };
+        let stealing = SchedConfig { stealing: true, ..config.clone() };
+        let (report_d, sched_d) = run(&stream, config);
+        let (report_w, sched_w) = run(&stream, stealing);
+        prop_assert_eq!(report_d.waves, 1);
+        prop_assert_eq!(report_w.waves, 1);
+        prop_assert_eq!(&report_d.assignments, &report_w.assignments);
+        prop_assert_eq!(sched_d.telemetry(), sched_w.telemetry());
+        prop_assert_eq!(report_w.served, stream.len());
+        prop_assert_eq!(report_w.dropped, 0);
+    }
+}
+
+/// Meltdown under the stealing executor: the doomed shard stops
+/// mid-wave, its unexecuted batches are either stolen by the survivors
+/// or drained to leftovers and re-routed, and the stream still
+/// completes with zero drops.
+#[test]
+fn stealing_executor_survives_mid_stream_meltdown() {
+    let doomed_queue =
+        Queue::timing_only(Arc::new(DeviceSpec::amd_r9_nano())).with_fault_plan(Arc::new(
+            FaultPlan::new(41)
+                .doom_kernels_matching("gemm")
+                .with_onset(12),
+        ));
+    let doomed = DeviceShard::new(
+        "doomed",
+        pipeline()
+            .device_executor(doomed_queue, ResilientPolicy::default())
+            .unwrap(),
+    );
+    let survivors = [
+        (DeviceSpec::amd_r9_nano(), "nano"),
+        (DeviceSpec::desktop_gpu(), "desktop"),
+    ]
+    .into_iter()
+    .map(|(device, label)| {
+        let queue = Queue::timing_only(Arc::new(device));
+        let executor = pipeline()
+            .device_executor(queue, ResilientPolicy::default())
+            .unwrap();
+        DeviceShard::new(label, executor)
+    });
+    let mut shards = vec![doomed];
+    shards.extend(survivors);
+    let mut sched = ShardedScheduler::new(
+        shards,
+        SchedConfig {
+            policy: RoutingPolicy::RoundRobin,
+            queue_capacity: 4,
+            batch_window: 1,
+            meltdown_threshold: 2,
+            stealing: true,
+            ..SchedConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stream: Vec<GemmRequest> = (0..60).map(|i| GemmRequest::zeroed(shape(i))).collect();
+    let report = sched.serve(&stream).unwrap();
+
+    assert_eq!(report.served, stream.len());
+    assert_eq!(report.dropped, 0);
+    assert!(!sched.is_healthy(0), "the poisoned shard must be drained");
+    assert!(sched.is_healthy(1) && sched.is_healthy(2));
+    let per_device: u64 = report.devices.iter().map(|d| d.served).sum();
+    assert_eq!(per_device as usize, stream.len());
+}
+
 /// The e2e drain scenario the module exists for: three devices serve a
 /// stream, and one of them starts failing every kernel mid-stream (a
 /// fault plan with an onset, i.e. the first launches are clean). The
